@@ -1,0 +1,381 @@
+// Package nwdec's root benchmark harness regenerates every figure of the
+// paper's evaluation as a benchmark (one per table/figure), plus
+// micro-benchmarks for the core pipeline stages. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigN times a full regeneration of the corresponding figure's
+// data; the rendered reports themselves come from cmd/nwsim.
+package nwdec
+
+import (
+	"testing"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/crossbar"
+	"nwdec/internal/experiments"
+	"nwdec/internal/geometry"
+	"nwdec/internal/mspt"
+	"nwdec/internal/physics"
+	"nwdec/internal/report"
+	"nwdec/internal/stats"
+	"nwdec/internal/sweep"
+	"nwdec/internal/yield"
+)
+
+// BenchmarkFig5 regenerates the fabrication-complexity comparison (Fig. 5):
+// Φ for tree vs Gray codes in binary, ternary and quaternary logic, N=10.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(experiments.Fig5N)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if experiments.Fig5GraySaving(rows) <= 0 {
+			b.Fatal("Gray saving lost")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the variability surfaces (Fig. 6): sqrt(Σ)/σ_T
+// for binary TC/GC/BGC at code lengths 8 and 10, N=20.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		surfaces, err := experiments.Fig6(experiments.Fig6N, []int{8, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(surfaces) != 6 {
+			b.Fatal("wrong surface count")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the crossbar-yield sweep (Fig. 7): TC vs BGC
+// over lengths 6/8/10 and HC vs AHC over 4/6/8 on the 16 kbit platform.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig7(core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 12 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the bit-area sweep (Fig. 8): all five code
+// families over their length grids.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig8(core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 15 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the paper's headline summary table
+// (abstract/conclusion numbers).
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		claims, err := experiments.Headline(core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(claims) != 6 {
+			b.Fatal("wrong claim count")
+		}
+	}
+}
+
+// BenchmarkMonteCarloValidation times the functional-simulator validation:
+// full 128x128 crossbar fabrications compared against the analytic model.
+func BenchmarkMonteCarloValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MonteCarlo(core.Config{}, 1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodeGeneration times the arrangement search of each code family
+// at the platform's operating point (20 words).
+func BenchmarkCodeGeneration(b *testing.B) {
+	for _, tp := range code.AllTypes() {
+		m := 10
+		if !tp.Reflected() {
+			m = 6
+		}
+		b.Run(tp.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := code.New(tp, 2, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := code.CyclicSequence(g, 20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanConstruction times the MSPT matrix algebra (P -> D, S, ν, Φ)
+// for a 20x10 half cave.
+func BenchmarkPlanConstruction(b *testing.B) {
+	g, err := code.NewBalancedGray(2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words, err := g.Sequence(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doses := []int64{200, 900}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := mspt.NewPlan(words, 2, doses)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Phi() != 40 {
+			b.Fatal("unexpected Φ")
+		}
+	}
+}
+
+// BenchmarkFlowReplay times the step-by-step fabrication-flow simulation.
+func BenchmarkFlowReplay(b *testing.B) {
+	g, _ := code.NewBalancedGray(2, 10)
+	words, _ := g.Sequence(20)
+	plan, err := mspt.NewPlan(words, 2, []int64{200, 900})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := plan.Run(); res.LithoSteps != 40 {
+			b.Fatal("flow diverged")
+		}
+	}
+}
+
+// BenchmarkYieldAnalysis times the analytic addressability analysis of a
+// full design point.
+func BenchmarkYieldAnalysis(b *testing.B) {
+	d, err := core.NewDesign(core.Config{CodeType: code.TypeBalancedGray})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := d.Analyzer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := a.AnalyzeCrossbar(d.Plan, d.Layout)
+		if res.Yield <= 0 {
+			b.Fatal("yield collapsed")
+		}
+	}
+}
+
+// BenchmarkDesign times a complete end-to-end decoder design (code search,
+// doping plan, layout, yield).
+func BenchmarkDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewDesign(core.Config{CodeType: code.TypeGray}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalLayer times one Monte-Carlo fabrication of a 128-wire
+// crossbar layer including the conduction-based addressability resolution.
+func BenchmarkFunctionalLayer(b *testing.B) {
+	d, err := core.NewDesign(core.Config{CodeType: code.TypeBalancedGray})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := crossbar.NewDecoder(d.Plan, d.Quantizer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crossbar.BuildLayer(dec, d.Layout.Contact, 128, d.Config.SigmaT, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemoryReadWrite times bit access through the functional memory.
+func BenchmarkMemoryReadWrite(b *testing.B) {
+	d, _ := core.NewDesign(core.Config{CodeType: code.TypeBalancedGray})
+	dec, _ := crossbar.NewDecoder(d.Plan, d.Quantizer)
+	rng := stats.NewRNG(2)
+	rows, err := crossbar.BuildLayer(dec, d.Layout.Contact, 128, 0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols, _ := crossbar.BuildLayer(dec, d.Layout.Contact, 128, 0, rng)
+	mem := crossbar.NewMemory(rows, cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, c := i%128, (i*7)%128
+		if err := mem.Write(r, c, i%2 == 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mem.Read(r, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContactPlanning times the layout resolution.
+func BenchmarkContactPlanning(b *testing.B) {
+	spec := geometry.DefaultCrossbarSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := geometry.NewLayout(spec, 10, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhysicsInverse times the numeric inversion of the threshold law.
+func BenchmarkPhysicsInverse(b *testing.B) {
+	m := physics.DefaultPhysicalModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nd := m.Doping(0.3); nd <= 0 {
+			b.Fatal("inversion failed")
+		}
+	}
+}
+
+// BenchmarkRegionProb times the innermost yield primitive.
+func BenchmarkRegionProb(b *testing.B) {
+	a := yield.Analyzer{SigmaT: 0.05, Margin: 0.25}
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += a.RegionProb(i%20 + 1)
+	}
+	if s < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkAblationArrangement times the arrangement comparison (Props 4-5
+// ablation): counting vs random vs Gray orders of one code space.
+func BenchmarkAblationArrangement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationArrangement([]uint64{1, 2, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMargin times the margin-factor sensitivity sweep.
+func BenchmarkAblationMargin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMargin([]float64{0.4, 0.7, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiValued times the multi-valued logic extension sweep.
+func BenchmarkMultiValued(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MultiValued(core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseStudy times the variability-model extension (derived sigma
+// plus correlated-noise Monte Carlo).
+func BenchmarkNoiseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NoiseStudy(core.Config{}, 20, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadoutStudy times the analog sensing extension.
+func BenchmarkReadoutStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Readout(core.Config{}, 10, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrelatedSampling times one correlated-noise threshold sample of
+// a 20x10 half cave.
+func BenchmarkCorrelatedSampling(b *testing.B) {
+	d, err := core.NewDesign(core.Config{CodeType: code.TypeBalancedGray})
+	if err != nil {
+		b.Fatal(err)
+	}
+	np := mspt.NoiseParams{SigmaRandom: 0.035, SigmaSystematic: 0.035}
+	rng := stats.NewRNG(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Plan.SampleVTCorrelated(rng, np, d.Quantizer.VTOf)
+	}
+}
+
+// BenchmarkMaskAnalysis times the mask-reuse analysis of a half-cave plan.
+func BenchmarkMaskAnalysis(b *testing.B) {
+	d, _ := core.NewDesign(core.Config{CodeType: code.TypeGray})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := d.Plan.Masks(); set.Passes != 40 {
+			b.Fatal("mask analysis diverged")
+		}
+	}
+}
+
+// BenchmarkHotRank times hot-code ranking via the combinatorial number
+// system.
+func BenchmarkHotRank(b *testing.B) {
+	h, _ := code.NewHot(2, 8)
+	words, _ := h.Sequence(h.SpaceSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Rank(words[i%len(words)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReportGeneration times the full Markdown reproduction report.
+func BenchmarkReportGeneration(b *testing.B) {
+	opt := report.DefaultOptions()
+	opt.MCTrials = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Generate(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepGrid times the batch design-space sweep over the default
+// Fig. 7/8 grid.
+func BenchmarkSweepGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sweep.Run(core.Config{}, sweep.Grid{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 20 {
+			b.Fatal("unexpected grid size")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package nwdec
+
+// CLI smoke tests: build each command once and drive it end to end the way
+// a user would, asserting on real stdout. These are the regression net for
+// the tools' flag surfaces.
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one command into dir and returns the binary path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var so, se strings.Builder
+	cmd.Stdout = &so
+	cmd.Stderr = &se
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", filepath.Base(bin), args, err, se.String())
+	}
+	return so.String(), se.String()
+}
+
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests build binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	t.Run("nwcodes", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwcodes")
+		out, _ := run(t, bin, "-type", "gc", "-base", "2", "-length", "8", "-count", "6")
+		for _, want := range []string{"GC", "Ω=16", "00001111", "2 digit changes", "transitions:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("nwcodes output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("nwdecoder", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwdecoder")
+		out, _ := run(t, bin, "-type", "bgc", "-length", "10")
+		for _, want := range []string{"BGC", "M=10", "cave yield", "bit area"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("report missing %q", want)
+			}
+		}
+		// JSON export parses and carries the paper-consistent Φ.
+		out, _ = run(t, bin, "-type", "gc", "-length", "10", "-export", "json")
+		var exp struct {
+			Phi int `json:"phi"`
+			N   int `json:"n"`
+		}
+		if err := json.Unmarshal([]byte(out), &exp); err != nil {
+			t.Fatalf("export json: %v", err)
+		}
+		if exp.Phi != 2*exp.N {
+			t.Errorf("exported Φ=%d for N=%d, want 2N", exp.Phi, exp.N)
+		}
+		// SVG export is well-formed XML.
+		out, _ = run(t, bin, "-type", "bgc", "-length", "8", "-export", "svg")
+		dec := xml.NewDecoder(strings.NewReader(out))
+		for {
+			_, err := dec.Token()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("svg export not well-formed: %v", err)
+			}
+		}
+		if !strings.HasPrefix(out, "<svg") {
+			t.Error("svg export missing root element")
+		}
+		// Optimizer path.
+		out, _ = run(t, bin, "-optimize", "area")
+		if !strings.Contains(out, "optimum over all families") {
+			t.Error("optimizer banner missing")
+		}
+	})
+
+	t.Run("nwsim", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwsim")
+		out, _ := run(t, bin, "-exp", "fig5")
+		for _, want := range []string{"Fig. 5", "ternary", "paper: 17%"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("fig5 output missing %q", want)
+			}
+		}
+		out, _ = run(t, bin, "-exp", "headline")
+		if strings.Contains(out, "NO") {
+			t.Errorf("headline claims failing:\n%s", out)
+		}
+	})
+
+	t.Run("nwmem", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwmem")
+		out, stderr := run(t, bin, "-data", "smoke test payload", "-seed", "7")
+		if strings.TrimSpace(out) != "smoke test payload" {
+			t.Errorf("payload round trip = %q", out)
+		}
+		if !strings.Contains(stderr, "March C-") || !strings.Contains(stderr, "ECC") {
+			t.Errorf("controller log incomplete:\n%s", stderr)
+		}
+	})
+
+	t.Run("nwsweep", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwsweep")
+		out, _ := run(t, bin, "-types", "bgc", "-lengths", "10")
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("want header + 1 row, got %d lines", len(lines))
+		}
+		if !strings.HasPrefix(lines[0], "code,length") || !strings.HasPrefix(lines[1], "BGC,10") {
+			t.Errorf("sweep CSV wrong:\n%s", out)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+// Command nwcodes generates and inspects nanowire code arrangements: it
+// prints the word sequence of any code family together with its transition
+// statistics — the quantities that determine the fabrication complexity and
+// variability of the MSPT decoder.
+//
+// Usage:
+//
+//	nwcodes [-type tc|gc|bgc|hc|ahc] [-base n] [-length M] [-count N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwdec/internal/code"
+)
+
+func main() {
+	var (
+		typeName = flag.String("type", "gc", "code family: tc, gc, bgc, hc, ahc")
+		base     = flag.Int("base", 2, "logic valency n")
+		length   = flag.Int("length", 8, "total code length M (including reflection for tree-based codes)")
+		count    = flag.Int("count", 0, "number of words to emit (default: whole space, capped at 64)")
+	)
+	flag.Parse()
+
+	tp, err := code.ParseType(*typeName)
+	if err != nil {
+		fail(err)
+	}
+	gen, err := code.New(tp, *base, *length)
+	if err != nil {
+		fail(err)
+	}
+	n := *count
+	if n <= 0 {
+		n = gen.SpaceSize()
+		if n > 64 {
+			n = 64
+		}
+	}
+	words, err := code.CyclicSequence(gen, n)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s  base=%d  M=%d  Ω=%d  (showing %d words)\n",
+		tp, gen.Base(), gen.Length(), gen.SpaceSize(), len(words))
+	if tp.Reflected() {
+		fmt.Println("words are reflected: second half is the (n-1)-complement of the first")
+	}
+	for i, w := range words {
+		if i == 0 {
+			fmt.Printf("%3d  %s\n", i, w)
+			continue
+		}
+		fmt.Printf("%3d  %s  (%d digit changes)\n", i, w, w.Hamming(words[i-1]))
+	}
+	st := code.Stats(words)
+	fmt.Printf("\ntransitions: total=%d  per-step min/max=%d/%d  per-digit=%v (max %d)\n",
+		st.TotalTransitions, st.MinPerStep, st.MaxPerStep, st.PerDigit, st.MaxPerDigit)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nwcodes:", err)
+	os.Exit(1)
+}

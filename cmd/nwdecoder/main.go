@@ -1,0 +1,156 @@
+// Command nwdecoder designs an MSPT nanowire decoder for a crossbar memory:
+// it resolves the code arrangement, doping plan, fabrication complexity,
+// variability, yield and bit area for one configuration, or sweeps the
+// design space and reports the optimum.
+//
+// Usage:
+//
+//	nwdecoder [-type tc|gc|bgc|hc|ahc] [-base n] [-length M]
+//	          [-wires N] [-rawbits D] [-sigma V] [-margin F]
+//	          [-optimize area|yield|phi] [-flow] [-matrices]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/geometry"
+	"nwdec/internal/viz"
+)
+
+func main() {
+	var (
+		typeName = flag.String("type", "bgc", "code family: tc, gc, bgc, hc, ahc")
+		base     = flag.Int("base", 2, "logic valency n")
+		length   = flag.Int("length", 0, "code length M (default 10 tree-based, 6 hot)")
+		wires    = flag.Int("wires", 0, "nanowires per half cave (default 20)")
+		rawBits  = flag.Int("rawbits", 0, "raw crosspoint count (default 16384)")
+		sigma    = flag.Float64("sigma", 0, "per-dose threshold deviation in volts (default 0.05)")
+		margin   = flag.Float64("margin", 0, "margin factor (default 1.0)")
+		optimize = flag.String("optimize", "", "sweep all families and optimize: area, yield or phi")
+		showFlow = flag.Bool("flow", false, "print the fabrication-flow event log")
+		showMat  = flag.Bool("matrices", false, "print the P, D, S and ν matrices")
+		export   = flag.String("export", "", "dump the doping plan to stdout: json, csv, svg (layout) or masks-svg")
+		showMask = flag.Bool("masks", false, "print the mask-reuse analysis")
+	)
+	flag.Parse()
+
+	tp, err := code.ParseType(*typeName)
+	if err != nil {
+		fail(err)
+	}
+	cfg := core.Config{CodeType: tp, Base: *base, CodeLength: *length,
+		SigmaT: *sigma, MarginFactor: *margin}
+	if *wires > 0 || *rawBits > 0 {
+		cfg.Spec = geometry.DefaultCrossbarSpec()
+		if *wires > 0 {
+			cfg.Spec.HalfCaveWires = *wires
+		}
+		if *rawBits > 0 {
+			cfg.Spec.RawBits = *rawBits
+		}
+	}
+
+	var design *core.Design
+	if *optimize != "" {
+		obj, err := parseObjective(*optimize)
+		if err != nil {
+			fail(err)
+		}
+		design, err = core.Optimize(cfg,
+			[]code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray, code.TypeHot, code.TypeArrangedHot},
+			[]int{4, 6, 8, 10, 12}, obj)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("optimum over all families and lengths (objective %s):\n\n", *optimize)
+	} else {
+		design, err = core.NewDesign(cfg)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *export != "" {
+		// Machine output only: keep stdout clean for piping.
+		switch *export {
+		case "json":
+			if err := design.Plan.WriteJSON(os.Stdout); err != nil {
+				fail(err)
+			}
+		case "csv":
+			if err := design.Plan.WriteCSV(os.Stdout); err != nil {
+				fail(err)
+			}
+		case "svg":
+			fmt.Print(viz.DecoderSVG(design.Plan, design.Config.Spec.Params, design.Layout.Contact))
+		case "masks-svg":
+			fmt.Print(viz.MaskSVG(design.Plan, design.Config.Spec.Params))
+		default:
+			fail(fmt.Errorf("unknown export format %q (want json, csv, svg or masks-svg)", *export))
+		}
+		return
+	}
+	fmt.Print(design.Report())
+	if *showMask {
+		set := design.Plan.Masks()
+		fmt.Printf("\nmask set: %d distinct masks for %d passes (reuse factor %.2f)\n",
+			set.DistinctMasks(), set.Passes, set.ReuseFactor())
+		for _, m := range set.Masks {
+			fmt.Printf("  regions %v: %d passes\n", m.Regions, len(m.Passes))
+		}
+	}
+	if *showMat {
+		fmt.Println("\npattern matrix P (rows = nanowires in definition order):")
+		for _, w := range design.Plan.Pattern() {
+			fmt.Printf("  %s\n", w)
+		}
+		fmt.Println("final doping matrix D (dose units):")
+		printMatrix(design.Plan.D())
+		fmt.Println("step doping matrix S (dose units; negative = n-type compensation):")
+		printMatrix(design.Plan.S())
+		fmt.Println("dose-count matrix ν:")
+		for _, row := range design.Plan.Nu() {
+			fmt.Printf("  %v\n", row)
+		}
+	}
+	if *showFlow {
+		fmt.Println("\nfabrication flow:")
+		res := design.Plan.Run()
+		for _, e := range res.Events {
+			fmt.Println(" ", e)
+		}
+		fmt.Printf("total: %d spacers, %d litho/doping passes (Φ)\n",
+			design.Plan.N(), res.LithoSteps)
+	}
+}
+
+func parseObjective(s string) (core.Objective, error) {
+	switch s {
+	case "area":
+		return core.MinBitArea, nil
+	case "yield":
+		return core.MaxYield, nil
+	case "phi":
+		return core.MinPhi, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q (want area, yield or phi)", s)
+	}
+}
+
+func printMatrix(m [][]int64) {
+	for _, row := range m {
+		fmt.Print(" ")
+		for _, v := range row {
+			fmt.Printf(" %5d", v)
+		}
+		fmt.Println()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nwdecoder:", err)
+	os.Exit(1)
+}

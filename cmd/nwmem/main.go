@@ -1,0 +1,99 @@
+// Command nwmem operates a simulated MSPT crossbar memory like a memory
+// controller would: it fabricates the array (Monte-Carlo), discovers the
+// defective wires with a functional March C- test, builds the
+// defect-avoiding logical address space, and stores/retrieves user data
+// through the Hamming-ECC layer. The defect map can be dumped as JSON.
+//
+// Usage:
+//
+//	nwmem [-code tc|gc|bgc|hc|ahc] [-length M] [-seed S]
+//	      [-data "text to store"] [-faults N] [-dumpmap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/crossbar"
+	"nwdec/internal/stats"
+)
+
+func main() {
+	var (
+		typeName = flag.String("code", "bgc", "code family: tc, gc, bgc, hc, ahc")
+		length   = flag.Int("length", 0, "code length M (default 10 tree-based, 6 hot)")
+		seed     = flag.Uint64("seed", 2009, "fabrication seed")
+		data     = flag.String("data", "Decoding nanowire arrays with the MSPT.", "payload to store through the ECC layer")
+		faults   = flag.Int("faults", 8, "soft single-bit faults to inject before readback")
+		dumpMap  = flag.Bool("dumpmap", false, "dump the March-test defect map as JSON and exit")
+	)
+	flag.Parse()
+
+	tp, err := code.ParseType(*typeName)
+	if err != nil {
+		fail(err)
+	}
+	design, err := core.NewDesign(core.Config{CodeType: tp, CodeLength: *length})
+	if err != nil {
+		fail(err)
+	}
+	rng := stats.NewRNG(*seed)
+	mem, err := design.Fabricate(rng)
+	if err != nil {
+		fail(err)
+	}
+	rows, cols := mem.Size()
+	fmt.Fprintf(os.Stderr, "fabricated %dx%d crossbar (%s, M=%d), usable %.1f%%\n",
+		rows, cols, tp, design.Config.CodeLength, 100*mem.UsableFraction())
+
+	// Manufacturing test: discover defects functionally.
+	marchFaults := crossbar.MarchCMinus(mem)
+	dm, err := crossbar.DefectMapFromFaults(marchFaults, rows, cols)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "March C-: %d faulty crosspoints -> %d bad rows, %d bad columns\n",
+		len(marchFaults), len(dm.BadRows), len(dm.BadCols))
+	if *dumpMap {
+		if err := dm.Write(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	lm := crossbar.NewLogicalMemory(mem)
+	ecc := crossbar.NewECCMemory(lm)
+	fmt.Fprintf(os.Stderr, "logical capacity: %d bits, ECC capacity: %d bytes\n",
+		lm.Capacity(), ecc.CapacityBytes())
+
+	payload := []byte(*data)
+	if len(payload) > ecc.CapacityBytes() {
+		fail(fmt.Errorf("payload of %d bytes exceeds ECC capacity %d", len(payload), ecc.CapacityBytes()))
+	}
+	if err := ecc.StoreBytes(0, payload); err != nil {
+		fail(err)
+	}
+	for i := 0; i < *faults; i++ {
+		bit := rng.Intn(14 * len(payload))
+		if err := ecc.FlipRawBit(bit); err != nil {
+			fail(err)
+		}
+	}
+	back, err := ecc.LoadBytes(0, len(payload))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "injected %d soft faults, ECC corrected %d\n", *faults, ecc.Corrected())
+	fmt.Printf("%s\n", back)
+	if string(back) != string(payload) {
+		fail(fmt.Errorf("payload corrupted after readback"))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nwmem:", err)
+	os.Exit(1)
+}

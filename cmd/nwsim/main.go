@@ -1,0 +1,69 @@
+// Command nwsim regenerates the paper's evaluation: every figure of Sec. 6
+// plus the headline summary and a Monte-Carlo validation of the statistical
+// platform.
+//
+// Usage:
+//
+//	nwsim [-exp fig5|fig6|fig7|fig8|headline|montecarlo|all]
+//	      [-wires N] [-rawbits D] [-sigma V] [-margin F] [-trials T] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwdec/internal/experiments"
+	"nwdec/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: fig5, fig6, fig7, fig8, headline, montecarlo, all")
+		wires   = flag.Int("wires", 0, "nanowires per half cave (default: paper platform, 20)")
+		rawBits = flag.Int("rawbits", 0, "raw crosspoint count D_RAW (default 16384)")
+		sigma   = flag.Float64("sigma", 0, "per-dose threshold deviation in volts (default 0.05)")
+		margin  = flag.Float64("margin", 0, "margin factor relative to half the level spacing (default 1.0)")
+		trials  = flag.Int("trials", 4, "Monte-Carlo repetitions for the validation experiment")
+		seed    = flag.Uint64("seed", 2009, "Monte-Carlo seed")
+		md      = flag.Bool("markdown", false, "emit the full reproduction report as Markdown instead")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	r.MCTrials = *trials
+	r.Seed = *seed
+	if *wires > 0 {
+		if r.Cfg.Spec.RawBits == 0 {
+			r.Cfg = r.Cfg.WithDefaults()
+		}
+		r.Cfg.Spec.HalfCaveWires = *wires
+	}
+	if *rawBits > 0 {
+		if r.Cfg.Spec.RawBits == 0 {
+			r.Cfg = r.Cfg.WithDefaults()
+		}
+		r.Cfg.Spec.RawBits = *rawBits
+	}
+	r.Cfg.SigmaT = *sigma
+	r.Cfg.MarginFactor = *margin
+
+	var out string
+	var err error
+	if *md {
+		opt := report.DefaultOptions()
+		opt.Cfg = r.Cfg
+		opt.MCTrials = *trials
+		opt.Seed = *seed
+		out, err = report.Generate(opt)
+	} else if *exp == "all" {
+		out, err = r.RunAll()
+	} else {
+		out, err = r.Run(*exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

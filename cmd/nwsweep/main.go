@@ -1,0 +1,100 @@
+// Command nwsweep evaluates the decoder design space over parameter grids
+// and emits tidy CSV for downstream analysis — the batch scientific-tooling
+// front end of the library.
+//
+// Usage:
+//
+//	nwsweep [-types tc,gc,bgc,hc,ahc] [-lengths 4,6,8,10]
+//	        [-sigmas 0.05] [-margins 1.0] [-wires 20] > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/sweep"
+)
+
+func main() {
+	var (
+		typesArg   = flag.String("types", "", "comma-separated code families (default: all)")
+		lengthsArg = flag.String("lengths", "", "comma-separated code lengths (default: 4,6,8,10)")
+		sigmasArg  = flag.String("sigmas", "", "comma-separated per-dose sigmas in volts (default: 0.05)")
+		marginsArg = flag.String("margins", "", "comma-separated margin factors (default: 1.0)")
+		wiresArg   = flag.String("wires", "", "comma-separated half-cave populations (default: 20)")
+	)
+	flag.Parse()
+
+	grid := sweep.Grid{}
+	var err error
+	if *typesArg != "" {
+		for _, s := range strings.Split(*typesArg, ",") {
+			tp, err := code.ParseType(s)
+			if err != nil {
+				fail(err)
+			}
+			grid.Types = append(grid.Types, tp)
+		}
+	}
+	if grid.Lengths, err = parseInts(*lengthsArg); err != nil {
+		fail(err)
+	}
+	if grid.HalfCaveWires, err = parseInts(*wiresArg); err != nil {
+		fail(err)
+	}
+	if grid.SigmaTs, err = parseFloats(*sigmasArg); err != nil {
+		fail(err)
+	}
+	if grid.MarginFactors, err = parseFloats(*marginsArg); err != nil {
+		fail(err)
+	}
+
+	rows, err := sweep.Run(core.Config{}, grid)
+	if err != nil {
+		fail(err)
+	}
+	if err := sweep.WriteCSV(os.Stdout, rows); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "nwsweep: %d design points\n", len(rows))
+}
+
+func parseInts(arg string) ([]int, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(arg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(arg string) ([]float64, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(arg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid number %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nwsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package nwdec is a production-quality Go reproduction of "Decoding
+// Nanowire Arrays Fabricated with the Multi-Spacer Patterning Technique"
+// (Ben Jamaa, Leblebici, De Micheli — DAC 2009).
+//
+// The library lives under internal/ (code, physics, mspt, geometry, yield,
+// crossbar, readout, core, experiments, report, sweep, stats, textplot,
+// viz); the root package carries the repository-level test and benchmark
+// harness: integration tests across the full design-fabricate-operate
+// pipeline, CLI smoke tests, and one benchmark per figure of the paper's
+// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package nwdec

@@ -1,0 +1,100 @@
+// Codecompare walks through the paper's worked example (Sec. 4-5): a ternary
+// half cave with three nanowires and four doping regions, first with the
+// tree-code patterns of Example 1 and then with the Gray patterns of
+// Example 5, printing every matrix (P, V, D, S, ν) and both cost functions.
+// It then compares all five code families on the full platform.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/mspt"
+	"nwdec/internal/physics"
+	"nwdec/internal/textplot"
+)
+
+func main() {
+	q := physics.PaperExampleQuantizer()
+	doses, err := mspt.DoseLevels(q, 1e18) // matrices in 10^18 cm^-3 units
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tree := []code.Word{
+		code.FromDigits(0, 1, 2, 1),
+		code.FromDigits(0, 2, 2, 0),
+		code.FromDigits(1, 0, 1, 2),
+	}
+	gray := []code.Word{
+		code.FromDigits(0, 1, 2, 1),
+		code.FromDigits(0, 2, 2, 0),
+		code.FromDigits(1, 2, 1, 0),
+	}
+	for _, c := range []struct {
+		name    string
+		pattern []code.Word
+	}{
+		{"tree code (paper Examples 1-4)", tree},
+		{"Gray code (paper Examples 5-6)", gray},
+	} {
+		plan, err := mspt.NewPlan(c.pattern, 3, doses)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", c.name)
+		show(plan, q)
+		fmt.Println()
+	}
+
+	// Full-platform comparison of all five families at one length each.
+	tb := textplot.NewTable("full 16 kbit platform, best length per family",
+		"code", "M", "Φ", "yield", "bit area [nm²]")
+	for _, tp := range code.AllTypes() {
+		m := 10
+		if !tp.Reflected() {
+			m = 6
+		}
+		d, err := core.NewDesign(core.Config{CodeType: tp, CodeLength: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRowf(tp.String(), m, d.Phi,
+			fmt.Sprintf("%.1f%%", 100*d.Yield()), d.BitArea())
+	}
+	fmt.Print(tb.String())
+}
+
+func show(plan *mspt.Plan, q *physics.Quantizer) {
+	fmt.Println("pattern matrix P:")
+	for _, w := range plan.Pattern() {
+		fmt.Printf("  %s", w)
+		fmt.Print("   VT:")
+		for _, d := range w {
+			fmt.Printf(" %.1fV", q.VTOf(d))
+		}
+		fmt.Println()
+	}
+	fmt.Println("final doping D [10^18 cm^-3]:")
+	printI64(plan.D())
+	fmt.Println("step doping S [10^18 cm^-3]:")
+	printI64(plan.S())
+	fmt.Println("dose counts ν (Σ = σ_T²·ν):")
+	for _, row := range plan.Nu() {
+		fmt.Printf("  %v\n", row)
+	}
+	fmt.Printf("fabrication complexity Φ = %d (per step: %v)\n", plan.Phi(), plan.PhiPerStep())
+	fmt.Printf("‖Σ‖₁ = %d·σ_T²\n", plan.NuSum())
+}
+
+func printI64(m [][]int64) {
+	for _, row := range m {
+		fmt.Print(" ")
+		for _, v := range row {
+			fmt.Printf(" %3d", v)
+		}
+		fmt.Println()
+	}
+}

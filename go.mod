@@ -1,0 +1,3 @@
+module nwdec
+
+go 1.22

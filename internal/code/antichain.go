@@ -1,0 +1,67 @@
+package code
+
+import "fmt"
+
+// DominatedBy reports whether w <= v digit-wise. In the decoder's conduction
+// model a nanowire with pattern w conducts under the address of word v
+// exactly when w is dominated by v: every transistor's threshold level is at
+// or below the driven gate level.
+func (w Word) DominatedBy(v Word) bool {
+	if len(w) != len(v) {
+		return false
+	}
+	for i := range w {
+		if w[i] > v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAntichain reports whether no word of the set dominates another — the
+// exact structural condition for unique addressability: when the words of a
+// contact group form an antichain under digit-wise <=, driving the band
+// edges of any word conducts that nanowire and no other.
+//
+// Reflected words (Sec. 2.3) and fixed-composition hot-code words both
+// satisfy this by construction; IsAntichain makes the property checkable
+// for arbitrary pattern sets (e.g. after manual edits or code repairs).
+func IsAntichain(words []Word) bool {
+	for i, a := range words {
+		for j, b := range words {
+			if i != j && a.DominatedBy(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FirstDomination returns the first (i, j) pair with words[i] dominated by
+// words[j] (i != j), or (-1, -1) when the set is an antichain. It is the
+// diagnostic counterpart of IsAntichain.
+func FirstDomination(words []Word) (int, int) {
+	for i, a := range words {
+		for j, b := range words {
+			if i != j && a.DominatedBy(b) {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// VerifyAddressable checks that a generated sequence can serve as the
+// pattern set of one contact group: words are structurally valid (uniform
+// length, digits within base, distinct) and form an antichain. It returns a
+// descriptive error identifying the offending pair otherwise.
+func VerifyAddressable(words []Word, base, length int) error {
+	if err := Validate(words, base, length); err != nil {
+		return err
+	}
+	if i, j := FirstDomination(words); i >= 0 {
+		return fmt.Errorf("code: word %d (%v) is dominated by word %d (%v): address %v would conduct both",
+			i, words[i], j, words[j], words[j])
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package code
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDominatedBy(t *testing.T) {
+	if !FromDigits(0, 1, 0).DominatedBy(FromDigits(0, 1, 1)) {
+		t.Error("clear domination missed")
+	}
+	if !FromDigits(0, 1).DominatedBy(FromDigits(0, 1)) {
+		t.Error("equality is domination")
+	}
+	if FromDigits(1, 0).DominatedBy(FromDigits(0, 1)) {
+		t.Error("incomparable words reported dominated")
+	}
+	if FromDigits(0, 1).DominatedBy(FromDigits(0, 1, 1)) {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestReflectedWordsFormAntichain(t *testing.T) {
+	// The theoretical core of the reflected form: any set of distinct
+	// reflected words is an antichain, for every base and length.
+	for _, cfg := range []struct{ base, m int }{{2, 8}, {3, 6}, {4, 4}} {
+		for _, mk := range []func(int, int) (Generator, error){
+			func(b, m int) (Generator, error) { return NewTree(b, m) },
+			func(b, m int) (Generator, error) { return NewGray(b, m) },
+		} {
+			g, err := mk(cfg.base, cfg.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			words, err := g.Sequence(g.SpaceSize())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyAddressable(words, cfg.base, cfg.m); err != nil {
+				t.Errorf("%v base %d M %d: %v", g.Type(), cfg.base, cfg.m, err)
+			}
+		}
+	}
+}
+
+func TestHotWordsFormAntichain(t *testing.T) {
+	for _, cfg := range []struct{ base, m int }{{2, 6}, {2, 8}, {3, 6}} {
+		h, _ := NewHot(cfg.base, cfg.m)
+		words, err := h.Sequence(h.SpaceSize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsAntichain(words) {
+			t.Errorf("HC(n=%d, M=%d) words are not an antichain", cfg.base, cfg.m)
+		}
+	}
+}
+
+func TestNonReflectedTreeWordsAreNotAntichain(t *testing.T) {
+	// The counter-example motivating reflection: raw counting words
+	// dominate each other (0000 <= 0001 <= ...).
+	words := []Word{
+		FromDigits(0, 0, 0, 0),
+		FromDigits(0, 0, 0, 1),
+		FromDigits(0, 0, 1, 1),
+	}
+	if IsAntichain(words) {
+		t.Error("raw counting words wrongly accepted as antichain")
+	}
+	i, j := FirstDomination(words)
+	if i != 0 || j != 1 {
+		t.Errorf("FirstDomination = (%d, %d), want (0, 1)", i, j)
+	}
+	if err := VerifyAddressable(words, 2, 4); err == nil {
+		t.Error("VerifyAddressable accepted a dominated set")
+	}
+}
+
+func TestFirstDominationAntichain(t *testing.T) {
+	words := []Word{FromDigits(0, 1), FromDigits(1, 0)}
+	if i, j := FirstDomination(words); i != -1 || j != -1 {
+		t.Errorf("antichain returned (%d, %d)", i, j)
+	}
+}
+
+func TestBGCAndAHCAddressableProperty(t *testing.T) {
+	f := func(countRaw uint8) bool {
+		count := int(countRaw%18) + 2 // AHC(6,3) space holds 20 words
+		b, _ := NewBalancedGray(2, 10)
+		a, _ := NewArrangedHot(2, 6)
+		bw, err1 := b.Sequence(count)
+		aw, err2 := a.Sequence(count)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return VerifyAddressable(bw, 2, 10) == nil && VerifyAddressable(aw, 2, 6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflectionCreatesAntichainProperty(t *testing.T) {
+	// Reflecting any set of distinct base words yields an antichain.
+	f := func(raw []uint8, baseRaw uint8) bool {
+		base := int(baseRaw%3) + 2
+		const l = 4
+		seen := map[string]bool{}
+		var words []Word
+		for i := 0; i+l <= len(raw) && len(words) < 12; i += l {
+			w := make(Word, l)
+			for j := 0; j < l; j++ {
+				w[j] = int(raw[i+j]) % base
+			}
+			if seen[w.Key()] {
+				continue
+			}
+			seen[w.Key()] = true
+			words = append(words, w.Reflect(base))
+		}
+		return IsAntichain(words)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

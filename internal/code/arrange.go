@@ -1,0 +1,134 @@
+package code
+
+// This file generalizes the paper's Gray-arrangement idea to *arbitrary*
+// word sets: given any collection of code words (a legacy assignment, a
+// randomly sampled subset, a space with no closed-form Gray path), find an
+// ordering that minimizes the decoder variability contribution
+//
+//	WeightedTransitionCost = Σ_k Hamming(w_k, w_{k+1}) · (k+1)
+//
+// which is exactly the arrangement-dependent part of ‖Σ‖₁ (the fixed part
+// is N·M from the final doping step). The weight (k+1) reflects the MSPT
+// cumulative-doping physics: a transition between late-defined spacers
+// doses every earlier spacer, so expensive (multi-digit) transitions belong
+// at the *start* of the definition order.
+
+// WeightedTransitionCost returns Σ_k Hamming(w_k, w_{k+1})·(k+1), the
+// arrangement-dependent part of ‖Σ‖₁/σ_T². Lower is better.
+func WeightedTransitionCost(words []Word) int {
+	cost := 0
+	for k := 0; k+1 < len(words); k++ {
+		cost += words[k].Hamming(words[k+1]) * (k + 1)
+	}
+	return cost
+}
+
+// ArrangementLowerBound returns a lower bound on WeightedTransitionCost for
+// any ordering of a word set in which all pairwise distances are at least
+// minStep (2 for reflected and fixed-composition words, 1 otherwise):
+// every step costs at least minStep·(k+1).
+func ArrangementLowerBound(n, minStep int) int {
+	if n < 2 {
+		return 0
+	}
+	// Σ_{k=1..n-1} minStep·k
+	return minStep * (n - 1) * n / 2
+}
+
+// OptimizeArrangement reorders the word set to (approximately) minimize
+// WeightedTransitionCost: a deterministic greedy nearest-neighbour
+// construction followed by budgeted 2-opt segment reversals. The input is
+// not modified; the returned slice holds the same words in the optimized
+// order.
+func OptimizeArrangement(words []Word, budget int) []Word {
+	n := len(words)
+	if n < 3 {
+		return CloneWords(words)
+	}
+	if budget <= 0 {
+		budget = 10000
+	}
+	order := greedyArrangement(words)
+
+	// 2-opt: reversing the segment (i..j) changes the two boundary
+	// transitions and re-weights the transitions inside the segment.
+	cost := weightedCostOrdered(words, order)
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+		for i := 0; i < n-1 && budget > 0; i++ {
+			for j := i + 1; j < n && budget > 0; j++ {
+				budget--
+				reverseSegment(order, i, j)
+				if c := weightedCostOrdered(words, order); c < cost {
+					cost = c
+					improved = true
+				} else {
+					reverseSegment(order, i, j) // undo
+				}
+			}
+		}
+	}
+	out := make([]Word, n)
+	for k, idx := range order {
+		out[k] = words[idx].Clone()
+	}
+	return out
+}
+
+// greedyArrangement builds an index order: start at the word with the
+// largest total distance to all others (expensive words belong early where
+// weights are small), then repeatedly append the unused word nearest to the
+// current end (ties: smallest index, keeping the result deterministic).
+func greedyArrangement(words []Word) []int {
+	n := len(words)
+	used := make([]bool, n)
+	start := 0
+	bestSpread := -1
+	for i := range words {
+		spread := 0
+		for j := range words {
+			if i != j {
+				spread += words[i].Hamming(words[j])
+			}
+		}
+		if spread > bestSpread {
+			bestSpread = spread
+			start = i
+		}
+	}
+	order := []int{start}
+	used[start] = true
+	for len(order) < n {
+		cur := order[len(order)-1]
+		next, bestD := -1, int(^uint(0)>>1)
+		for i := range words {
+			if used[i] {
+				continue
+			}
+			if d := words[cur].Hamming(words[i]); d < bestD {
+				bestD = d
+				next = i
+			}
+		}
+		order = append(order, next)
+		used[next] = true
+	}
+	return order
+}
+
+func weightedCostOrdered(words []Word, order []int) int {
+	cost := 0
+	for k := 0; k+1 < len(order); k++ {
+		cost += words[order[k]].Hamming(words[order[k+1]]) * (k + 1)
+	}
+	return cost
+}
+
+func reverseSegment(order []int, i, j int) {
+	for i < j {
+		order[i], order[j] = order[j], order[i]
+		i++
+		j--
+	}
+}

@@ -1,0 +1,142 @@
+package code
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nwdec/internal/stats"
+)
+
+func TestWeightedTransitionCost(t *testing.T) {
+	words := []Word{
+		FromDigits(0, 0), FromDigits(0, 1), FromDigits(1, 0),
+	}
+	// step 0: d=1, weight 1; step 1: d=2, weight 2 -> 5.
+	if got := WeightedTransitionCost(words); got != 5 {
+		t.Errorf("cost = %d, want 5", got)
+	}
+	if WeightedTransitionCost(nil) != 0 || WeightedTransitionCost(words[:1]) != 0 {
+		t.Error("degenerate costs should be 0")
+	}
+}
+
+func TestArrangementLowerBound(t *testing.T) {
+	if got := ArrangementLowerBound(20, 2); got != 2*19*20/2 {
+		t.Errorf("bound = %d", got)
+	}
+	if ArrangementLowerBound(1, 2) != 0 {
+		t.Error("single word bound should be 0")
+	}
+}
+
+func TestGrayAchievesLowerBound(t *testing.T) {
+	// Reflected Gray words have every step at exactly 2 changes — the
+	// distance minimum — so they meet the arrangement lower bound exactly.
+	g, _ := NewGray(2, 10)
+	words, err := g.Sequence(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ArrangementLowerBound(20, 2)
+	if got := WeightedTransitionCost(words); got != want {
+		t.Errorf("Gray cost %d, lower bound %d", got, want)
+	}
+}
+
+func TestOptimizeArrangementImprovesRandomOrder(t *testing.T) {
+	// Take the BGC's word set, shuffle it, and check the optimizer
+	// recovers (nearly) the lower-bound cost.
+	b, _ := NewBalancedGray(2, 10)
+	words, err := b.Sequence(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(123)
+	shuffled := make([]Word, len(words))
+	for i, p := range rng.Perm(len(words)) {
+		shuffled[i] = words[p]
+	}
+	before := WeightedTransitionCost(shuffled)
+	optimized := OptimizeArrangement(shuffled, 0)
+	after := WeightedTransitionCost(optimized)
+	bound := ArrangementLowerBound(len(words), 2)
+	if after >= before {
+		t.Errorf("optimizer did not improve: %d -> %d", before, after)
+	}
+	if after > bound*3/2 {
+		t.Errorf("optimized cost %d far above lower bound %d", after, bound)
+	}
+	// Same multiset of words.
+	if err := Validate(optimized, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool)
+	for _, w := range words {
+		set[w.Key()] = true
+	}
+	for _, w := range optimized {
+		if !set[w.Key()] {
+			t.Fatalf("optimizer invented word %v", w)
+		}
+	}
+}
+
+func TestOptimizeArrangementDoesNotMutateInput(t *testing.T) {
+	words := []Word{
+		FromDigits(0, 0), FromDigits(1, 1), FromDigits(0, 1), FromDigits(1, 0),
+	}
+	snapshot := CloneWords(words)
+	OptimizeArrangement(words, 100)
+	for i := range words {
+		if !words[i].Equal(snapshot[i]) {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestOptimizeArrangementSmallInputs(t *testing.T) {
+	if got := OptimizeArrangement(nil, 10); len(got) != 0 {
+		t.Error("empty input mishandled")
+	}
+	two := []Word{FromDigits(0), FromDigits(1)}
+	if got := OptimizeArrangement(two, 10); len(got) != 2 {
+		t.Error("two-word input mishandled")
+	}
+}
+
+func TestOptimizeArrangementDeterministic(t *testing.T) {
+	h, _ := NewHot(2, 8)
+	words, _ := h.Sequence(20)
+	a := OptimizeArrangement(words, 5000)
+	b := OptimizeArrangement(words, 5000)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("optimizer not deterministic")
+		}
+	}
+}
+
+func TestOptimizeArrangementNeverWorseProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%12) + 4 // space size is 16
+		tc, err := NewTree(2, 8)
+		if err != nil {
+			return false
+		}
+		full, err := tc.Sequence(tc.SpaceSize())
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRNG(seed)
+		perm := rng.Perm(len(full))
+		words := make([]Word, n)
+		for i := 0; i < n; i++ {
+			words[i] = full[perm[i]]
+		}
+		opt := OptimizeArrangement(words, 2000)
+		return WeightedTransitionCost(opt) <= WeightedTransitionCost(words)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

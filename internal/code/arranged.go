@@ -1,0 +1,164 @@
+package code
+
+import "fmt"
+
+// ArrangedHot is the arranged hot code AHC: the words of the hot code
+// HC(M, k) re-ordered in a Gray-code fashion so that successive words differ
+// in the minimum possible number of digits. Because the value counts of a
+// hot-code word are fixed, a single-digit change is impossible; the minimum
+// is two digits (one transposition), and Sec. 5.2 of the paper reports that
+// such an arrangement always exists for the space sizes relevant to
+// nanowire arrays.
+//
+// The arrangement is found by deterministic backtracking with per-digit
+// usage balancing (the same secondary objective as the balanced Gray code),
+// so the AHC inherits both the minimal transition count and an even spread
+// of doses across mesowire columns.
+type ArrangedHot struct {
+	hot *Hot
+
+	// SearchBudget bounds the number of DFS nodes explored per search.
+	SearchBudget int
+
+	cache map[int][]Word
+}
+
+// NewArrangedHot returns the arranged hot code with word length M over the
+// given base.
+func NewArrangedHot(base, length int) (*ArrangedHot, error) {
+	h, err := NewHot(base, length)
+	if err != nil {
+		return nil, err
+	}
+	return &ArrangedHot{
+		hot:          h,
+		SearchBudget: DefaultBGCSearchBudget,
+		cache:        make(map[int][]Word),
+	}, nil
+}
+
+// Type implements Generator.
+func (a *ArrangedHot) Type() Type { return TypeArrangedHot }
+
+// Base implements Generator.
+func (a *ArrangedHot) Base() int { return a.hot.base }
+
+// Length implements Generator.
+func (a *ArrangedHot) Length() int { return a.hot.length }
+
+// K returns the multiplicity k of the underlying hot code.
+func (a *ArrangedHot) K() int { return a.hot.k }
+
+// SpaceSize implements Generator.
+func (a *ArrangedHot) SpaceSize() int { return a.hot.SpaceSize() }
+
+// Sequence implements Generator: the first count words of a minimal-
+// transition arrangement of the hot-code space.
+func (a *ArrangedHot) Sequence(count int) ([]Word, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("code: negative word count %d", count)
+	}
+	if count > a.SpaceSize() {
+		return nil, fmt.Errorf("%w: arranged hot code (M=%d, k=%d, n=%d) has %d words, requested %d",
+			ErrCountExceedsSpace, a.hot.length, a.hot.k, a.hot.base, a.SpaceSize(), count)
+	}
+	if cached, ok := a.cache[count]; ok {
+		return cloneWords(cached), nil
+	}
+	words := a.search(count)
+	a.cache[count] = words
+	return cloneWords(words), nil
+}
+
+// search finds count distinct hot-code words where successive words differ
+// by exactly one transposition. It falls back to the lexicographic hot-code
+// order if the budgeted search fails (which does not happen for the spaces
+// the paper considers; the fallback keeps the API total).
+func (a *ArrangedHot) search(count int) []Word {
+	if count == 0 {
+		return nil
+	}
+	// Canonical start: the lexicographically smallest word 0^k 1^k ... .
+	start := make(Word, a.hot.length)
+	for i := range start {
+		start[i] = i / a.hot.k
+	}
+	if count == 1 {
+		return []Word{start}
+	}
+	s := &ahcSearch{
+		hot:     a.hot,
+		count:   count,
+		budget:  a.SearchBudget,
+		visited: map[string]bool{start.Key(): true},
+		usage:   make([]int, a.hot.length),
+		path:    []Word{start},
+	}
+	if s.dfs() {
+		return s.path
+	}
+	words, err := a.hot.Sequence(count)
+	if err != nil {
+		// count was validated against the space size already.
+		panic("code: hot fallback failed: " + err.Error())
+	}
+	return words
+}
+
+type ahcSearch struct {
+	hot     *Hot
+	count   int
+	budget  int
+	visited map[string]bool
+	usage   []int // how often each position changed so far
+	path    []Word
+}
+
+func (s *ahcSearch) dfs() bool {
+	if len(s.path) == s.count {
+		return true
+	}
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	cur := s.path[len(s.path)-1]
+	// Candidate moves: swap the values at two positions holding different
+	// digits. Prefer position pairs with the lowest combined usage so the
+	// transitions spread across columns.
+	type move struct{ i, j, cost int }
+	var moves []move
+	for i := 0; i < len(cur); i++ {
+		for j := i + 1; j < len(cur); j++ {
+			if cur[i] != cur[j] {
+				moves = append(moves, move{i, j, s.usage[i] + s.usage[j]})
+			}
+		}
+	}
+	// Stable insertion sort by cost keeps the search deterministic.
+	for i := 1; i < len(moves); i++ {
+		for k := i; k > 0 && moves[k].cost < moves[k-1].cost; k-- {
+			moves[k], moves[k-1] = moves[k-1], moves[k]
+		}
+	}
+	for _, m := range moves {
+		cur[m.i], cur[m.j] = cur[m.j], cur[m.i]
+		key := cur.Key()
+		if !s.visited[key] {
+			s.visited[key] = true
+			s.usage[m.i]++
+			s.usage[m.j]++
+			s.path = append(s.path, cur.Clone())
+			if s.dfs() {
+				cur[m.i], cur[m.j] = cur[m.j], cur[m.i]
+				return true
+			}
+			s.path = s.path[:len(s.path)-1]
+			s.usage[m.i]--
+			s.usage[m.j]--
+			delete(s.visited, key)
+		}
+		cur[m.i], cur[m.j] = cur[m.j], cur[m.i]
+	}
+	return false
+}

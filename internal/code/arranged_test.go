@@ -1,0 +1,143 @@
+package code
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArrangedHotMinimalTransitions(t *testing.T) {
+	// Paper Sec 5.2: the minimum number of transitions between successive
+	// hot-code words is 2, and a Gray-fashion arrangement always exists for
+	// the space sizes relevant to nanowire arrays.
+	for _, cfg := range []struct{ base, m int }{{2, 4}, {2, 6}, {2, 8}, {3, 6}} {
+		a, err := NewArrangedHot(cfg.base, cfg.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 20
+		if n > a.SpaceSize() {
+			n = a.SpaceSize()
+		}
+		words, err := a.Sequence(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(words, cfg.base, cfg.m); err != nil {
+			t.Fatalf("n=%d M=%d: %v", cfg.base, cfg.m, err)
+		}
+		h, _ := NewHot(cfg.base, cfg.m)
+		for _, w := range words {
+			if !h.Contains(w) {
+				t.Fatalf("n=%d M=%d: word %v leaves the hot-code space", cfg.base, cfg.m, w)
+			}
+		}
+		for i, tr := range Transitions(words) {
+			if tr != 2 {
+				t.Fatalf("n=%d M=%d step %d: %d transitions, want 2", cfg.base, cfg.m, i, tr)
+			}
+		}
+	}
+}
+
+func TestArrangedHotFullSpaceHamiltonianSmall(t *testing.T) {
+	// Exhaustive arrangement over the whole HC(4,2) space (6 words): the
+	// paper's "exhaustive algorithm for ... code space size <= 100".
+	a, _ := NewArrangedHot(2, 4)
+	words, err := a.Sequence(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Distinct(words) || len(words) != 6 {
+		t.Fatalf("full arrangement invalid: %v", words)
+	}
+	if !IsGraySequence(words, 2) {
+		t.Error("full arrangement not minimal-transition")
+	}
+}
+
+func TestArrangedHotFullSpaceMedium(t *testing.T) {
+	// HC(6,3): 20 words, full Hamiltonian arrangement.
+	a, _ := NewArrangedHot(2, 6)
+	words, err := a.Sequence(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 20 || !Distinct(words) {
+		t.Fatal("full HC(6,3) arrangement invalid")
+	}
+	for i, tr := range Transitions(words) {
+		if tr != 2 {
+			t.Fatalf("step %d has %d transitions", i, tr)
+		}
+	}
+}
+
+func TestArrangedHotBeatsLexicographicBalance(t *testing.T) {
+	// The arranged order must not have more total transitions than the
+	// lexicographic hot code for the same word count.
+	h, _ := NewHot(2, 8)
+	a, _ := NewArrangedHot(2, 8)
+	hw, err := h.Sequence(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := a.Sequence(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalTransitions(aw) > TotalTransitions(hw) {
+		t.Errorf("AHC transitions %d exceed HC %d", TotalTransitions(aw), TotalTransitions(hw))
+	}
+}
+
+func TestArrangedHotStartsCanonical(t *testing.T) {
+	a, _ := NewArrangedHot(2, 6)
+	words, _ := a.Sequence(1)
+	if words[0].String() != "000111" {
+		t.Errorf("start word = %s, want 000111", words[0])
+	}
+}
+
+func TestArrangedHotDeterministicAndCached(t *testing.T) {
+	a, _ := NewArrangedHot(2, 6)
+	w1, _ := a.Sequence(15)
+	w2, _ := a.Sequence(15)
+	for i := range w1 {
+		if !w1[i].Equal(w2[i]) {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	w1[3][0] = 9
+	w3, _ := a.Sequence(15)
+	if w3[3][0] == 9 {
+		t.Error("cache leaked mutable words")
+	}
+}
+
+func TestArrangedHotValidation(t *testing.T) {
+	if _, err := NewArrangedHot(2, 5); err == nil {
+		t.Error("bad length accepted")
+	}
+	a, _ := NewArrangedHot(2, 4)
+	if _, err := a.Sequence(7); !errors.Is(err, ErrCountExceedsSpace) {
+		t.Error("oversize request accepted")
+	}
+	if _, err := a.Sequence(-2); err == nil {
+		t.Error("negative count accepted")
+	}
+	if w, err := a.Sequence(0); err != nil || len(w) != 0 {
+		t.Error("zero count mishandled")
+	}
+}
+
+func TestArrangedHotFallbackUnderZeroBudget(t *testing.T) {
+	a, _ := NewArrangedHot(2, 6)
+	a.SearchBudget = 0
+	words, err := a.Sequence(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(words, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package code
+
+import "fmt"
+
+// BalancedGray is the balanced Gray arrangement BGC (after Bhat & Savage):
+// a Gray sequence — successive base words differ in exactly one digit — in
+// which the digit transitions are additionally spread as evenly as possible
+// across the digit positions, targeting the paper's limit of at most two
+// changes per digit. Balancing flattens the variability matrix Σ: no single
+// mesowire column accumulates a disproportionate number of implantation
+// doses.
+//
+// The arrangement is found by deterministic backtracking over the Hamming
+// graph of the code space with an iteratively deepened per-digit change cap,
+// starting at the information-theoretic minimum ceil((count-1)/(M/2)). When
+// the search budget is exhausted the generator degrades gracefully to the
+// plain Gray arrangement, so Sequence never fails for feasible counts.
+type BalancedGray struct {
+	base   int
+	length int
+
+	// DigitChangeTarget is the preferred per-digit change cap; the paper
+	// sets it to 2. The search starts at the feasibility minimum and stops
+	// deepening once a sequence within max(target, minimum) is found.
+	DigitChangeTarget int
+
+	// SearchBudget bounds the number of DFS nodes explored per cap level.
+	SearchBudget int
+
+	cache map[int][]Word
+}
+
+// DefaultBGCSearchBudget is the per-cap node budget of the backtracking
+// search. The sequences needed by the paper's experiments (count <= 64,
+// M <= 12) resolve within a tiny fraction of it.
+const DefaultBGCSearchBudget = 2_000_000
+
+// NewBalancedGray returns the balanced Gray arrangement with total
+// (reflected) word length M.
+func NewBalancedGray(base, length int) (*BalancedGray, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	if length < 2 || length%2 != 0 {
+		return nil, fmt.Errorf("code: reflected balanced Gray code needs even length >= 2, got %d", length)
+	}
+	return &BalancedGray{
+		base:              base,
+		length:            length,
+		DigitChangeTarget: 2,
+		SearchBudget:      DefaultBGCSearchBudget,
+		cache:             make(map[int][]Word),
+	}, nil
+}
+
+// Type implements Generator.
+func (b *BalancedGray) Type() Type { return TypeBalancedGray }
+
+// Base implements Generator.
+func (b *BalancedGray) Base() int { return b.base }
+
+// Length implements Generator.
+func (b *BalancedGray) Length() int { return b.length }
+
+// BaseLength returns the number of free digits M/2.
+func (b *BalancedGray) BaseLength() int { return b.length / 2 }
+
+// SpaceSize implements Generator: Ω = n^(M/2).
+func (b *BalancedGray) SpaceSize() int { return pow(b.base, b.BaseLength()) }
+
+// Sequence implements Generator. The returned words are reflected.
+func (b *BalancedGray) Sequence(count int) ([]Word, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("code: negative word count %d", count)
+	}
+	if count > b.SpaceSize() {
+		return nil, fmt.Errorf("%w: balanced Gray code base %d length %d has %d words, requested %d",
+			ErrCountExceedsSpace, b.base, b.length, b.SpaceSize(), count)
+	}
+	if cached, ok := b.cache[count]; ok {
+		return cloneWords(cached), nil
+	}
+	baseWords := b.searchBase(count)
+	words := make([]Word, count)
+	for i, w := range baseWords {
+		words[i] = w.Reflect(b.base)
+	}
+	b.cache[count] = words
+	return cloneWords(words), nil
+}
+
+// searchBase finds count distinct base words forming a Gray path with the
+// smallest achievable maximum per-digit change count.
+func (b *BalancedGray) searchBase(count int) []Word {
+	l := b.BaseLength()
+	if count == 0 {
+		return nil
+	}
+	start := make(Word, l)
+	if count == 1 {
+		return []Word{start}
+	}
+	minCap := (count - 2 + l) / l // ceil((count-1)/l)
+	maxCap := count - 1
+	for c := minCap; c <= maxCap; c++ {
+		s := &bgcSearch{
+			base:    b.base,
+			l:       l,
+			count:   count,
+			perDig:  c,
+			budget:  b.SearchBudget,
+			visited: map[string]bool{start.Key(): true},
+			usage:   make([]int, l),
+			path:    []Word{start},
+		}
+		if s.dfs() {
+			return s.path
+		}
+		if c >= b.DigitChangeTarget && c >= minCap+2 {
+			// Deepening further trades balance for search time with no
+			// benefit over the plain Gray fallback.
+			break
+		}
+	}
+	// Fallback: plain Gray arrangement (always a valid Gray path).
+	g := &Gray{base: b.base, length: b.length}
+	out := make([]Word, count)
+	for i := range out {
+		out[i] = g.BaseWord(i)
+	}
+	return out
+}
+
+type bgcSearch struct {
+	base    int
+	l       int
+	count   int
+	perDig  int // max allowed changes per digit position
+	budget  int
+	visited map[string]bool
+	usage   []int // per-digit change counts so far
+	path    []Word
+}
+
+func (s *bgcSearch) dfs() bool {
+	if len(s.path) == s.count {
+		return true
+	}
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	cur := s.path[len(s.path)-1]
+	// Visit digits with the lowest usage first so balance emerges greedily;
+	// ties break on digit index, then value, keeping the search
+	// deterministic.
+	order := digitOrder(s.usage)
+	for _, j := range order {
+		if s.usage[j] >= s.perDig {
+			continue
+		}
+		old := cur[j]
+		for v := 0; v < s.base; v++ {
+			if v == old {
+				continue
+			}
+			cur[j] = v
+			key := cur.Key()
+			if !s.visited[key] {
+				s.visited[key] = true
+				s.usage[j]++
+				s.path = append(s.path, cur.Clone())
+				if s.dfs() {
+					cur[j] = old
+					return true
+				}
+				s.path = s.path[:len(s.path)-1]
+				s.usage[j]--
+				delete(s.visited, key)
+			}
+		}
+		cur[j] = old
+	}
+	return false
+}
+
+// digitOrder returns digit indices sorted by ascending usage (stable on
+// index). Insertion sort keeps it allocation-light for the tiny l involved.
+func digitOrder(usage []int) []int {
+	order := make([]int, len(usage))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && usage[order[k]] < usage[order[k-1]]; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	return order
+}
+
+func cloneWords(ws []Word) []Word { return CloneWords(ws) }

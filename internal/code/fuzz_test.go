@@ -1,0 +1,40 @@
+package code
+
+import "testing"
+
+// FuzzParseWord hardens the word parser: any accepted string must
+// round-trip through String and stay within its base.
+func FuzzParseWord(f *testing.F) {
+	f.Add("00102212", 3)
+	f.Add("0011", 2)
+	f.Add("", 2)
+	f.Add("zz", 36)
+	f.Add("012", 10)
+	f.Fuzz(func(t *testing.T, s string, base int) {
+		if base < 2 || base > 36 {
+			base = 2 + (abs(base) % 35)
+		}
+		w, err := ParseWord(s, base)
+		if err != nil {
+			return
+		}
+		if !w.Valid(base) {
+			t.Fatalf("accepted word %v invalid for base %d", w, base)
+		}
+		back, err := ParseWord(w.String(), base)
+		if err != nil || !back.Equal(w) {
+			t.Fatalf("round trip failed for %q: %v, %v", s, back, err)
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		// Guard the minimum int, whose negation overflows.
+		if v == -v {
+			return 0
+		}
+		return -v
+	}
+	return v
+}

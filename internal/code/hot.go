@@ -1,0 +1,141 @@
+package code
+
+import "fmt"
+
+// Hot is the hot code HC(M, k) over n values: every word has M = k·n digits
+// and every value 0..n-1 occurs exactly k times. Hot codes are used directly
+// (not reflected); their space size is the multinomial coefficient
+// M! / (k!)^n. The canonical arrangement is lexicographic.
+type Hot struct {
+	base   int
+	length int
+	k      int
+}
+
+// NewHot returns the hot code with word length M over the given base;
+// M must be a positive multiple of the base (k = M/base).
+func NewHot(base, length int) (*Hot, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	if length <= 0 || length%base != 0 {
+		return nil, fmt.Errorf("code: hot code needs length divisible by base %d, got %d", base, length)
+	}
+	return &Hot{base: base, length: length, k: length / base}, nil
+}
+
+// Type implements Generator.
+func (h *Hot) Type() Type { return TypeHot }
+
+// Base implements Generator.
+func (h *Hot) Base() int { return h.base }
+
+// Length implements Generator.
+func (h *Hot) Length() int { return h.length }
+
+// K returns the multiplicity k: how many times each value appears per word.
+func (h *Hot) K() int { return h.k }
+
+// SpaceSize implements Generator: the multinomial M! / (k!)^n, saturating at
+// MaxInt for out-of-range parameters.
+func (h *Hot) SpaceSize() int {
+	return multinomial(h.length, h.base, h.k)
+}
+
+// Sequence implements Generator, returning words in lexicographic order.
+func (h *Hot) Sequence(count int) ([]Word, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("code: negative word count %d", count)
+	}
+	if count > h.SpaceSize() {
+		return nil, fmt.Errorf("%w: hot code (M=%d, k=%d, n=%d) has %d words, requested %d",
+			ErrCountExceedsSpace, h.length, h.k, h.base, h.SpaceSize(), count)
+	}
+	words := make([]Word, 0, count)
+	remaining := make([]int, h.base)
+	for v := range remaining {
+		remaining[v] = h.k
+	}
+	cur := make(Word, 0, h.length)
+	h.enumerate(&words, count, cur, remaining)
+	return words, nil
+}
+
+// enumerate appends words in lexicographic order until limit words are
+// collected. It reports whether the limit was reached.
+func (h *Hot) enumerate(out *[]Word, limit int, cur Word, remaining []int) bool {
+	if len(*out) >= limit {
+		return true
+	}
+	if len(cur) == h.length {
+		*out = append(*out, cur.Clone())
+		return len(*out) >= limit
+	}
+	for v := 0; v < h.base; v++ {
+		if remaining[v] == 0 {
+			continue
+		}
+		remaining[v]--
+		done := h.enumerate(out, limit, append(cur, v), remaining)
+		remaining[v]++
+		if done {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether w is a member of this hot-code space.
+func (h *Hot) Contains(w Word) bool {
+	if len(w) != h.length || !w.Valid(h.base) {
+		return false
+	}
+	for _, c := range w.Counts(h.base) {
+		if c != h.k {
+			return false
+		}
+	}
+	return true
+}
+
+// multinomial returns m! / (k!)^n computed without overflow for the small
+// parameters used by nanowire arrays, saturating at MaxInt otherwise.
+func multinomial(m, n, k int) int {
+	const maxInt = int(^uint(0) >> 1)
+	// Product of binomials: C(m, k) * C(m-k, k) * ... over n groups.
+	result := 1
+	rest := m
+	for g := 0; g < n; g++ {
+		c := binomial(rest, k)
+		if c == 0 {
+			return 0
+		}
+		if result > maxInt/c {
+			return maxInt
+		}
+		result *= c
+		rest -= k
+	}
+	return result
+}
+
+// binomial returns C(n, k), saturating at MaxInt.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	const maxInt = int(^uint(0) >> 1)
+	result := 1
+	for i := 1; i <= k; i++ {
+		// Multiply before divide stays exact because the running value is
+		// always a binomial coefficient.
+		if result > maxInt/(n-k+i) {
+			return maxInt
+		}
+		result = result * (n - k + i) / i
+	}
+	return result
+}

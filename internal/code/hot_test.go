@@ -1,0 +1,131 @@
+package code
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHotSpaceSizes(t *testing.T) {
+	cases := []struct{ base, m, want int }{
+		{2, 4, 6},  // C(4,2)
+		{2, 6, 20}, // C(6,3)
+		{2, 8, 70}, // C(8,4)
+		{3, 6, 90}, // 6!/(2!)^3
+		{3, 3, 6},  // 3! permutations
+		{4, 4, 24}, // 4!
+	}
+	for _, c := range cases {
+		h, err := NewHot(c.base, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := h.SpaceSize(); got != c.want {
+			t.Errorf("HC(n=%d, M=%d) size = %d, want %d", c.base, c.m, got, c.want)
+		}
+	}
+}
+
+func TestHotSequenceLexicographicAndValid(t *testing.T) {
+	h, _ := NewHot(2, 4)
+	words, err := h.Sequence(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0011", "0101", "0110", "1001", "1010", "1100"}
+	for i, w := range words {
+		if w.String() != want[i] {
+			t.Errorf("word %d = %s, want %s", i, w, want[i])
+		}
+		if !h.Contains(w) {
+			t.Errorf("generated word %s fails Contains", w)
+		}
+	}
+}
+
+func TestHotPaperMembershipExample(t *testing.T) {
+	// Paper Sec 2.3: 001122 and 012120 belong to HC (M,k)=(6,2), n=3;
+	// 000121 does not (0 appears three times, 2 once).
+	h, err := NewHot(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.K() != 2 {
+		t.Fatalf("K = %d, want 2", h.K())
+	}
+	in1, _ := ParseWord("001122", 3)
+	in2, _ := ParseWord("012120", 3)
+	out, _ := ParseWord("000121", 3)
+	if !h.Contains(in1) || !h.Contains(in2) {
+		t.Error("paper's member words rejected")
+	}
+	if h.Contains(out) {
+		t.Error("paper's non-member word accepted")
+	}
+}
+
+func TestHotFullEnumerationDistinctAndComplete(t *testing.T) {
+	h, _ := NewHot(3, 6)
+	words, err := h.Sequence(h.SpaceSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 90 {
+		t.Fatalf("enumerated %d words, want 90", len(words))
+	}
+	if err := Validate(words, 3, 6); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		if !h.Contains(w) {
+			t.Fatalf("word %v violates hot-code composition", w)
+		}
+	}
+}
+
+func TestHotValidation(t *testing.T) {
+	if _, err := NewHot(2, 5); err == nil {
+		t.Error("M not divisible by base accepted")
+	}
+	if _, err := NewHot(2, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	h, _ := NewHot(2, 4)
+	if _, err := h.Sequence(7); !errors.Is(err, ErrCountExceedsSpace) {
+		t.Error("oversize request accepted")
+	}
+	if h.Contains(FromDigits(0, 1)) {
+		t.Error("short word accepted by Contains")
+	}
+}
+
+func TestBinomialMultinomial(t *testing.T) {
+	if binomial(10, 3) != 120 {
+		t.Errorf("C(10,3) = %d", binomial(10, 3))
+	}
+	if binomial(5, 0) != 1 || binomial(5, 5) != 1 {
+		t.Error("binomial edge cases wrong")
+	}
+	if binomial(3, 5) != 0 || binomial(3, -1) != 0 {
+		t.Error("out-of-range binomial should be 0")
+	}
+	if multinomial(6, 3, 2) != 90 {
+		t.Errorf("multinomial(6;2,2,2) = %d", multinomial(6, 3, 2))
+	}
+}
+
+func TestHotCompositionProperty(t *testing.T) {
+	f := func(idx uint8) bool {
+		h, _ := NewHot(2, 8)
+		words, err := h.Sequence(h.SpaceSize())
+		if err != nil {
+			return false
+		}
+		w := words[int(idx)%len(words)]
+		c := w.Counts(2)
+		return c[0] == 4 && c[1] == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package code
+
+import "fmt"
+
+// Transitions returns, for each pair of successive words, the number of
+// digit positions that change. The result has len(words)-1 entries (empty
+// for fewer than two words). It panics on ragged word lengths.
+func Transitions(words []Word) []int {
+	if len(words) < 2 {
+		return nil
+	}
+	out := make([]int, len(words)-1)
+	for i := 1; i < len(words); i++ {
+		out[i-1] = words[i].Hamming(words[i-1])
+	}
+	return out
+}
+
+// TotalTransitions returns the sum of digit changes across the sequence.
+func TotalTransitions(words []Word) int {
+	total := 0
+	for _, t := range Transitions(words) {
+		total += t
+	}
+	return total
+}
+
+// DigitTransitionCounts returns, per digit position, how many times that
+// position changes across the sequence. This is the balance profile the BGC
+// minimizes the maximum of.
+func DigitTransitionCounts(words []Word) []int {
+	if len(words) == 0 {
+		return nil
+	}
+	counts := make([]int, len(words[0]))
+	for i := 1; i < len(words); i++ {
+		prev, cur := words[i-1], words[i]
+		if len(cur) != len(prev) {
+			panic(fmt.Sprintf("code: ragged word lengths %d and %d", len(prev), len(cur)))
+		}
+		for j := range cur {
+			if cur[j] != prev[j] {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}
+
+// MaxDigitTransitions returns the largest per-digit change count, the
+// quantity bounded by the balanced-Gray constraint (0 for empty input).
+func MaxDigitTransitions(words []Word) int {
+	max := 0
+	for _, c := range DigitTransitionCounts(words) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Distinct reports whether all words in the sequence are pairwise distinct.
+func Distinct(words []Word) bool {
+	seen := make(map[string]bool, len(words))
+	for _, w := range words {
+		k := w.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}
+
+// IsGraySequence reports whether every pair of successive words differs in
+// exactly maxChanged digits or fewer and at least one digit. For reflected
+// tree-family words use maxChanged = 2 (base digit + its complement); for
+// un-reflected base words use 1; for hot codes use 2 (a transposition).
+func IsGraySequence(words []Word, maxChanged int) bool {
+	for _, t := range Transitions(words) {
+		if t < 1 || t > maxChanged {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate performs the structural checks shared by all families on a
+// generated sequence: words non-empty, uniform length, digits within base,
+// pairwise distinct.
+func Validate(words []Word, base, length int) error {
+	seen := make(map[string]bool, len(words))
+	for i, w := range words {
+		if len(w) != length {
+			return fmt.Errorf("code: word %d has length %d, want %d", i, len(w), length)
+		}
+		if !w.Valid(base) {
+			return fmt.Errorf("code: word %d (%v) has digits outside base %d", i, w, base)
+		}
+		k := w.Key()
+		if seen[k] {
+			return fmt.Errorf("code: word %d (%v) repeats an earlier word", i, w)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// SequenceStats summarizes the transition structure of an arrangement.
+type SequenceStats struct {
+	Words            int
+	Length           int
+	TotalTransitions int
+	MaxPerStep       int
+	MinPerStep       int
+	MaxPerDigit      int
+	PerDigit         []int
+}
+
+// Stats computes SequenceStats for a word sequence.
+func Stats(words []Word) SequenceStats {
+	s := SequenceStats{Words: len(words)}
+	if len(words) == 0 {
+		return s
+	}
+	s.Length = len(words[0])
+	trans := Transitions(words)
+	if len(trans) > 0 {
+		s.MinPerStep = trans[0]
+	}
+	for _, t := range trans {
+		s.TotalTransitions += t
+		if t > s.MaxPerStep {
+			s.MaxPerStep = t
+		}
+		if t < s.MinPerStep {
+			s.MinPerStep = t
+		}
+	}
+	s.PerDigit = DigitTransitionCounts(words)
+	for _, c := range s.PerDigit {
+		if c > s.MaxPerDigit {
+			s.MaxPerDigit = c
+		}
+	}
+	return s
+}

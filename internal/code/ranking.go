@@ -1,0 +1,108 @@
+package code
+
+import "fmt"
+
+// Rank returns the position of a word in the hot code's lexicographic
+// enumeration without generating the sequence, using the combinatorial
+// number system generalized to multiset permutations: at each position the
+// rank accumulates the count of words starting with a smaller digit.
+func (h *Hot) Rank(w Word) (int, error) {
+	if !h.Contains(w) {
+		return 0, fmt.Errorf("code: %v is not a word of HC(M=%d, k=%d, n=%d)", w, h.length, h.k, h.base)
+	}
+	remaining := make([]int, h.base)
+	for v := range remaining {
+		remaining[v] = h.k
+	}
+	rank := 0
+	for pos, digit := range w {
+		for v := 0; v < digit; v++ {
+			if remaining[v] == 0 {
+				continue
+			}
+			remaining[v]--
+			rank += arrangements(remaining, h.length-pos-1)
+			remaining[v]++
+		}
+		remaining[digit]--
+	}
+	return rank, nil
+}
+
+// Unrank returns the word at the given position of the lexicographic
+// enumeration, inverse to Rank.
+func (h *Hot) Unrank(rank int) (Word, error) {
+	if rank < 0 || rank >= h.SpaceSize() {
+		return nil, fmt.Errorf("code: rank %d outside [0, %d)", rank, h.SpaceSize())
+	}
+	remaining := make([]int, h.base)
+	for v := range remaining {
+		remaining[v] = h.k
+	}
+	w := make(Word, h.length)
+	for pos := 0; pos < h.length; pos++ {
+		for v := 0; v < h.base; v++ {
+			if remaining[v] == 0 {
+				continue
+			}
+			remaining[v]--
+			count := arrangements(remaining, h.length-pos-1)
+			if rank < count {
+				w[pos] = v
+				break
+			}
+			rank -= count
+			remaining[v]++
+		}
+	}
+	return w, nil
+}
+
+// arrangements returns the number of distinct arrangements of the remaining
+// multiset into length positions: length! / Π remaining[v]!.
+func arrangements(remaining []int, length int) int {
+	total := 0
+	for _, r := range remaining {
+		total += r
+	}
+	if total != length {
+		return 0
+	}
+	// Multiply binomials group by group; stays exact in int for the small
+	// word lengths of nanowire codes.
+	result := 1
+	rest := length
+	for _, r := range remaining {
+		result *= binomial(rest, r)
+		rest -= r
+	}
+	return result
+}
+
+// GrayIndexOf returns the sequence index of a reflected Gray word — the
+// inverse of BaseWord followed by reflection. It fails for words outside the
+// space.
+func (g *Gray) GrayIndexOf(w Word) (int, error) {
+	l := g.BaseLength()
+	if len(w) != g.length {
+		return 0, fmt.Errorf("code: word length %d, want %d", len(w), g.length)
+	}
+	base := Word(w[:l])
+	if !base.Valid(g.base) || !w.IsReflectionOf(base, g.base) {
+		return 0, fmt.Errorf("code: %v is not a reflected base-%d word", w, g.base)
+	}
+	// Invert the reflected Gray recursion backward: at level j the forward
+	// generator stored digit d and recursed on the remainder r', reversing
+	// it when d is odd. So r_j = d·stride + r' with r' = stride-1-r_{j+1}
+	// for odd d and r' = r_{j+1} otherwise.
+	idx := 0
+	for j := l - 1; j >= 0; j-- {
+		stride := pow(g.base, l-1-j)
+		d := base[j]
+		if d%2 == 1 {
+			idx = stride - 1 - idx
+		}
+		idx += d * stride
+	}
+	return idx, nil
+}

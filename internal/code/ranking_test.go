@@ -1,0 +1,113 @@
+package code
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHotRankUnrankRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ base, m int }{{2, 4}, {2, 6}, {2, 8}, {3, 6}} {
+		h, err := NewHot(cfg.base, cfg.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words, err := h.Sequence(h.SpaceSize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range words {
+			rank, err := h.Rank(w)
+			if err != nil {
+				t.Fatalf("Rank(%v): %v", w, err)
+			}
+			if rank != i {
+				t.Errorf("HC(n=%d,M=%d): Rank(word %d) = %d", cfg.base, cfg.m, i, rank)
+			}
+			back, err := h.Unrank(i)
+			if err != nil || !back.Equal(w) {
+				t.Errorf("Unrank(%d) = %v, %v; want %v", i, back, err, w)
+			}
+		}
+	}
+}
+
+func TestHotRankRejectsNonMembers(t *testing.T) {
+	h, _ := NewHot(2, 4)
+	if _, err := h.Rank(FromDigits(0, 0, 0, 1)); err == nil {
+		t.Error("unbalanced word ranked")
+	}
+	if _, err := h.Rank(FromDigits(0, 1)); err == nil {
+		t.Error("short word ranked")
+	}
+}
+
+func TestHotUnrankBounds(t *testing.T) {
+	h, _ := NewHot(2, 6)
+	if _, err := h.Unrank(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := h.Unrank(h.SpaceSize()); err == nil {
+		t.Error("rank == Ω accepted")
+	}
+}
+
+func TestArrangements(t *testing.T) {
+	// 4 positions for {2x0, 2x1}: C(4,2) = 6.
+	if got := arrangements([]int{2, 2}, 4); got != 6 {
+		t.Errorf("arrangements = %d, want 6", got)
+	}
+	// Mismatched total -> 0.
+	if got := arrangements([]int{2, 2}, 5); got != 0 {
+		t.Errorf("mismatched arrangements = %d, want 0", got)
+	}
+	if got := arrangements([]int{0, 0}, 0); got != 1 {
+		t.Errorf("empty arrangements = %d, want 1", got)
+	}
+}
+
+func TestGrayIndexOfRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ base, m int }{{2, 8}, {3, 6}, {4, 4}} {
+		g, err := NewGray(cfg.base, cfg.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.SpaceSize(); i++ {
+			w := g.BaseWord(i).Reflect(cfg.base)
+			idx, err := g.GrayIndexOf(w)
+			if err != nil {
+				t.Fatalf("GrayIndexOf(%v): %v", w, err)
+			}
+			if idx != i {
+				t.Errorf("base %d M %d: index of word %d = %d", cfg.base, cfg.m, i, idx)
+			}
+		}
+	}
+}
+
+func TestGrayIndexOfRejects(t *testing.T) {
+	g, _ := NewGray(3, 4)
+	if _, err := g.GrayIndexOf(FromDigits(0, 1)); err == nil {
+		t.Error("short word accepted")
+	}
+	if _, err := g.GrayIndexOf(FromDigits(0, 1, 2, 2)); err == nil {
+		t.Error("non-reflected word accepted")
+	}
+}
+
+func TestHotRankOrderIsomorphicProperty(t *testing.T) {
+	// Rank preserves lexicographic order.
+	h, _ := NewHot(2, 8)
+	words, _ := h.Sequence(h.SpaceSize())
+	f := func(a, b uint8) bool {
+		i, j := int(a)%len(words), int(b)%len(words)
+		ri, err1 := h.Rank(words[i])
+		rj, err2 := h.Rank(words[j])
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return (i < j) == (ri < rj) || i == j
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

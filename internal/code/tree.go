@@ -1,0 +1,87 @@
+package code
+
+import "fmt"
+
+// Tree is the n-ary tree code TC in reflected form: word i consists of the
+// base-n digits of i (most-significant first, M/2 digits) followed by their
+// (n-1)-complement. Successive words differ wherever the base-n counter
+// carries, so transitions can touch many digits — the cost the Gray
+// arrangement removes.
+type Tree struct {
+	base   int
+	length int // total, including reflection
+}
+
+// NewTree returns the reflected tree code of the given base with total word
+// length M (M even; the free half has M/2 digits).
+func NewTree(base, length int) (*Tree, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	if length < 2 || length%2 != 0 {
+		return nil, fmt.Errorf("code: reflected tree code needs even length >= 2, got %d", length)
+	}
+	return &Tree{base: base, length: length}, nil
+}
+
+// Type implements Generator.
+func (t *Tree) Type() Type { return TypeTree }
+
+// Base implements Generator.
+func (t *Tree) Base() int { return t.base }
+
+// Length implements Generator.
+func (t *Tree) Length() int { return t.length }
+
+// BaseLength returns the number of free digits M/2.
+func (t *Tree) BaseLength() int { return t.length / 2 }
+
+// SpaceSize implements Generator: Ω = n^(M/2).
+func (t *Tree) SpaceSize() int { return pow(t.base, t.BaseLength()) }
+
+// Sequence implements Generator, returning reflected words in counting
+// order: 00..0, 00..1, ...
+func (t *Tree) Sequence(count int) ([]Word, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("code: negative word count %d", count)
+	}
+	if count > t.SpaceSize() {
+		return nil, fmt.Errorf("%w: tree code base %d length %d has %d words, requested %d",
+			ErrCountExceedsSpace, t.base, t.length, t.SpaceSize(), count)
+	}
+	words := make([]Word, count)
+	for i := 0; i < count; i++ {
+		words[i] = t.BaseWord(i).Reflect(t.base)
+	}
+	return words, nil
+}
+
+// BaseWord returns the un-reflected M/2-digit base-n representation of
+// index i, most-significant digit first.
+func (t *Tree) BaseWord(i int) Word {
+	l := t.BaseLength()
+	w := make(Word, l)
+	for j := l - 1; j >= 0; j-- {
+		w[j] = i % t.base
+		i /= t.base
+	}
+	return w
+}
+
+// IndexOf returns the sequence index of a reflected tree-code word, or an
+// error if the word is not a valid reflected word of this space.
+func (t *Tree) IndexOf(w Word) (int, error) {
+	l := t.BaseLength()
+	if len(w) != t.length {
+		return 0, fmt.Errorf("code: word length %d, want %d", len(w), t.length)
+	}
+	base := w[:l]
+	if !Word(base).Valid(t.base) || !w.IsReflectionOf(base, t.base) {
+		return 0, fmt.Errorf("code: %v is not a reflected base-%d tree word", w, t.base)
+	}
+	idx := 0
+	for _, d := range base {
+		idx = idx*t.base + d
+	}
+	return idx, nil
+}

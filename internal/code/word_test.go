@@ -1,0 +1,147 @@
+package code
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneIndependent(t *testing.T) {
+	w := FromDigits(1, 2, 3)
+	c := w.Clone()
+	c[0] = 9
+	if w[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !FromDigits(0, 1).Equal(FromDigits(0, 1)) {
+		t.Error("equal words reported unequal")
+	}
+	if FromDigits(0, 1).Equal(FromDigits(0, 2)) {
+		t.Error("different digits reported equal")
+	}
+	if FromDigits(0, 1).Equal(FromDigits(0, 1, 2)) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if d := FromDigits(0, 1, 2, 1).Hamming(FromDigits(0, 2, 2, 0)); d != 2 {
+		t.Errorf("Hamming = %d, want 2", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged Hamming did not panic")
+		}
+	}()
+	FromDigits(0).Hamming(FromDigits(0, 1))
+}
+
+func TestComplementPaperRule(t *testing.T) {
+	// Paper Sec 2.3: complement of 0010 over base 3 is 2222 - 0010 = 2212.
+	got := FromDigits(0, 0, 1, 0).Complement(3)
+	if !got.Equal(FromDigits(2, 2, 1, 2)) {
+		t.Errorf("Complement = %v, want 2212", got)
+	}
+}
+
+func TestReflectPaperExamples(t *testing.T) {
+	// Paper: 0010 -> 00102212, 0000 -> 00002222, 0001 -> 00012221 (base 3).
+	cases := []struct{ in, want string }{
+		{"0010", "00102212"},
+		{"0000", "00002222"},
+		{"0001", "00012221"},
+	}
+	for _, c := range cases {
+		in, err := ParseWord(c.in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := in.Reflect(3).String(); got != c.want {
+			t.Errorf("Reflect(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsReflectionOf(t *testing.T) {
+	base := FromDigits(0, 1)
+	if !base.Reflect(3).IsReflectionOf(base, 3) {
+		t.Error("reflection not recognized")
+	}
+	if FromDigits(0, 1, 2, 2).IsReflectionOf(base, 3) {
+		t.Error("non-reflection accepted")
+	}
+}
+
+func TestValidCounts(t *testing.T) {
+	w := FromDigits(0, 1, 1, 2)
+	if !w.Valid(3) || w.Valid(2) {
+		t.Error("Valid base check wrong")
+	}
+	c := w.Counts(3)
+	if c[0] != 1 || c[1] != 2 || c[2] != 1 {
+		t.Errorf("Counts = %v", c)
+	}
+}
+
+func TestKeyStringParseRoundTrip(t *testing.T) {
+	w := FromDigits(0, 3, 2, 1)
+	s := w.String()
+	if s != "0321" {
+		t.Errorf("String = %q", s)
+	}
+	back, err := ParseWord(s, 4)
+	if err != nil || !back.Equal(w) {
+		t.Errorf("ParseWord(%q) = %v, %v", s, back, err)
+	}
+}
+
+func TestParseWordErrors(t *testing.T) {
+	if _, err := ParseWord("01x!", 36); err == nil {
+		t.Error("invalid rune accepted")
+	}
+	if _, err := ParseWord("012", 2); err == nil {
+		t.Error("digit out of base accepted")
+	}
+}
+
+func TestReflectPropertyComplementInvolution(t *testing.T) {
+	f := func(raw []uint8, baseRaw uint8) bool {
+		base := int(baseRaw%8) + 2
+		w := make(Word, len(raw))
+		for i, v := range raw {
+			w[i] = int(v) % base
+		}
+		// Complement twice is the identity.
+		return w.Complement(base).Complement(base).Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflectPropertyDigitSums(t *testing.T) {
+	// Each digit of w plus the matching digit of the reflected half sums to
+	// base-1, so reflected words always carry a balanced +/- dose change.
+	f := func(raw []uint8, baseRaw uint8) bool {
+		base := int(baseRaw%8) + 2
+		w := make(Word, len(raw))
+		for i, v := range raw {
+			w[i] = int(v) % base
+		}
+		r := w.Reflect(base)
+		if len(r) != 2*len(w) {
+			return false
+		}
+		for i := range w {
+			if r[i]+r[i+len(w)] != base-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"nwdec/internal/crossbar"
+	"nwdec/internal/stats"
+)
+
+// Decoder returns the functional decoder of the design, for use with the
+// crossbar simulator.
+func (d *Design) Decoder() (*crossbar.Decoder, error) {
+	return crossbar.NewDecoder(d.Plan, d.Quantizer)
+}
+
+// Fabricate builds one Monte-Carlo instance of the designed crossbar
+// memory: both layers are fabricated with the design's variability and the
+// layout's contact partition.
+func (d *Design) Fabricate(rng *stats.RNG) (*crossbar.Memory, error) {
+	dec, err := d.Decoder()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := crossbar.BuildLayer(dec, d.Layout.Contact, d.Layout.WiresPerLayer, d.Config.SigmaT, rng)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := crossbar.BuildLayer(dec, d.Layout.Contact, d.Layout.WiresPerLayer, d.Config.SigmaT, rng)
+	if err != nil {
+		return nil, err
+	}
+	return crossbar.NewMemory(rows, cols), nil
+}
+
+// MonteCarloYield measures the mean usable crosspoint fraction over trials
+// independent fabrications — the empirical counterpart of the analytic Y².
+func (d *Design) MonteCarloYield(trials int, seed uint64) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("core: non-positive trial count %d", trials)
+	}
+	rng := stats.NewRNG(seed)
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		mem, err := d.Fabricate(rng)
+		if err != nil {
+			return 0, err
+		}
+		sum += mem.UsableFraction()
+	}
+	return sum / float64(trials), nil
+}
+
+// VerifyUniqueAddressing checks the nominal uniqueness of the design's
+// decoder across its contact partition.
+func (d *Design) VerifyUniqueAddressing() error {
+	dec, err := d.Decoder()
+	if err != nil {
+		return err
+	}
+	return crossbar.VerifyDecoder(dec, d.Layout.Contact)
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nwdec/internal/code"
+)
+
+// SweepPoint is one evaluated configuration in a design-space sweep.
+type SweepPoint struct {
+	Type   code.Type
+	Length int
+	Design *Design
+}
+
+// Sweep evaluates the base configuration across every combination of the
+// given code types and code lengths. Combinations that are structurally
+// invalid for a family (e.g. a hot-code length not divisible by the base)
+// are skipped silently, so callers can pass one shared length grid.
+func Sweep(base Config, types []code.Type, lengths []int) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, tp := range types {
+		for _, m := range lengths {
+			cfg := base
+			cfg.CodeType = tp
+			cfg.CodeLength = m
+			if !validLength(tp, cfg.Base, m) {
+				continue
+			}
+			d, err := NewDesign(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: sweep %v M=%d: %w", tp, m, err)
+			}
+			points = append(points, SweepPoint{Type: tp, Length: m, Design: d})
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("core: sweep produced no valid configurations")
+	}
+	return points, nil
+}
+
+// validLength reports whether length m is structurally valid for the family.
+func validLength(tp code.Type, base, m int) bool {
+	if base == 0 {
+		base = 2
+	}
+	if m <= 0 {
+		return false
+	}
+	if tp.Reflected() {
+		return m%2 == 0
+	}
+	return m%base == 0
+}
+
+// Objective ranks designs in an optimization.
+type Objective int
+
+// Optimization objectives.
+const (
+	// MinBitArea minimizes the effective area per working bit — the
+	// paper's headline figure of merit.
+	MinBitArea Objective = iota
+	// MaxYield maximizes the cave yield.
+	MaxYield
+	// MinPhi minimizes the fabrication complexity, breaking ties on bit
+	// area.
+	MinPhi
+)
+
+// Optimize sweeps the design space and returns the best design under the
+// objective. Ties break deterministically on (type order, shorter length).
+func Optimize(base Config, types []code.Type, lengths []int, obj Objective) (*Design, error) {
+	points, err := Sweep(base, types, lengths)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		switch obj {
+		case MaxYield:
+			if a.Design.Yield() != b.Design.Yield() {
+				return a.Design.Yield() > b.Design.Yield()
+			}
+		case MinPhi:
+			if a.Design.Phi != b.Design.Phi {
+				return a.Design.Phi < b.Design.Phi
+			}
+			if a.Design.BitArea() != b.Design.BitArea() {
+				return a.Design.BitArea() < b.Design.BitArea()
+			}
+		default: // MinBitArea
+			if a.Design.BitArea() != b.Design.BitArea() {
+				return a.Design.BitArea() < b.Design.BitArea()
+			}
+		}
+		return a.Length < b.Length
+	})
+	return points[0].Design, nil
+}

@@ -1,0 +1,116 @@
+// Package crossbar is a behavioural simulator of an MSPT nanowire crossbar
+// memory: it instantiates every nanowire of both layers with Monte-Carlo
+// sampled threshold voltages, resolves functional addressability through the
+// actual conduction test (a nanowire conducts when every decoder transistor
+// along it is turned on by the applied mesowire voltages), and exposes a
+// bit-level read/write memory over the working crosspoints.
+//
+// The simulator is the executable cross-check of the analytic yield model in
+// package yield: both consume the same decoder plan, and the test suite
+// verifies that the Monte-Carlo addressable fraction converges to the
+// analytic prediction.
+package crossbar
+
+import (
+	"fmt"
+
+	"nwdec/internal/code"
+	"nwdec/internal/mspt"
+	"nwdec/internal/physics"
+	"nwdec/internal/stats"
+)
+
+// Decoder couples a doping plan with the voltage quantizer that defines the
+// addressing levels.
+type Decoder struct {
+	Plan *mspt.Plan
+	Q    *physics.Quantizer
+}
+
+// NewDecoder validates that the plan and quantizer agree on the logic base.
+func NewDecoder(plan *mspt.Plan, q *physics.Quantizer) (*Decoder, error) {
+	if plan.Base() != q.N() {
+		return nil, fmt.Errorf("crossbar: plan base %d does not match quantizer levels %d", plan.Base(), q.N())
+	}
+	return &Decoder{Plan: plan, Q: q}, nil
+}
+
+// AddressVoltages returns the mesowire voltage pattern that addresses the
+// given code word: each mesowire is driven to the upper edge of the word
+// digit's threshold band, so a transistor conducts exactly when its actual
+// threshold is below that edge. Nominally a nanowire with pattern p conducts
+// under the address w iff p <= w digit-wise, which for reflected codes (and
+// for fixed-weight hot codes) holds only for p == w — the uniqueness
+// argument of the paper's decoder.
+func (d *Decoder) AddressVoltages(w code.Word) []float64 {
+	vmin, vmax := d.Q.Window()
+	spacing := (vmax - vmin) / float64(d.Q.N())
+	va := make([]float64, len(w))
+	for j, digit := range w {
+		va[j] = vmin + float64(digit+1)*spacing
+	}
+	return va
+}
+
+// Conducts reports whether a nanowire with the sampled threshold voltages vt
+// conducts under the applied mesowire voltages va: every decoder transistor
+// must be on (threshold strictly below its gate voltage).
+func Conducts(vt, va []float64) bool {
+	for j := range vt {
+		if vt[j] >= va[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// SampleVT draws one Monte-Carlo realization of the decoder's threshold
+// voltages with per-dose deviation sigmaT.
+func (d *Decoder) SampleVT(rng *stats.RNG, sigmaT float64) [][]float64 {
+	return d.Plan.SampleVT(rng, sigmaT, d.Q.VTOf)
+}
+
+// UniquelyAddressable reports, for one sampled half cave, which wires are
+// functionally addressable: wire i (within the index window [lo, hi) of one
+// contact group) is addressable iff it conducts under its own address and no
+// other wire of the same group conducts under that address.
+func (d *Decoder) UniquelyAddressable(vt [][]float64, lo, hi int) []bool {
+	pattern := d.Plan.Pattern()
+	out := make([]bool, hi-lo)
+	for i := lo; i < hi; i++ {
+		va := d.AddressVoltages(pattern[i])
+		if !Conducts(vt[i], va) {
+			continue
+		}
+		unique := true
+		for k := lo; k < hi; k++ {
+			if k != i && Conducts(vt[k], va) {
+				unique = false
+				break
+			}
+		}
+		out[i-lo] = unique
+	}
+	return out
+}
+
+// MarginAddressable reports which wires satisfy the analytic addressability
+// criterion on a sampled threshold matrix: every region stays within margin
+// of its nominal level. This is the Monte-Carlo counterpart of
+// yield.Analyzer and is used to validate the analytic model.
+func (d *Decoder) MarginAddressable(vt [][]float64, margin float64) []bool {
+	pattern := d.Plan.Pattern()
+	out := make([]bool, d.Plan.N())
+	for i := range out {
+		ok := true
+		for j := 0; j < d.Plan.M(); j++ {
+			nominal := d.Q.VTOf(pattern[i][j])
+			if diff := vt[i][j] - nominal; diff > margin || diff < -margin {
+				ok = false
+				break
+			}
+		}
+		out[i] = ok
+	}
+	return out
+}

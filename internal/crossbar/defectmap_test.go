@@ -1,0 +1,90 @@
+package crossbar
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtractDefectMap(t *testing.T) {
+	mem := buildTestMemory(t, []int{2, 9}, []int{4})
+	dm := ExtractDefectMap(mem)
+	if dm.Rows != 16 || dm.Cols != 16 {
+		t.Errorf("dimensions %dx%d", dm.Rows, dm.Cols)
+	}
+	if len(dm.BadRows) != 2 || dm.BadRows[0] != 2 || dm.BadRows[1] != 9 {
+		t.Errorf("BadRows = %v", dm.BadRows)
+	}
+	if len(dm.BadCols) != 1 || dm.BadCols[0] != 4 {
+		t.Errorf("BadCols = %v", dm.BadCols)
+	}
+	if dm.UsableBits() != mem.UsableBits() {
+		t.Errorf("usable bits %d vs %d", dm.UsableBits(), mem.UsableBits())
+	}
+	if err := dm.Validate(); err != nil {
+		t.Errorf("extracted map invalid: %v", err)
+	}
+}
+
+func TestDefectMapRoundTrip(t *testing.T) {
+	mem := buildTestMemory(t, []int{0, 7}, []int{1, 15})
+	dm := ExtractDefectMap(mem)
+	var buf bytes.Buffer
+	if err := dm.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDefectMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.UsableBits() != dm.UsableBits() || len(back.BadRows) != 2 {
+		t.Errorf("round trip = %+v", back)
+	}
+	// Apply onto a fresh (all-good) memory and compare the remaps.
+	fresh := buildTestMemory(t, nil, nil)
+	if err := back.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.UsableBits() != mem.UsableBits() {
+		t.Errorf("applied map yields %d usable bits, want %d", fresh.UsableBits(), mem.UsableBits())
+	}
+	if fresh.Usable(0, 0) || fresh.Usable(3, 1) || !fresh.Usable(3, 2) {
+		t.Error("applied defect pattern wrong")
+	}
+}
+
+func TestDefectMapValidate(t *testing.T) {
+	bad := []DefectMap{
+		{Rows: 0, Cols: 4},
+		{Rows: 4, Cols: 4, BadRows: []int{4}},
+		{Rows: 4, Cols: 4, BadRows: []int{-1}},
+		{Rows: 4, Cols: 4, BadRows: []int{2, 2}},
+		{Rows: 4, Cols: 4, BadCols: []int{3, 1}},
+	}
+	for i, dm := range bad {
+		if err := dm.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, dm)
+		}
+	}
+	good := DefectMap{Rows: 4, Cols: 4, BadRows: []int{1, 3}, BadCols: nil}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+}
+
+func TestReadDefectMapErrors(t *testing.T) {
+	if _, err := ReadDefectMap(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadDefectMap(strings.NewReader(`{"rows":2,"cols":2,"badRows":[5]}`)); err == nil {
+		t.Error("invalid indices accepted")
+	}
+}
+
+func TestDefectMapApplyDimensionMismatch(t *testing.T) {
+	mem := buildTestMemory(t, nil, nil)
+	dm := DefectMap{Rows: 8, Cols: 8}
+	if err := dm.Apply(mem); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

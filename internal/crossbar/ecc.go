@@ -1,0 +1,165 @@
+package crossbar
+
+import "fmt"
+
+// ECCMemory layers a Hamming(7,4) single-error-correcting code over a
+// LogicalMemory: every data nibble is stored as a 7-bit codeword, so a
+// single flipped crosspoint per codeword — a soft defect the static defect
+// map cannot see, e.g. a marginal molecular switch — is corrected on read.
+// Together with the defect-avoiding logical remap this forms the two-level
+// defect-tolerance stack the paper's introduction calls for.
+type ECCMemory struct {
+	lm *LogicalMemory
+	// corrected counts single-bit corrections performed on reads.
+	corrected int
+}
+
+// NewECCMemory wraps a logical memory with the Hamming layer.
+func NewECCMemory(lm *LogicalMemory) *ECCMemory {
+	return &ECCMemory{lm: lm}
+}
+
+// CapacityNibbles returns how many 4-bit data nibbles fit.
+func (e *ECCMemory) CapacityNibbles() int { return e.lm.Capacity() / 7 }
+
+// CapacityBytes returns how many full bytes fit (two nibbles each).
+func (e *ECCMemory) CapacityBytes() int { return e.CapacityNibbles() / 2 }
+
+// Corrected returns the number of single-bit errors corrected so far.
+func (e *ECCMemory) Corrected() int { return e.corrected }
+
+// hammingEncode expands a 4-bit nibble into a 7-bit codeword. Bit layout is
+// the classical one (1-indexed positions; parity at 1, 2, 4):
+//
+//	pos:  1  2  3  4  5  6  7
+//	bit: p1 p2 d0 p3 d1 d2 d3
+func hammingEncode(nibble byte) [7]bool {
+	d := [4]bool{nibble&1 != 0, nibble&2 != 0, nibble&4 != 0, nibble&8 != 0}
+	var c [7]bool
+	c[2], c[4], c[5], c[6] = d[0], d[1], d[2], d[3]
+	c[0] = c[2] != c[4] != c[6] // p1 covers positions 1,3,5,7
+	c[1] = c[2] != c[5] != c[6] // p2 covers positions 2,3,6,7
+	c[3] = c[4] != c[5] != c[6] // p3 covers positions 4,5,6,7
+	return c
+}
+
+// hammingDecode recovers the nibble from a 7-bit codeword, correcting at
+// most one flipped bit. It returns the nibble and whether a correction was
+// applied.
+func hammingDecode(c [7]bool) (byte, bool) {
+	s1 := c[0] != c[2] != c[4] != c[6]
+	s2 := c[1] != c[2] != c[5] != c[6]
+	s3 := c[3] != c[4] != c[5] != c[6]
+	syndrome := 0
+	if s1 {
+		syndrome |= 1
+	}
+	if s2 {
+		syndrome |= 2
+	}
+	if s3 {
+		syndrome |= 4
+	}
+	corrected := false
+	if syndrome != 0 {
+		c[syndrome-1] = !c[syndrome-1]
+		corrected = true
+	}
+	var nibble byte
+	if c[2] {
+		nibble |= 1
+	}
+	if c[4] {
+		nibble |= 2
+	}
+	if c[5] {
+		nibble |= 4
+	}
+	if c[6] {
+		nibble |= 8
+	}
+	return nibble, corrected
+}
+
+// StoreNibble writes one 4-bit value at nibble address addr.
+func (e *ECCMemory) StoreNibble(addr int, nibble byte) error {
+	if addr < 0 || addr >= e.CapacityNibbles() {
+		return fmt.Errorf("crossbar: nibble address %d outside [0, %d)", addr, e.CapacityNibbles())
+	}
+	if nibble > 0xf {
+		return fmt.Errorf("crossbar: nibble value %#x exceeds 4 bits", nibble)
+	}
+	cw := hammingEncode(nibble)
+	for i, bit := range cw {
+		if err := e.lm.Store(7*addr+i, bit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadNibble reads one 4-bit value, correcting a single bit error.
+func (e *ECCMemory) LoadNibble(addr int) (byte, error) {
+	if addr < 0 || addr >= e.CapacityNibbles() {
+		return 0, fmt.Errorf("crossbar: nibble address %d outside [0, %d)", addr, e.CapacityNibbles())
+	}
+	var cw [7]bool
+	for i := range cw {
+		bit, err := e.lm.Load(7*addr + i)
+		if err != nil {
+			return 0, err
+		}
+		cw[i] = bit
+	}
+	nibble, corrected := hammingDecode(cw)
+	if corrected {
+		e.corrected++
+	}
+	return nibble, nil
+}
+
+// StoreBytes writes data starting at byte address addr.
+func (e *ECCMemory) StoreBytes(addr int, data []byte) error {
+	if addr < 0 || addr+len(data) > e.CapacityBytes() {
+		return fmt.Errorf("crossbar: %d bytes at %d overrun ECC capacity %d", len(data), addr, e.CapacityBytes())
+	}
+	for i, b := range data {
+		if err := e.StoreNibble(2*(addr+i), b&0xf); err != nil {
+			return err
+		}
+		if err := e.StoreNibble(2*(addr+i)+1, b>>4); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadBytes reads n bytes starting at byte address addr.
+func (e *ECCMemory) LoadBytes(addr, n int) ([]byte, error) {
+	if addr < 0 || n < 0 || addr+n > e.CapacityBytes() {
+		return nil, fmt.Errorf("crossbar: %d bytes at %d overrun ECC capacity %d", n, addr, e.CapacityBytes())
+	}
+	out := make([]byte, n)
+	for i := range out {
+		lo, err := e.LoadNibble(2 * (addr + i))
+		if err != nil {
+			return nil, err
+		}
+		hi, err := e.LoadNibble(2*(addr+i) + 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = lo | hi<<4
+	}
+	return out, nil
+}
+
+// FlipRawBit flips the stored value of one underlying logical bit — a test
+// hook modelling a soft crosspoint fault underneath the ECC layer.
+func (e *ECCMemory) FlipRawBit(bitAddr int) error {
+	v, err := e.lm.Load(bitAddr)
+	if err != nil {
+		return err
+	}
+	return e.lm.Store(bitAddr, !v)
+}

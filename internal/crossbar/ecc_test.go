@@ -1,0 +1,139 @@
+package crossbar
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingEncodeDecodeAllNibbles(t *testing.T) {
+	for n := byte(0); n < 16; n++ {
+		cw := hammingEncode(n)
+		got, corrected := hammingDecode(cw)
+		if got != n || corrected {
+			t.Errorf("nibble %#x: decode = %#x, corrected %v", n, got, corrected)
+		}
+	}
+}
+
+func TestHammingCorrectsEverySingleBitError(t *testing.T) {
+	for n := byte(0); n < 16; n++ {
+		for pos := 0; pos < 7; pos++ {
+			cw := hammingEncode(n)
+			cw[pos] = !cw[pos]
+			got, corrected := hammingDecode(cw)
+			if got != n {
+				t.Errorf("nibble %#x, flip %d: decode = %#x", n, pos, got)
+			}
+			if !corrected {
+				t.Errorf("nibble %#x, flip %d: correction not reported", n, pos)
+			}
+		}
+	}
+}
+
+func eccUnderTest(t *testing.T) *ECCMemory {
+	t.Helper()
+	mem := buildTestMemory(t, []int{3}, []int{7, 8})
+	return NewECCMemory(NewLogicalMemory(mem))
+}
+
+func TestECCCapacity(t *testing.T) {
+	e := eccUnderTest(t)
+	// 15 x 14 = 210 usable bits -> 30 nibbles -> 15 bytes.
+	if e.CapacityNibbles() != 30 || e.CapacityBytes() != 15 {
+		t.Errorf("capacity = %d nibbles, %d bytes", e.CapacityNibbles(), e.CapacityBytes())
+	}
+}
+
+func TestECCNibbleRoundTrip(t *testing.T) {
+	e := eccUnderTest(t)
+	for a := 0; a < e.CapacityNibbles(); a++ {
+		if err := e.StoreNibble(a, byte(a%16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := 0; a < e.CapacityNibbles(); a++ {
+		v, err := e.LoadNibble(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != byte(a%16) {
+			t.Fatalf("nibble %d = %#x", a, v)
+		}
+	}
+	if e.Corrected() != 0 {
+		t.Errorf("spurious corrections: %d", e.Corrected())
+	}
+}
+
+func TestECCBytesRoundTripWithFaultInjection(t *testing.T) {
+	e := eccUnderTest(t)
+	msg := []byte("nanowires!")
+	if err := e.StoreBytes(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one raw bit in every stored codeword.
+	for cw := 0; cw < 2*len(msg); cw++ {
+		if err := e.FlipRawBit(7*cw + cw%7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := e.LoadBytes(0, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Errorf("round trip under faults = %q", back)
+	}
+	if e.Corrected() != 2*len(msg) {
+		t.Errorf("corrected %d errors, want %d", e.Corrected(), 2*len(msg))
+	}
+}
+
+func TestECCValidation(t *testing.T) {
+	e := eccUnderTest(t)
+	if err := e.StoreNibble(-1, 0); err == nil {
+		t.Error("negative nibble address accepted")
+	}
+	if err := e.StoreNibble(0, 0x1f); err == nil {
+		t.Error("oversized nibble accepted")
+	}
+	if _, err := e.LoadNibble(e.CapacityNibbles()); err == nil {
+		t.Error("out-of-range load accepted")
+	}
+	if err := e.StoreBytes(0, make([]byte, e.CapacityBytes()+1)); err == nil {
+		t.Error("overrun store accepted")
+	}
+	if _, err := e.LoadBytes(0, e.CapacityBytes()+1); err == nil {
+		t.Error("overrun load accepted")
+	}
+}
+
+func TestECCPropertyRandomData(t *testing.T) {
+	e := eccUnderTest(t)
+	f := func(data []byte, flipRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > e.CapacityBytes() {
+			data = data[:e.CapacityBytes()]
+		}
+		if err := e.StoreBytes(0, data); err != nil {
+			return false
+		}
+		// One random single-bit fault inside the written region.
+		bit := int(flipRaw) % (14 * len(data))
+		if err := e.FlipRawBit(bit); err != nil {
+			return false
+		}
+		back, err := e.LoadBytes(0, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package crossbar
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDefectMap hardens the defect-map parser against corrupted
+// controller state: arbitrary input must either fail cleanly or yield a
+// validated map.
+func FuzzReadDefectMap(f *testing.F) {
+	f.Add(`{"rows":4,"cols":4,"badRows":[1],"badCols":[]}`)
+	f.Add(`{"rows":128,"cols":128}`)
+	f.Add(`{}`)
+	f.Add(`{"rows":-1}`)
+	f.Add(`{"rows":2,"cols":2,"badRows":[0,0]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		dm, err := ReadDefectMap(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the invariants.
+		if err := dm.Validate(); err != nil {
+			t.Fatalf("accepted map fails validation: %v", err)
+		}
+		if dm.UsableBits() < 0 || dm.UsableBits() > dm.Rows*dm.Cols {
+			t.Fatalf("usable bits %d out of range", dm.UsableBits())
+		}
+	})
+}

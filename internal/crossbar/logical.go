@@ -1,0 +1,106 @@
+package crossbar
+
+import (
+	"fmt"
+)
+
+// LogicalMemory exposes the usable crosspoints of a defective crossbar as a
+// dense, contiguous bit address space — the defect-tolerance layer the
+// paper's introduction motivates ("innovative defect tolerance methods at
+// all design levels"). It is built once from the fabricated memory's defect
+// map: unaddressable rows and columns are skipped, and logical address a
+// maps to the a-th usable crosspoint in row-major order.
+type LogicalMemory struct {
+	mem *Memory
+	// usableRows/usableCols are the physical indices of addressable wires.
+	usableRows []int
+	usableCols []int
+}
+
+// NewLogicalMemory builds the remapping layer over a fabricated memory.
+func NewLogicalMemory(mem *Memory) *LogicalMemory {
+	lm := &LogicalMemory{mem: mem}
+	for i, w := range mem.Rows.Wires {
+		if w.Addressable {
+			lm.usableRows = append(lm.usableRows, i)
+		}
+	}
+	for i, w := range mem.Cols.Wires {
+		if w.Addressable {
+			lm.usableCols = append(lm.usableCols, i)
+		}
+	}
+	return lm
+}
+
+// Capacity returns the number of logical bit addresses.
+func (lm *LogicalMemory) Capacity() int {
+	return len(lm.usableRows) * len(lm.usableCols)
+}
+
+// Map translates a logical address to its physical (row, col) crosspoint.
+func (lm *LogicalMemory) Map(addr int) (row, col int, err error) {
+	if addr < 0 || addr >= lm.Capacity() {
+		return 0, 0, fmt.Errorf("crossbar: logical address %d outside [0, %d)", addr, lm.Capacity())
+	}
+	row = lm.usableRows[addr/len(lm.usableCols)]
+	col = lm.usableCols[addr%len(lm.usableCols)]
+	return row, col, nil
+}
+
+// Store writes a bit at a logical address.
+func (lm *LogicalMemory) Store(addr int, bit bool) error {
+	r, c, err := lm.Map(addr)
+	if err != nil {
+		return err
+	}
+	return lm.mem.Write(r, c, bit)
+}
+
+// Load reads the bit at a logical address.
+func (lm *LogicalMemory) Load(addr int) (bool, error) {
+	r, c, err := lm.Map(addr)
+	if err != nil {
+		return false, err
+	}
+	return lm.mem.Read(r, c)
+}
+
+// StoreBytes writes a byte slice starting at logical bit address addr
+// (LSB-first within each byte). It fails without partial-write rollback if
+// the data overruns the capacity; callers should check Capacity first.
+func (lm *LogicalMemory) StoreBytes(addr int, data []byte) error {
+	if addr < 0 || addr+8*len(data) > lm.Capacity() {
+		return fmt.Errorf("crossbar: %d bytes at address %d overrun capacity %d bits",
+			len(data), addr, lm.Capacity())
+	}
+	for i, b := range data {
+		for bit := 0; bit < 8; bit++ {
+			if err := lm.Store(addr+8*i+bit, b&(1<<bit) != 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadBytes reads n bytes starting at logical bit address addr.
+func (lm *LogicalMemory) LoadBytes(addr, n int) ([]byte, error) {
+	if addr < 0 || n < 0 || addr+8*n > lm.Capacity() {
+		return nil, fmt.Errorf("crossbar: %d bytes at address %d overrun capacity %d bits",
+			n, addr, lm.Capacity())
+	}
+	out := make([]byte, n)
+	for i := range out {
+		for bit := 0; bit < 8; bit++ {
+			v, err := lm.Load(addr + 8*i + bit)
+			if err != nil {
+				return nil, err
+			}
+			if v {
+				out[i] |= 1 << bit
+			}
+		}
+	}
+	return out, nil
+}

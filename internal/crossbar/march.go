@@ -1,0 +1,128 @@
+package crossbar
+
+import "fmt"
+
+// FaultKind classifies a crosspoint fault observed by a memory test.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultAccess marks a crosspoint whose access failed outright (a
+	// defective — unaddressable — row or column wire).
+	FaultAccess FaultKind = iota
+	// FaultStuck marks a crosspoint that accessed successfully but read
+	// back the wrong value.
+	FaultStuck
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if k == FaultAccess {
+		return "access"
+	}
+	return "stuck"
+}
+
+// Fault is one faulty crosspoint found by a test.
+type Fault struct {
+	Row, Col int
+	Kind     FaultKind
+}
+
+// MarchCMinus runs the classical March C- test over the whole array through
+// the functional access path:
+//
+//	⇑(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇓(r0)
+//
+// It is the manufacturing-test counterpart of the omniscient defect map: a
+// memory controller that can only read and write through the decoder
+// discovers the defective wires exactly this way. Each faulty crosspoint is
+// reported once, with access faults taking precedence.
+func MarchCMinus(m *Memory) []Fault {
+	rows, cols := m.Size()
+	type cell struct{ r, c int }
+	seen := make(map[cell]FaultKind)
+	note := func(r, c int, k FaultKind) {
+		key := cell{r, c}
+		if prev, ok := seen[key]; !ok || (prev == FaultStuck && k == FaultAccess) {
+			seen[key] = k
+		}
+	}
+	// visit walks all crosspoints in ascending or descending address order.
+	visit := func(ascending bool, op func(r, c int)) {
+		if ascending {
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					op(r, c)
+				}
+			}
+			return
+		}
+		for r := rows - 1; r >= 0; r-- {
+			for c := cols - 1; c >= 0; c-- {
+				op(r, c)
+			}
+		}
+	}
+	write := func(r, c int, v bool) {
+		if err := m.Write(r, c, v); err != nil {
+			note(r, c, FaultAccess)
+		}
+	}
+	readExpect := func(r, c int, want bool) {
+		v, err := m.Read(r, c)
+		if err != nil {
+			note(r, c, FaultAccess)
+			return
+		}
+		if v != want {
+			note(r, c, FaultStuck)
+		}
+	}
+	// The six March C- elements.
+	visit(true, func(r, c int) { write(r, c, false) })
+	visit(true, func(r, c int) { readExpect(r, c, false); write(r, c, true) })
+	visit(true, func(r, c int) { readExpect(r, c, true); write(r, c, false) })
+	visit(false, func(r, c int) { readExpect(r, c, false); write(r, c, true) })
+	visit(false, func(r, c int) { readExpect(r, c, true); write(r, c, false) })
+	visit(false, func(r, c int) { readExpect(r, c, false) })
+
+	faults := make([]Fault, 0, len(seen))
+	visit(true, func(r, c int) {
+		if k, ok := seen[cell{r, c}]; ok {
+			faults = append(faults, Fault{Row: r, Col: c, Kind: k})
+		}
+	})
+	return faults
+}
+
+// DefectMapFromFaults reconstructs the wire-level defect map from
+// crosspoint faults: a wire is defective exactly when every crosspoint on
+// it faulted (a single bad wire kills its whole row or column, while a
+// lone stuck cell does not condemn its wires).
+func DefectMapFromFaults(faults []Fault, rows, cols int) (DefectMap, error) {
+	if rows <= 0 || cols <= 0 {
+		return DefectMap{}, fmt.Errorf("crossbar: non-positive dimensions %dx%d", rows, cols)
+	}
+	rowCount := make([]int, rows)
+	colCount := make([]int, cols)
+	for _, f := range faults {
+		if f.Row < 0 || f.Row >= rows || f.Col < 0 || f.Col >= cols {
+			return DefectMap{}, fmt.Errorf("crossbar: fault at (%d,%d) outside %dx%d", f.Row, f.Col, rows, cols)
+		}
+		rowCount[f.Row]++
+		colCount[f.Col]++
+	}
+	dm := DefectMap{Rows: rows, Cols: cols}
+	for r, n := range rowCount {
+		if n == cols {
+			dm.BadRows = append(dm.BadRows, r)
+		}
+	}
+	for c, n := range colCount {
+		if n == rows {
+			dm.BadCols = append(dm.BadCols, c)
+		}
+	}
+	return dm, nil
+}

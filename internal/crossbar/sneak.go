@@ -1,0 +1,163 @@
+package crossbar
+
+import (
+	"fmt"
+	"math"
+)
+
+// CellModel describes the resistive storage element at a crosspoint (a
+// molecular switch or phase-change cell, Sec. 2.1 of the paper).
+type CellModel struct {
+	// ROn is the low-resistance (programmed "1") state in ohms.
+	ROn float64
+	// ROff is the high-resistance state in ohms.
+	ROff float64
+	// WriteThreshold is the voltage that switches the cell, in volts.
+	WriteThreshold float64
+	// SelectorOnOff is the rectification ratio of a series selector
+	// (e.g. the Ge nanowire diode of the paper's reference [16]): the
+	// factor by which a reverse-biased cell's resistance exceeds R_on.
+	// 1 models a passive, selector-less crosspoint.
+	SelectorOnOff float64
+}
+
+// DefaultCellModel returns a passive phase-change-like element: 10 kΩ on,
+// 1 MΩ off, 1 V write threshold, no selector.
+func DefaultCellModel() CellModel {
+	return CellModel{ROn: 1e4, ROff: 1e6, WriteThreshold: 1.0, SelectorOnOff: 1}
+}
+
+// DiodeCellModel returns the element with an integrated diode selector of
+// 10^4 rectification, after the Ge-nanowire-diode cell of the paper's
+// reference [16].
+func DiodeCellModel() CellModel {
+	c := DefaultCellModel()
+	c.SelectorOnOff = 1e4
+	return c
+}
+
+// Validate reports whether the cell model is physical.
+func (c CellModel) Validate() error {
+	if c.ROn <= 0 || c.ROff <= 0 || c.WriteThreshold <= 0 {
+		return fmt.Errorf("crossbar: non-positive cell parameter %+v", c)
+	}
+	if c.ROn >= c.ROff {
+		return fmt.Errorf("crossbar: on-resistance %g not below off-resistance %g", c.ROn, c.ROff)
+	}
+	if c.SelectorOnOff < 1 {
+		return fmt.Errorf("crossbar: selector rectification %g below 1", c.SelectorOnOff)
+	}
+	return nil
+}
+
+// SneakResistance returns the lumped resistance of the sneak-path network
+// in the classic worst case: the selected cell is read against an all-on
+// background, so current leaks through (n-1)² three-cell detours — down a
+// neighbouring column, backwards across a middle cell, and up to the
+// selected column. The two outer banks contribute R_on/(n-1) each; the
+// middle bank is traversed in reverse, so a series selector multiplies its
+// resistance by the rectification ratio:
+//
+//	R_sneak ≈ 2·R_on/(n-1) + SelectorOnOff·R_on/(n-1)²
+//
+// Without a selector the network collapses to ≈ 2R_on/(n-1) and shorts the
+// stored state in any useful array size — the sneak-path problem the
+// paper's reference [16] solves with an integrated nanowire diode.
+func (c CellModel) SneakResistance(n int) float64 {
+	if n < 2 {
+		return math.Inf(1)
+	}
+	k := float64(n - 1)
+	return 2*c.ROn/k + c.SelectorOnOff*c.ROn/(k*k)
+}
+
+// OffReadRatio returns the worst-case distinguishability of a stored 0: the
+// ratio between the apparent resistance when the selected cell is off
+// (R_off parallel to the sneak network) and when it is on (R_on parallel to
+// the sneak network). A ratio near 1 means the states are indistinguishable;
+// sense amplifiers need some minimum ratio (e.g. 1.2-2).
+func (c CellModel) OffReadRatio(n int) float64 {
+	if n < 2 {
+		return c.ROff / c.ROn
+	}
+	rs := c.SneakResistance(n)
+	apparentOff := parallel(c.ROff, rs)
+	apparentOn := parallel(c.ROn, rs)
+	return apparentOff / apparentOn
+}
+
+func parallel(a, b float64) float64 {
+	if math.IsInf(b, 1) {
+		return a
+	}
+	return a * b / (a + b)
+}
+
+// BiasScheme selects the write-bias strategy for half-selected cells.
+type BiasScheme int
+
+// Write bias schemes.
+const (
+	// BiasHalf drives the selected row to V and column to 0 while all
+	// other lines float at V/2: half-selected cells see V/2.
+	BiasHalf BiasScheme = iota
+	// BiasThird holds unselected rows at V/3 and unselected columns at
+	// 2V/3: every unselected cell sees at most V/3, at the cost of higher
+	// static power.
+	BiasThird
+)
+
+// String names the scheme.
+func (b BiasScheme) String() string {
+	if b == BiasHalf {
+		return "V/2"
+	}
+	return "V/3"
+}
+
+// DisturbMargin returns the ratio of the cell's write threshold to the
+// largest voltage any non-selected cell sees during a write at voltage
+// writeV. A margin above 1 means no disturbance; larger is safer against
+// threshold variability.
+func (c CellModel) DisturbMargin(writeV float64, scheme BiasScheme) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if writeV < c.WriteThreshold {
+		return 0, fmt.Errorf("crossbar: write voltage %g below the cell threshold %g", writeV, c.WriteThreshold)
+	}
+	var worst float64
+	switch scheme {
+	case BiasHalf:
+		worst = writeV / 2
+	case BiasThird:
+		worst = writeV / 3
+	default:
+		return 0, fmt.Errorf("crossbar: unknown bias scheme %d", int(scheme))
+	}
+	return c.WriteThreshold / worst, nil
+}
+
+// MaxReadableArray returns the largest square array dimension whose
+// worst-case OffReadRatio still meets the required sensing ratio. It is the
+// subarray-size constraint that motivates partitioning large crossbar
+// memories into banks of the paper's 16 kbit scale.
+func (c CellModel) MaxReadableArray(minRatio float64) int {
+	if minRatio <= 1 {
+		return int(^uint(0) >> 1)
+	}
+	// OffReadRatio decreases monotonically in n; binary search the edge.
+	lo, hi := 2, 1<<20
+	if c.OffReadRatio(lo) < minRatio {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.OffReadRatio(mid) >= minRatio {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,145 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCellModelValidate(t *testing.T) {
+	if err := DefaultCellModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultCellModel()
+	bad.ROn = 2e6
+	if err := bad.Validate(); err == nil {
+		t.Error("on >= off accepted")
+	}
+	bad = DefaultCellModel()
+	bad.WriteThreshold = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	bad = DefaultCellModel()
+	bad.SelectorOnOff = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("sub-unity selector accepted")
+	}
+}
+
+func TestSneakResistanceScaling(t *testing.T) {
+	c := DefaultCellModel()
+	// 2 R_on/(n-1) + R_on/(n-1)^2 for a passive cell.
+	want := 2e4/3 + 1e4/9
+	if got := c.SneakResistance(4); math.Abs(got-want) > 1e-6 {
+		t.Errorf("SneakResistance(4) = %g, want %g", got, want)
+	}
+	if !math.IsInf(c.SneakResistance(1), 1) {
+		t.Error("single-wire array should have no sneak path")
+	}
+	// Monotone decreasing with array size.
+	prev := math.Inf(1)
+	for n := 2; n <= 1024; n *= 2 {
+		r := c.SneakResistance(n)
+		if r >= prev {
+			t.Fatalf("sneak resistance not decreasing at n=%d", n)
+		}
+		prev = r
+	}
+}
+
+func TestOffReadRatioDegradesWithSize(t *testing.T) {
+	c := DefaultCellModel()
+	// Tiny array: nearly the full R_off/R_on contrast.
+	if got := c.OffReadRatio(1); math.Abs(got-100) > 1e-9 {
+		t.Errorf("isolated contrast = %g, want 100", got)
+	}
+	prev := math.Inf(1)
+	for n := 2; n <= 4096; n *= 2 {
+		r := c.OffReadRatio(n)
+		if r >= prev {
+			t.Fatalf("read ratio not degrading at n=%d", n)
+		}
+		if r < 1 {
+			t.Fatalf("ratio below 1 at n=%d", n)
+		}
+		prev = r
+	}
+	// At very large n the sneak network shorts both states: ratio -> 1.
+	if r := c.OffReadRatio(1 << 16); r > 1.01 {
+		t.Errorf("huge array ratio = %g, want ~1", r)
+	}
+}
+
+func TestMaxReadableArray(t *testing.T) {
+	c := DefaultCellModel()
+	limit := c.MaxReadableArray(1.5)
+	if limit < 2 {
+		t.Fatalf("limit = %d", limit)
+	}
+	if c.OffReadRatio(limit) < 1.5 {
+		t.Errorf("ratio at limit %d is %g, below 1.5", limit, c.OffReadRatio(limit))
+	}
+	if c.OffReadRatio(limit+1) >= 1.5 {
+		t.Errorf("limit %d not tight", limit)
+	}
+	// A passive 128-wire layer is nearly unreadable — the sneak-path
+	// problem — while the diode-isolated cell of reference [16] restores a
+	// usable sensing ratio.
+	if c.OffReadRatio(128) > 1.1 {
+		t.Errorf("passive 128-wire layer unexpectedly readable: ratio %g", c.OffReadRatio(128))
+	}
+	diode := DiodeCellModel()
+	if diode.OffReadRatio(128) < 1.3 {
+		t.Errorf("diode-isolated 128-wire layer unreadable: ratio %g", diode.OffReadRatio(128))
+	}
+	if diode.MaxReadableArray(1.5) < 128 {
+		t.Errorf("diode cell cannot support the paper's layer size: max %d", diode.MaxReadableArray(1.5))
+	}
+	// Impossible demands yield 0; trivial demands are unbounded.
+	if c.MaxReadableArray(1000) != 0 {
+		t.Error("unreachable ratio should give 0")
+	}
+	if c.MaxReadableArray(1.0) != int(^uint(0)>>1) {
+		t.Error("ratio 1 should be unbounded")
+	}
+}
+
+func TestDisturbMargin(t *testing.T) {
+	c := DefaultCellModel()
+	half, err := c.DisturbMargin(1.2, BiasHalf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := c.DisturbMargin(1.2, BiasThird)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// V/3 biasing always leaves more margin than V/2.
+	if third <= half {
+		t.Errorf("V/3 margin %g not above V/2 margin %g", third, half)
+	}
+	if math.Abs(half-1.0/0.6) > 1e-9 {
+		t.Errorf("V/2 margin = %g", half)
+	}
+	if math.Abs(third-1.0/0.4) > 1e-9 {
+		t.Errorf("V/3 margin = %g", third)
+	}
+	if BiasHalf.String() != "V/2" || BiasThird.String() != "V/3" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestDisturbMarginValidation(t *testing.T) {
+	c := DefaultCellModel()
+	if _, err := c.DisturbMargin(0.5, BiasHalf); err == nil {
+		t.Error("write below threshold accepted")
+	}
+	if _, err := c.DisturbMargin(1.2, BiasScheme(9)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	bad := c
+	bad.ROn = -1
+	if _, err := bad.DisturbMargin(1.2, BiasHalf); err == nil {
+		t.Error("invalid cell accepted")
+	}
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/geometry"
+	"nwdec/internal/mspt"
+	"nwdec/internal/physics"
+	"nwdec/internal/stats"
+	"nwdec/internal/textplot"
+	"nwdec/internal/yield"
+)
+
+// ArrangementPoint compares one arrangement of the same code space.
+type ArrangementPoint struct {
+	Name  string
+	Phi   int
+	NuSum int
+	MaxNu int
+	Yield float64
+}
+
+// AblationArrangement isolates the paper's core claim (Propositions 4-5):
+// over the *same* binary reflected code space (M=10, N=20), it compares the
+// counting (tree) order, seeded random orders, the Gray order and the
+// balanced Gray order. Gray arrangements must dominate every random order
+// in both Φ and ‖Σ‖₁.
+func AblationArrangement(seeds []uint64) ([]ArrangementPoint, error) {
+	const m, n = 10, 20
+	q, err := physics.NewQuantizer(physics.DefaultPhysicalModel(), 2, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	doses, err := mspt.DoseLevels(q, 0)
+	if err != nil {
+		return nil, err
+	}
+	analyzer, err := yield.NewAnalyzer(yield.DefaultSigmaT, q.Margin())
+	if err != nil {
+		return nil, err
+	}
+	tc, err := code.NewTree(2, m)
+	if err != nil {
+		return nil, err
+	}
+	full, err := tc.Sequence(tc.SpaceSize())
+	if err != nil {
+		return nil, err
+	}
+
+	evaluate := func(name string, words []code.Word) (ArrangementPoint, error) {
+		plan, err := mspt.NewPlan(words, 2, doses)
+		if err != nil {
+			return ArrangementPoint{}, err
+		}
+		hc := analyzer.AnalyzeHalfCave(plan, geometry.ContactPlan{Groups: 1})
+		return ArrangementPoint{
+			Name:  name,
+			Phi:   plan.Phi(),
+			NuSum: plan.NuSum(),
+			MaxNu: plan.MaxNu(),
+			Yield: hc.Yield,
+		}, nil
+	}
+
+	var out []ArrangementPoint
+	pt, err := evaluate("counting (TC)", full[:n])
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, pt)
+	for _, seed := range seeds {
+		rng := stats.NewRNG(seed)
+		perm := rng.Perm(len(full))
+		words := make([]code.Word, n)
+		for i := range words {
+			words[i] = full[perm[i]]
+		}
+		pt, err := evaluate(fmt.Sprintf("random #%d", seed), words)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	for _, fam := range []code.Type{code.TypeGray, code.TypeBalancedGray} {
+		g, err := code.New(fam, 2, m)
+		if err != nil {
+			return nil, err
+		}
+		words, err := g.Sequence(n)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := evaluate(fam.String(), words)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderAblationArrangement renders the arrangement comparison.
+func RenderAblationArrangement(points []ArrangementPoint) string {
+	tb := textplot.NewTable(
+		"Ablation — arrangements of the same binary code space (M=10, N=20)",
+		"arrangement", "Φ", "‖Σ‖₁ [σ²]", "max ν", "yield")
+	for _, p := range points {
+		tb.AddRowf(p.Name, p.Phi, p.NuSum, p.MaxNu, fmt.Sprintf("%.1f%%", 100*p.Yield))
+	}
+	return tb.String() +
+		"\nGray arrangements minimize both cost functions over every sampled order\n" +
+		"(Propositions 4-5); balance additionally lowers the worst region (max ν).\n"
+}
+
+// MarginPoint is one margin-factor evaluation.
+type MarginPoint struct {
+	Factor  float64
+	YieldTC float64
+	YieldBG float64
+}
+
+// AblationMargin sweeps the sensing-margin factor — the one calibration
+// constant of the yield model — and shows the BGC advantage over TC is
+// robust across it.
+func AblationMargin(factors []float64) ([]MarginPoint, error) {
+	var out []MarginPoint
+	for _, f := range factors {
+		row := MarginPoint{Factor: f}
+		for _, tp := range []code.Type{code.TypeTree, code.TypeBalancedGray} {
+			d, err := core.NewDesign(core.Config{CodeType: tp, CodeLength: 10, MarginFactor: f})
+			if err != nil {
+				return nil, err
+			}
+			if tp == code.TypeTree {
+				row.YieldTC = d.Yield()
+			} else {
+				row.YieldBG = d.Yield()
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderAblationMargin renders the margin sweep.
+func RenderAblationMargin(points []MarginPoint) string {
+	tb := textplot.NewTable(
+		"Ablation — sensing-margin factor (fraction of half the level spacing)",
+		"factor", "TC yield", "BGC yield", "BGC gain")
+	for _, p := range points {
+		gain := 0.0
+		if p.YieldTC > 0 {
+			gain = (p.YieldBG - p.YieldTC) / p.YieldTC
+		}
+		tb.AddRowf(p.Factor,
+			fmt.Sprintf("%.1f%%", 100*p.YieldTC),
+			fmt.Sprintf("%.1f%%", 100*p.YieldBG),
+			fmt.Sprintf("%+.0f%%", 100*gain))
+	}
+	return tb.String()
+}
+
+// ModelInvariance verifies that the decoder's fabrication-side metrics
+// (Φ, ν, ‖Σ‖₁) are identical under the physical threshold model and the
+// paper-calibrated table model: they depend only on *where* doses land, not
+// on dose magnitudes, so the choice of f in Proposition 1 cannot change the
+// optimization result.
+type ModelInvariance struct {
+	CodeType      code.Type
+	PhiPhysical   int
+	PhiTable      int
+	NuSumPhysical int
+	NuSumTable    int
+	Invariant     bool
+}
+
+// AblationModel evaluates the model-invariance check for each tree-family
+// code on a ternary decoder (where dose magnitudes differ most between
+// models).
+func AblationModel() ([]ModelInvariance, error) {
+	const m, n = 6, 10
+	var out []ModelInvariance
+	for _, tp := range []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray} {
+		g, err := code.New(tp, 3, m)
+		if err != nil {
+			return nil, err
+		}
+		var phi [2]int
+		var nuSum [2]int
+		for mi, model := range []physics.VTModel{physics.DefaultPhysicalModel(), physics.PaperExampleTable()} {
+			q, err := physics.NewQuantizer(model, 3, 0, 0.6)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := mspt.NewPlanFromGenerator(g, n, q, 0)
+			if err != nil {
+				return nil, err
+			}
+			phi[mi] = plan.Phi()
+			nuSum[mi] = plan.NuSum()
+		}
+		out = append(out, ModelInvariance{
+			CodeType:      tp,
+			PhiPhysical:   phi[0],
+			PhiTable:      phi[1],
+			NuSumPhysical: nuSum[0],
+			NuSumTable:    nuSum[1],
+			Invariant:     phi[0] == phi[1] && nuSum[0] == nuSum[1],
+		})
+	}
+	return out, nil
+}
+
+// RenderAblationModel renders the invariance table.
+func RenderAblationModel(rows []ModelInvariance) string {
+	tb := textplot.NewTable(
+		"Ablation — V_T<->N_D model invariance (ternary, M=6, N=10)",
+		"code", "Φ phys", "Φ table", "‖Σ‖₁ phys", "‖Σ‖₁ table", "invariant")
+	for _, r := range rows {
+		inv := "yes"
+		if !r.Invariant {
+			inv = "NO"
+		}
+		tb.AddRowf(r.CodeType.String(), r.PhiPhysical, r.PhiTable, r.NuSumPhysical, r.NuSumTable, inv)
+	}
+	return tb.String()
+}
+
+// BoundaryPoint is one boundary-loss evaluation.
+type BoundaryPoint struct {
+	LossWires int
+	Yield     float64
+	BitArea   float64
+}
+
+// AblationBoundary sweeps the per-boundary wire loss — the second
+// calibration constant — on a short-code design (TC M=6) where contact
+// groups dominate.
+func AblationBoundary(losses []int) ([]BoundaryPoint, error) {
+	var out []BoundaryPoint
+	for _, loss := range losses {
+		cfg := core.Config{CodeType: code.TypeTree, CodeLength: 6}
+		cfg.Spec = geometry.DefaultCrossbarSpec()
+		cfg.Spec.BoundaryLossWires = loss
+		d, err := core.NewDesign(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BoundaryPoint{LossWires: loss, Yield: d.Yield(), BitArea: d.BitArea()})
+	}
+	return out, nil
+}
+
+// RenderAblationBoundary renders the boundary-loss sweep.
+func RenderAblationBoundary(points []BoundaryPoint) string {
+	tb := textplot.NewTable(
+		"Ablation — wires lost per contact-group boundary (TC, M=6)",
+		"loss/boundary", "yield", "bit area [nm²]")
+	for _, p := range points {
+		tb.AddRowf(p.LossWires, fmt.Sprintf("%.1f%%", 100*p.Yield), p.BitArea)
+	}
+	return tb.String()
+}

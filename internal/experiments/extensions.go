@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/geometry"
+	"nwdec/internal/textplot"
+)
+
+// MultiValuedPoint is one (logic valency, code type) evaluation of the full
+// platform — the paper's "similar results were obtained for these codes
+// with a higher logic level" made concrete.
+type MultiValuedPoint struct {
+	Base    int
+	Type    code.Type
+	Length  int
+	Phi     int
+	Yield   float64
+	BitArea float64
+}
+
+// MultiValued evaluates tree, Gray and balanced Gray decoders in binary,
+// ternary and quaternary logic. The code length per valency is chosen so
+// the code spaces have comparable sizes (>= one contact group of wires).
+func MultiValued(cfg core.Config) ([]MultiValuedPoint, error) {
+	grids := []struct {
+		base   int
+		length int
+	}{
+		{2, 10}, // Ω = 32
+		{3, 6},  // Ω = 27
+		{4, 6},  // Ω = 64
+	}
+	hotGrids := map[int]int{2: 6, 3: 6, 4: 4} // HC lengths per base (M = k·n)
+	var out []MultiValuedPoint
+	for _, grid := range grids {
+		families := []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray,
+			code.TypeHot, code.TypeArrangedHot}
+		for _, tp := range families {
+			c := cfg
+			c.CodeType = tp
+			c.Base = grid.base
+			c.CodeLength = grid.length
+			if !tp.Reflected() {
+				c.CodeLength = hotGrids[grid.base]
+			}
+			d, err := core.NewDesign(c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: multi-valued %v base %d: %w", tp, grid.base, err)
+			}
+			out = append(out, MultiValuedPoint{
+				Base:    grid.base,
+				Type:    tp,
+				Length:  c.CodeLength,
+				Phi:     d.Phi,
+				Yield:   d.Yield(),
+				BitArea: d.BitArea(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderMultiValued renders the multi-valued extension table.
+func RenderMultiValued(points []MultiValuedPoint) string {
+	tb := textplot.NewTable(
+		"Extension — multi-valued decoders on the 16 kbit platform",
+		"base", "code", "M", "Φ", "yield", "bit area [nm²]")
+	for _, p := range points {
+		tb.AddRowf(p.Base, p.Type.String(), p.Length, p.Phi,
+			fmt.Sprintf("%.1f%%", 100*p.Yield), p.BitArea)
+	}
+	return tb.String() +
+		"\nGray arrangements keep their Φ and yield advantage at every logic\n" +
+		"valency; higher valencies shorten the code but tighten the V_T margin.\n"
+}
+
+// ScalingPoint is one half-cave-population evaluation.
+type ScalingPoint struct {
+	HalfCaveWires int
+	Phi           int
+	Yield         float64
+	BitArea       float64
+}
+
+// Scaling sweeps the number of nanowires per half cave (the MSPT spacer
+// iteration count) for a balanced Gray decoder: deeper caves amortize
+// contact area but accumulate more doses per wire, so yield falls — the
+// process-design trade-off behind the paper's fixed N.
+func Scaling(cfg core.Config, wireCounts []int) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, n := range wireCounts {
+		c := cfg
+		c.CodeType = code.TypeBalancedGray
+		c.CodeLength = 10
+		if c.Spec.RawBits == 0 {
+			c.Spec = geometry.DefaultCrossbarSpec()
+		}
+		c.Spec.HalfCaveWires = n
+		d, err := core.NewDesign(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling N=%d: %w", n, err)
+		}
+		out = append(out, ScalingPoint{
+			HalfCaveWires: n,
+			Phi:           d.Phi,
+			Yield:         d.Yield(),
+			BitArea:       d.BitArea(),
+		})
+	}
+	return out, nil
+}
+
+// RenderScaling renders the cave-depth sweep.
+func RenderScaling(points []ScalingPoint) string {
+	tb := textplot.NewTable(
+		"Extension — half-cave population sweep (BGC, M=10)",
+		"N wires", "Φ", "yield", "bit area [nm²]")
+	for _, p := range points {
+		tb.AddRowf(p.HalfCaveWires, p.Phi,
+			fmt.Sprintf("%.1f%%", 100*p.Yield), p.BitArea)
+	}
+	return tb.String()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/textplot"
+)
+
+// TreeFamilyLengths is the code-length grid of the tree-based panels of
+// Figs. 7 and 8.
+var TreeFamilyLengths = []int{6, 8, 10}
+
+// HotFamilyLengths is the code-length grid of the hot-code panels of
+// Figs. 7 and 8.
+var HotFamilyLengths = []int{4, 6, 8}
+
+// YieldPoint is one (code type, code length) evaluation of the 16 kbit
+// crossbar platform.
+type YieldPoint struct {
+	Type    code.Type
+	Length  int
+	Yield   float64
+	BitArea float64
+	// Phi and AvgVariability give the fabrication-side costs of the same
+	// design point.
+	Phi            int
+	AvgVariability float64
+}
+
+// sweepFamily evaluates one code family across a length grid on the default
+// platform (overridable through cfg).
+func sweepFamily(cfg core.Config, tp code.Type, lengths []int) ([]YieldPoint, error) {
+	cfg.CodeType = tp
+	var out []YieldPoint
+	for _, m := range lengths {
+		c := cfg
+		c.CodeLength = m
+		d, err := core.NewDesign(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s M=%d: %w", tp, m, err)
+		}
+		out = append(out, YieldPoint{
+			Type:           tp,
+			Length:         m,
+			Yield:          d.Yield(),
+			BitArea:        d.BitArea(),
+			Phi:            d.Phi,
+			AvgVariability: d.AvgVariability,
+		})
+	}
+	return out, nil
+}
+
+// Fig7 computes the crossbar yield versus code length for the paper's two
+// panels: TC vs BGC over lengths 6/8/10 and HC vs AHC over lengths 4/6/8.
+func Fig7(cfg core.Config) ([]YieldPoint, error) {
+	var out []YieldPoint
+	for _, panel := range []struct {
+		tp      code.Type
+		lengths []int
+	}{
+		{code.TypeTree, TreeFamilyLengths},
+		{code.TypeBalancedGray, TreeFamilyLengths},
+		{code.TypeHot, HotFamilyLengths},
+		{code.TypeArrangedHot, HotFamilyLengths},
+	} {
+		pts, err := sweepFamily(cfg, panel.tp, panel.lengths)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// find returns the point for (tp, length), or nil.
+func find(points []YieldPoint, tp code.Type, length int) *YieldPoint {
+	for i := range points {
+		if points[i].Type == tp && points[i].Length == length {
+			return &points[i]
+		}
+	}
+	return nil
+}
+
+// RenderFig7 renders the yield panels with the paper's comparison ratios.
+func RenderFig7(points []YieldPoint) string {
+	s := textplot.NewSeries("Fig. 7 — crossbar yield (addressable crosspoint fraction)", "%")
+	tb := textplot.NewTable("", "code", "M", "yield", "Φ", "avg Σ [σ²]")
+	for _, p := range points {
+		s.Set(p.Type.String(), fmt.Sprintf("M=%d", p.Length), 100*p.Yield)
+		tb.AddRowf(p.Type.String(), p.Length, fmt.Sprintf("%.1f%%", 100*p.Yield), p.Phi, p.AvgVariability/(0.05*0.05))
+	}
+	out := s.String() + "\n" + tb.String()
+	if tc6, tc10 := find(points, code.TypeTree, 6), find(points, code.TypeTree, 10); tc6 != nil && tc10 != nil {
+		out += fmt.Sprintf("\nTC yield gain M 6->10: %+.0f%% (paper: ~40%%)", 100*(tc10.Yield-tc6.Yield)/tc6.Yield)
+	}
+	if hc4, hc8 := find(points, code.TypeHot, 4), find(points, code.TypeHot, 8); hc4 != nil && hc8 != nil {
+		out += fmt.Sprintf("\nHC yield gain M 4->8:  %+.0f%% (paper: ~40%%)", 100*(hc8.Yield-hc4.Yield)/hc4.Yield)
+	}
+	if tc, bgc := find(points, code.TypeTree, 8), find(points, code.TypeBalancedGray, 8); tc != nil && bgc != nil {
+		out += fmt.Sprintf("\nBGC vs TC at M=8:      %+.0f%% (paper: +42%%)", 100*(bgc.Yield-tc.Yield)/tc.Yield)
+	}
+	if hc, ahc := find(points, code.TypeHot, 8), find(points, code.TypeArrangedHot, 8); hc != nil && ahc != nil {
+		out += fmt.Sprintf("\nAHC vs HC at M=8:      %+.0f%% (paper: +19%%)", 100*(ahc.Yield-hc.Yield)/hc.Yield)
+	}
+	return out + "\n"
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/textplot"
+)
+
+// Fig8 computes the effective area per functional bit for all five code
+// families over their length grids (tree family 6/8/10, hot family 4/6/8) —
+// the paper's Fig. 8.
+func Fig8(cfg core.Config) ([]YieldPoint, error) {
+	var out []YieldPoint
+	for _, panel := range []struct {
+		tp      code.Type
+		lengths []int
+	}{
+		{code.TypeTree, TreeFamilyLengths},
+		{code.TypeGray, TreeFamilyLengths},
+		{code.TypeBalancedGray, TreeFamilyLengths},
+		{code.TypeHot, HotFamilyLengths},
+		{code.TypeArrangedHot, HotFamilyLengths},
+	} {
+		pts, err := sweepFamily(cfg, panel.tp, panel.lengths)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// Fig8Best returns the smallest bit area per code family.
+func Fig8Best(points []YieldPoint) map[code.Type]YieldPoint {
+	best := make(map[code.Type]YieldPoint)
+	for _, p := range points {
+		if cur, ok := best[p.Type]; !ok || p.BitArea < cur.BitArea {
+			best[p.Type] = p
+		}
+	}
+	return best
+}
+
+// Fig8MinBitArea returns the overall smallest bit area and its point.
+func Fig8MinBitArea(points []YieldPoint) YieldPoint {
+	min := YieldPoint{BitArea: math.Inf(1)}
+	for _, p := range points {
+		if p.BitArea < min.BitArea {
+			min = p
+		}
+	}
+	return min
+}
+
+// RenderFig8 renders the bit-area figure and the paper's comparison ratios.
+func RenderFig8(points []YieldPoint) string {
+	s := textplot.NewSeries("Fig. 8 — average area per functional bit", " nm²")
+	tb := textplot.NewTable("", "code", "M", "bit area [nm²]", "yield")
+	for _, p := range points {
+		s.Set(p.Type.String(), fmt.Sprintf("M=%d", p.Length), p.BitArea)
+		tb.AddRowf(p.Type.String(), p.Length, p.BitArea, fmt.Sprintf("%.1f%%", 100*p.Yield))
+	}
+	out := s.String() + "\n" + tb.String()
+	if tc6, tc10 := find(points, code.TypeTree, 6), find(points, code.TypeTree, 10); tc6 != nil && tc10 != nil {
+		out += fmt.Sprintf("\nTC area saving M 6->10:   %.0f%% (paper: 51%%)",
+			100*(tc6.BitArea-tc10.BitArea)/tc6.BitArea)
+	}
+	if tc, bgc := find(points, code.TypeTree, 8), find(points, code.TypeBalancedGray, 8); tc != nil && bgc != nil {
+		out += fmt.Sprintf("\nBGC density vs TC at M=8: %.0f%% denser (paper: 30%%)",
+			100*(tc.BitArea-bgc.BitArea)/tc.BitArea)
+	}
+	if hc, ahc := find(points, code.TypeHot, 6), find(points, code.TypeArrangedHot, 6); hc != nil && ahc != nil {
+		out += fmt.Sprintf("\nAHC area vs HC at M=6:    %.0f%% smaller (paper: 13%%)",
+			100*(hc.BitArea-ahc.BitArea)/hc.BitArea)
+	}
+	min := Fig8MinBitArea(points)
+	out += fmt.Sprintf("\nsmallest bit area: %.0f nm² with %s M=%d (paper: 169 nm² BGC, 175 nm² AHC)\n",
+		min.BitArea, min.Type, min.Length)
+	return out
+}

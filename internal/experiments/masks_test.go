@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nwdec/internal/core"
+)
+
+func TestMasksEconomics(t *testing.T) {
+	points, err := Masks(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("want 5 points, got %d", len(points))
+	}
+	for _, p := range points {
+		if p.DistinctMasks <= 0 || p.Passes <= 0 {
+			t.Errorf("%v: empty mask set", p.Type)
+		}
+		if p.DistinctMasks > p.Passes {
+			t.Errorf("%v: more masks (%d) than passes (%d)", p.Type, p.DistinctMasks, p.Passes)
+		}
+		if p.ReuseFactor < 1 {
+			t.Errorf("%v: reuse factor %g below 1", p.Type, p.ReuseFactor)
+		}
+		// Binary decoders: every pass targets a subset of the M columns,
+		// so the mask library stays small relative to the pass count.
+		if p.DistinctMasks > 2*p.Length {
+			t.Errorf("%v: %d masks for M=%d implausible", p.Type, p.DistinctMasks, p.Length)
+		}
+	}
+	out := RenderMasks(points)
+	if !strings.Contains(out, "mask-set economics") || !strings.Contains(out, "reuse") {
+		t.Error("render incomplete")
+	}
+}

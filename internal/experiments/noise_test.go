@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nwdec/internal/core"
+)
+
+func TestNoiseStudy(t *testing.T) {
+	res, err := NoiseStudy(core.Config{}, 150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The derived per-dose sigma must be in the same regime as the paper's
+	// 50 mV assumption (within a factor of ~3).
+	ratio := res.DerivedSigmaT / res.AssumedSigmaT
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("derived σ_T %g V too far from assumed %g V", res.DerivedSigmaT, res.AssumedSigmaT)
+	}
+	// More noise, less yield (the derived sigma is above 50 mV here).
+	if res.DerivedSigmaT > res.AssumedSigmaT && res.YieldDerived >= res.YieldAssumed {
+		t.Errorf("yield did not fall with larger σ_T: %g vs %g", res.YieldDerived, res.YieldAssumed)
+	}
+	// The two functional yields agree within Monte-Carlo resolution.
+	if math.Abs(res.IIDYield-res.CorrelatedYield) > 0.05 {
+		t.Errorf("correlated yield %g deviates from iid %g beyond MC noise",
+			res.CorrelatedYield, res.IIDYield)
+	}
+	// Both functional yields track the analytic model loosely.
+	if math.Abs(res.IIDYield-res.YieldAssumed) > 0.12 {
+		t.Errorf("functional %g far from analytic %g", res.IIDYield, res.YieldAssumed)
+	}
+	out := RenderNoiseStudy(res)
+	for _, want := range []string{"derived per-dose", "pass-correlated", "mV"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestNoiseStudyDefaults(t *testing.T) {
+	res, err := NoiseStudy(core.Config{}, 0, 1) // trials default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 200 {
+		t.Errorf("default trials = %d", res.Trials)
+	}
+}
+
+func TestNoiseStudyDeterministic(t *testing.T) {
+	a, err := NoiseStudy(core.Config{}, 50, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NoiseStudy(core.Config{}, 50, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IIDYield != b.IIDYield || a.CorrelatedYield != b.CorrelatedYield {
+		t.Error("noise study not deterministic under fixed seed")
+	}
+}

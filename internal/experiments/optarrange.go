@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nwdec/internal/code"
+	"nwdec/internal/stats"
+	"nwdec/internal/textplot"
+)
+
+// OptArrangePoint compares arrangements of one randomly sampled word set.
+type OptArrangePoint struct {
+	Seed uint64
+	// SampledCost is the position-weighted transition cost of the set in
+	// sampling order.
+	SampledCost int
+	// OptimizedCost is the cost after greedy + 2-opt optimization.
+	OptimizedCost int
+	// LowerBound is the unreachable-in-general floor (every step at the
+	// minimum two-digit distance).
+	LowerBound int
+}
+
+// OptArrange demonstrates the generalized arrangement optimizer on word
+// sets with no closed-form Gray path: random 20-word subsets of the binary
+// reflected space (M=10). The paper's BGC/AHC handle full prefix sets; the
+// optimizer recovers near-Gray cost for arbitrary sets — the tool a
+// decoder designer needs when some words are excluded (e.g. reserved or
+// known-bad patterns).
+func OptArrange(seeds []uint64, budget int) ([]OptArrangePoint, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1, 2, 3, 4, 5}
+	}
+	const n, m = 20, 10
+	tc, err := code.NewTree(2, m)
+	if err != nil {
+		return nil, err
+	}
+	full, err := tc.Sequence(tc.SpaceSize())
+	if err != nil {
+		return nil, err
+	}
+	var out []OptArrangePoint
+	for _, seed := range seeds {
+		rng := stats.NewRNG(seed)
+		perm := rng.Perm(len(full))
+		words := make([]code.Word, n)
+		for i := range words {
+			words[i] = full[perm[i]]
+		}
+		opt := code.OptimizeArrangement(words, budget)
+		out = append(out, OptArrangePoint{
+			Seed:          seed,
+			SampledCost:   code.WeightedTransitionCost(words),
+			OptimizedCost: code.WeightedTransitionCost(opt),
+			LowerBound:    code.ArrangementLowerBound(n, 2),
+		})
+	}
+	return out, nil
+}
+
+// RenderOptArrange renders the optimizer comparison.
+func RenderOptArrange(points []OptArrangePoint) string {
+	tb := textplot.NewTable(
+		"Extension — arrangement optimizer on random 20-word subsets (M=10)",
+		"seed", "sampled order", "optimized", "lower bound", "recovered")
+	for _, p := range points {
+		rec := float64(p.SampledCost-p.OptimizedCost) / float64(p.SampledCost-p.LowerBound)
+		tb.AddRowf(p.Seed, p.SampledCost, p.OptimizedCost, p.LowerBound,
+			fmt.Sprintf("%.0f%%", 100*rec))
+	}
+	return tb.String() +
+		"\nCosts are the position-weighted transition sums (the arrangement-\n" +
+		"dependent part of ‖Σ‖₁); 'recovered' is the fraction of the gap to\n" +
+		"the Gray-path lower bound the optimizer closes.\n"
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptArrangeClosesGap(t *testing.T) {
+	points, err := OptArrange([]uint64{1, 2, 3}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(points))
+	}
+	for _, p := range points {
+		if p.OptimizedCost >= p.SampledCost {
+			t.Errorf("seed %d: no improvement (%d -> %d)", p.Seed, p.SampledCost, p.OptimizedCost)
+		}
+		if p.OptimizedCost < p.LowerBound {
+			t.Errorf("seed %d: optimized cost %d below the lower bound %d", p.Seed, p.OptimizedCost, p.LowerBound)
+		}
+		recovered := float64(p.SampledCost-p.OptimizedCost) / float64(p.SampledCost-p.LowerBound)
+		if recovered < 0.75 {
+			t.Errorf("seed %d: only %.0f%% of the gap recovered", p.Seed, 100*recovered)
+		}
+	}
+}
+
+func TestOptArrangeDefaultSeeds(t *testing.T) {
+	points, err := OptArrange(nil, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Errorf("default seed set has %d points", len(points))
+	}
+	out := RenderOptArrange(points)
+	for _, want := range []string{"arrangement optimizer", "lower bound", "recovered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/readout"
+	"nwdec/internal/stats"
+	"nwdec/internal/textplot"
+)
+
+// ReadoutPoint is the analog sensing analysis of one code family.
+type ReadoutPoint struct {
+	Type   code.Type
+	Length int
+	// DualRail marks the complementary-pair drive scheme (after DeHon et
+	// al.) instead of the simple band-edge drive.
+	DualRail bool
+	// SensableFraction is the Monte-Carlo fraction of reads meeting the
+	// on/off current-ratio criterion.
+	SensableFraction float64
+	// MedianRatio is the median on/off current ratio.
+	MedianRatio float64
+	// DigitalYield is the margin-model yield of the same design for
+	// comparison.
+	DigitalYield float64
+}
+
+// Readout runs the analog sensing extension: the same designs as Fig. 7,
+// scored by the on/off current-ratio criterion of a series-transistor
+// readout path instead of the digital threshold margin.
+func Readout(cfg core.Config, trials int, seed uint64) ([]ReadoutPoint, error) {
+	if trials <= 0 {
+		trials = 60
+	}
+	tr := readout.DefaultTransistor()
+	rng := stats.NewRNG(seed)
+	var out []ReadoutPoint
+	for _, pt := range []struct {
+		tp code.Type
+		m  int
+	}{
+		{code.TypeTree, 10},
+		{code.TypeGray, 10},
+		{code.TypeBalancedGray, 10},
+		{code.TypeArrangedHot, 6},
+	} {
+		c := cfg
+		c.CodeType = pt.tp
+		c.CodeLength = pt.m
+		d, err := core.NewDesign(c)
+		if err != nil {
+			return nil, err
+		}
+		study, err := readout.MonteCarlo(tr, d.Plan, d.Quantizer, d.Config.SigmaT,
+			readout.DefaultMinRatio, trials, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ReadoutPoint{
+			Type:             pt.tp,
+			Length:           pt.m,
+			SensableFraction: study.SensableFraction,
+			MedianRatio:      study.Ratios.Median,
+			DigitalYield:     d.Yield(),
+		})
+		// The arranged hot code gets a second row under the dual-rail
+		// drive, which multiplies its blockers per unselected wire.
+		if pt.tp == code.TypeArrangedHot {
+			dual, err := readout.MonteCarloDualRail(tr, d.Plan, d.Quantizer, d.Config.SigmaT,
+				readout.DefaultMinRatio, trials, rng.Split())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ReadoutPoint{
+				Type:             pt.tp,
+				Length:           pt.m,
+				DualRail:         true,
+				SensableFraction: dual.SensableFraction,
+				MedianRatio:      dual.Ratios.Median,
+				DigitalYield:     d.Yield(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderReadout renders the sensing extension table.
+func RenderReadout(points []ReadoutPoint) string {
+	tb := textplot.NewTable(
+		"Extension — analog readout (series-FET on/off current ratio >= 10)",
+		"code", "M", "sensable", "median on/off", "digital-margin yield")
+	for _, p := range points {
+		name := p.Type.String()
+		if p.DualRail {
+			name += " (dual-rail)"
+		}
+		tb.AddRowf(name, p.Length,
+			fmt.Sprintf("%.1f%%", 100*p.SensableFraction),
+			fmt.Sprintf("%.1f", p.MedianRatio),
+			fmt.Sprintf("%.1f%%", 100*p.DigitalYield))
+	}
+	return tb.String() +
+		"\nWithin the tree family the analog criterion preserves the paper's\n" +
+		"ordering (BGC >= GC > TC): optimized arrangements accumulate fewer\n" +
+		"doses per region and keep higher sensing margins. Hot codes fare\n" +
+		"worse than their digital margin suggests under the simple band-edge\n" +
+		"drive — every unselected wire leaks through exactly one blocking\n" +
+		"device — and the dual-rail row shows the fix: the complementary-pair\n" +
+		"drive of DeHon et al. blocks every mismatched position and restores\n" +
+		"the sensing margin to the digital-model level.\n"
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nwdec/internal/core"
+)
+
+// Runner executes named experiments and returns their text reports.
+type Runner struct {
+	// Cfg is the base platform configuration shared by all experiments.
+	Cfg core.Config
+	// MCTrials is the Monte-Carlo repetition count for the validation
+	// experiment.
+	MCTrials int
+	// Seed drives the Monte-Carlo experiment.
+	Seed uint64
+}
+
+// NewRunner returns a Runner on the paper's default platform.
+func NewRunner() *Runner {
+	return &Runner{Cfg: core.Config{}, MCTrials: 4, Seed: 2009}
+}
+
+// Names lists the available experiment names in presentation order: first
+// the paper's figures, then the reproduction's ablations and extensions.
+func (r *Runner) Names() []string {
+	return []string{
+		"fig5", "fig6", "fig6hot", "fig7", "fig8", "headline", "montecarlo",
+		"arrangement", "margin", "model", "boundary", "multivalued", "scaling", "noise", "readout", "temperature", "optarrange", "masks", "spares", "sneak",
+	}
+}
+
+// Run executes one experiment by name and returns its rendered report.
+func (r *Runner) Run(name string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "fig5":
+		rows, err := Fig5(Fig5N)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig5(rows), nil
+	case "fig6":
+		surfaces, err := Fig6(Fig6N, []int{8, 10})
+		if err != nil {
+			return "", err
+		}
+		return RenderFig6(surfaces), nil
+	case "fig6hot":
+		surfaces, err := Fig6Hot(Fig6N, []int{6, 8})
+		if err != nil {
+			return "", err
+		}
+		return RenderFig6Hot(surfaces), nil
+	case "fig7":
+		points, err := Fig7(r.Cfg)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig7(points), nil
+	case "fig8":
+		points, err := Fig8(r.Cfg)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig8(points), nil
+	case "headline":
+		claims, err := Headline(r.Cfg)
+		if err != nil {
+			return "", err
+		}
+		return RenderHeadline(claims), nil
+	case "montecarlo", "mc":
+		points, err := MonteCarlo(r.Cfg, r.MCTrials, r.Seed)
+		if err != nil {
+			return "", err
+		}
+		return RenderMonteCarlo(points), nil
+	case "arrangement":
+		points, err := AblationArrangement([]uint64{1, 2, 3})
+		if err != nil {
+			return "", err
+		}
+		return RenderAblationArrangement(points), nil
+	case "margin":
+		points, err := AblationMargin([]float64{0.4, 0.6, 0.8, 1.0})
+		if err != nil {
+			return "", err
+		}
+		return RenderAblationMargin(points), nil
+	case "model":
+		rows, err := AblationModel()
+		if err != nil {
+			return "", err
+		}
+		return RenderAblationModel(rows), nil
+	case "boundary":
+		points, err := AblationBoundary([]int{0, 1, 2, 4})
+		if err != nil {
+			return "", err
+		}
+		return RenderAblationBoundary(points), nil
+	case "multivalued":
+		points, err := MultiValued(r.Cfg)
+		if err != nil {
+			return "", err
+		}
+		return RenderMultiValued(points), nil
+	case "noise":
+		res, err := NoiseStudy(r.Cfg, r.MCTrials*50, r.Seed)
+		if err != nil {
+			return "", err
+		}
+		return RenderNoiseStudy(res), nil
+	case "readout":
+		points, err := Readout(r.Cfg, r.MCTrials*15, r.Seed)
+		if err != nil {
+			return "", err
+		}
+		return RenderReadout(points), nil
+	case "temperature":
+		points, err := Temperature(r.Cfg, nil)
+		if err != nil {
+			return "", err
+		}
+		return RenderTemperature(points), nil
+	case "optarrange":
+		points, err := OptArrange(nil, 20000)
+		if err != nil {
+			return "", err
+		}
+		return RenderOptArrange(points), nil
+	case "masks":
+		points, err := Masks(r.Cfg)
+		if err != nil {
+			return "", err
+		}
+		return RenderMasks(points), nil
+	case "spares":
+		points, err := Spares(r.Cfg)
+		if err != nil {
+			return "", err
+		}
+		return RenderSpares(points), nil
+	case "sneak":
+		points, err := Sneak(nil)
+		if err != nil {
+			return "", err
+		}
+		return RenderSneak(points), nil
+	case "scaling":
+		points, err := Scaling(r.Cfg, []int{10, 16, 20, 26, 32})
+		if err != nil {
+			return "", err
+		}
+		return RenderScaling(points), nil
+	default:
+		known := r.Names()
+		sort.Strings(known)
+		return "", fmt.Errorf("experiments: unknown experiment %q (known: %s, all)", name, strings.Join(known, ", "))
+	}
+}
+
+// RunAll executes every experiment and concatenates the reports.
+func (r *Runner) RunAll() (string, error) {
+	var sb strings.Builder
+	for _, name := range r.Names() {
+		report, err := r.Run(name)
+		if err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		fmt.Fprintf(&sb, "==== %s ====\n%s\n", name, report)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nwdec/internal/core"
+	"nwdec/internal/physics"
+)
+
+func TestTemperatureStudy(t *testing.T) {
+	points, err := Temperature(core.Config{}, []float64{250, 300, 350, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("want 4 points, got %d", len(points))
+	}
+	var at300 TemperaturePoint
+	for _, p := range points {
+		if p.TempK == 300 {
+			at300 = p
+		}
+	}
+	if at300.WorstDrift > 1e-9 {
+		t.Errorf("drift at the design temperature = %g, want 0", at300.WorstDrift)
+	}
+	for _, p := range points {
+		if p.TempK == 300 {
+			continue
+		}
+		if p.WorstDrift <= 0 {
+			t.Errorf("T=%g: no drift off the design point", p.TempK)
+		}
+		if p.Yield >= at300.Yield {
+			t.Errorf("T=%g: yield %g not below design-point yield %g", p.TempK, p.Yield, at300.Yield)
+		}
+	}
+	// Hotter means more drift on the high side.
+	if points[3].WorstDrift <= points[2].WorstDrift {
+		t.Error("drift not growing with temperature above 300 K")
+	}
+	out := RenderTemperature(points)
+	if !strings.Contains(out, "thermal robustness") || !strings.Contains(out, "drift") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTemperatureDefaultGrid(t *testing.T) {
+	points, err := Temperature(core.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Errorf("default grid has %d points", len(points))
+	}
+}
+
+func TestTemperatureNeedsPhysicalModel(t *testing.T) {
+	cfg := core.Config{Model: physics.PaperExampleTable(), VMax: 0.6}
+	if _, err := Temperature(cfg, []float64{300}); err == nil {
+		t.Error("table model accepted for a temperature study")
+	}
+}
+
+func TestTemperatureRejectsExtremes(t *testing.T) {
+	if _, err := Temperature(core.Config{}, []float64{100}); err == nil {
+		t.Error("out-of-validity temperature accepted")
+	}
+}
+
+func TestAtTemperatureModel(t *testing.T) {
+	m := physics.DefaultPhysicalModel()
+	hot, err := m.AtTemperature(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher temperature raises n_i, lowering psi_B and the threshold.
+	if hot.VT(2e18) >= m.VT(2e18) {
+		t.Errorf("threshold did not drop at 400 K: %g vs %g", hot.VT(2e18), m.VT(2e18))
+	}
+	same, err := m.AtTemperature(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := same.VT(2e18) - m.VT(2e18); d > 1e-6 || d < -1e-6 {
+		t.Errorf("300 K round trip drifted by %g", d)
+	}
+	if _, err := m.AtTemperature(1000); err == nil {
+		t.Error("1000 K accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package geometry models the physical layout of an MSPT nanowire crossbar:
+// caves and half caves, lithographically defined contact groups bridging the
+// sub-lithographic nanowire pitch to the CMOS pitch, and the area of the
+// complete crossbar including its decoder overhead.
+//
+// The layout rules follow Sec. 6.1 of the paper: the lithography pitch P_L
+// is 32 nm and the nanowire pitch P_N is 10 nm; every contact group must be
+// at least 1.5 x P_L wide, and at most Ω nanowires (the code space size) can
+// share one group, because nanowires within a group are distinguished only
+// by their codes.
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the technology constants of the layout.
+type Params struct {
+	// LithoPitch is the lithographic (meso) pitch P_L in nm.
+	LithoPitch float64
+	// NanowirePitch is the sub-lithographic nanowire pitch P_N in nm.
+	NanowirePitch float64
+	// MinContactFactor scales LithoPitch to the minimum contact-group
+	// width (standard layout rules: 1.5).
+	MinContactFactor float64
+	// BoundaryLossWires is the number of nanowires lost at each internal
+	// boundary between adjacent contact groups: the lithographic contact
+	// edge cannot be aligned to the nanowire grid, so wires under the edge
+	// may be contacted by both groups and must be removed from the
+	// addressable set (after DeHon et al.). A negative value selects the
+	// default P_L / (2·P_N) rounded to the nearest integer.
+	BoundaryLossWires int
+}
+
+// DefaultParams returns the paper's technology point: P_L = 32 nm,
+// P_N = 10 nm, minimum contact width 1.5 x P_L, and the default boundary
+// loss of P_L/(2 P_N) ≈ 2 wires per internal group boundary.
+func DefaultParams() Params {
+	return Params{
+		LithoPitch:        32,
+		NanowirePitch:     10,
+		MinContactFactor:  1.5,
+		BoundaryLossWires: -1,
+	}
+}
+
+// boundaryLoss resolves the configured or default per-boundary wire loss.
+func (p Params) boundaryLoss() int {
+	if p.BoundaryLossWires >= 0 {
+		return p.BoundaryLossWires
+	}
+	return int(math.Round(p.LithoPitch / (2 * p.NanowirePitch)))
+}
+
+// MinGroupWires returns the smallest number of nanowires a contact group may
+// span: ceil(MinContactFactor x P_L / P_N).
+func (p Params) MinGroupWires() int {
+	return int(math.Ceil(p.MinContactFactor * p.LithoPitch / p.NanowirePitch))
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	if p.LithoPitch <= 0 || p.NanowirePitch <= 0 {
+		return fmt.Errorf("geometry: pitches must be positive (P_L=%g, P_N=%g)", p.LithoPitch, p.NanowirePitch)
+	}
+	if p.NanowirePitch > p.LithoPitch {
+		return fmt.Errorf("geometry: nanowire pitch %g exceeds litho pitch %g", p.NanowirePitch, p.LithoPitch)
+	}
+	if p.MinContactFactor < 1 {
+		return fmt.Errorf("geometry: minimum contact factor %g below 1", p.MinContactFactor)
+	}
+	return nil
+}
+
+// ContactPlan describes how the N nanowires of a half cave are partitioned
+// into contact groups.
+type ContactPlan struct {
+	// GroupWires is the number of nanowires spanned by each contact group
+	// (the last group may be narrower).
+	GroupWires int
+	// Groups is the number of contact groups per half cave.
+	Groups int
+	// BoundaryLost is the total number of nanowires per half cave removed
+	// because they sit under an internal group boundary.
+	BoundaryLost int
+	// DuplicateLost is the number of nanowires per half cave whose code
+	// word repeats inside their own group (only when the minimum group
+	// width exceeds the code space size) and which are therefore not
+	// uniquely addressable.
+	DuplicateLost int
+}
+
+// PlanContacts partitions a half cave of n nanowires given the code space
+// size spaceSize (Ω). Groups hold min(Ω, n) wires but never fewer than the
+// lithographic minimum width; when Ω is smaller than the minimum width the
+// surplus wires in each group carry duplicate codes and are lost.
+func (p Params) PlanContacts(n, spaceSize int) (ContactPlan, error) {
+	if err := p.Validate(); err != nil {
+		return ContactPlan{}, err
+	}
+	if n <= 0 {
+		return ContactPlan{}, fmt.Errorf("geometry: need at least one nanowire, got %d", n)
+	}
+	if spaceSize <= 0 {
+		return ContactPlan{}, fmt.Errorf("geometry: non-positive code space size %d", spaceSize)
+	}
+	group := spaceSize
+	if group > n {
+		group = n
+	}
+	dupPerGroup := 0
+	if min := p.MinGroupWires(); group < min {
+		if min > n {
+			min = n
+		}
+		dupPerGroup = min - group
+		if dupPerGroup < 0 {
+			dupPerGroup = 0
+		}
+		group = min
+	}
+	groups := (n + group - 1) / group
+	plan := ContactPlan{
+		GroupWires:    group,
+		Groups:        groups,
+		BoundaryLost:  p.boundaryLoss() * (groups - 1),
+		DuplicateLost: dupPerGroup * groups,
+	}
+	if plan.BoundaryLost+plan.DuplicateLost > n {
+		excess := plan.BoundaryLost + plan.DuplicateLost - n
+		if plan.BoundaryLost >= excess {
+			plan.BoundaryLost -= excess
+		} else {
+			plan.DuplicateLost -= excess - plan.BoundaryLost
+			plan.BoundaryLost = 0
+		}
+	}
+	return plan, nil
+}
+
+// Lost returns the total unaddressable wires per half cave due to layout.
+func (c ContactPlan) Lost() int { return c.BoundaryLost + c.DuplicateLost }

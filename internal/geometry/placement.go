@@ -1,0 +1,90 @@
+package geometry
+
+import "fmt"
+
+// Side distinguishes the two mirrored halves of an MSPT cave. The
+// multi-spacer process grows spacers inward from both sacrificial-layer
+// walls, so the second half cave is the mirror image of the first about the
+// cave's symmetry axis.
+type Side int
+
+// Cave sides.
+const (
+	// SideA is the half cave grown from the left cave wall.
+	SideA Side = iota
+	// SideB is the mirrored half grown from the right wall.
+	SideB
+)
+
+// String names the side.
+func (s Side) String() string {
+	if s == SideA {
+		return "A"
+	}
+	return "B"
+}
+
+// Placement locates one nanowire physically on a crossbar layer.
+type Placement struct {
+	// Wire is the global wire index on the layer (0 = first wire).
+	Wire int
+	// Cave is the cave the wire sits in.
+	Cave int
+	// Side is the half cave within the cave.
+	Side Side
+	// DefinitionIndex is the wire's position in *spacer definition order*
+	// within its half cave: 0 is the first spacer deposited (nearest the
+	// cave wall). This is the row index into the pattern matrix P.
+	DefinitionIndex int
+	// Position is the wire's physical offset in nanowire pitches from the
+	// left edge of the layer.
+	Position int
+}
+
+// Placements lays out a whole crossbar layer: wires fill caves left to
+// right; inside each cave, side A holds wires in definition order (wall
+// first) and side B mirrors them (wall last), reproducing the symmetric
+// structure of Fig. 3.
+func Placements(wires, halfCaveWires int) ([]Placement, error) {
+	if wires <= 0 {
+		return nil, fmt.Errorf("geometry: non-positive wire count %d", wires)
+	}
+	if halfCaveWires <= 0 {
+		return nil, fmt.Errorf("geometry: non-positive half-cave population %d", halfCaveWires)
+	}
+	out := make([]Placement, wires)
+	for w := 0; w < wires; w++ {
+		caveWidth := 2 * halfCaveWires
+		cave := w / caveWidth
+		offset := w % caveWidth
+		p := Placement{Wire: w, Cave: cave, Position: w}
+		if offset < halfCaveWires {
+			p.Side = SideA
+			p.DefinitionIndex = offset
+		} else {
+			p.Side = SideB
+			// Mirrored: the wire nearest the right wall (largest offset)
+			// was defined first.
+			p.DefinitionIndex = caveWidth - 1 - offset
+		}
+		out[w] = p
+	}
+	return out, nil
+}
+
+// NeighborsAcrossAxis reports whether two placements are physically
+// adjacent across a cave symmetry axis: the two last-defined spacers of a
+// cave touch in the middle. Such pairs carry identical patterns (both halves
+// replay the same doping plan), which is why unique addressing only needs to
+// hold per half cave — the halves are contacted by different mesowire
+// groups.
+func NeighborsAcrossAxis(a, b Placement) bool {
+	if a.Cave != b.Cave || a.Side == b.Side {
+		return false
+	}
+	lo, hi := a, b
+	if lo.Position > hi.Position {
+		lo, hi = hi, lo
+	}
+	return hi.Position-lo.Position == 1 && lo.Side == SideA && hi.Side == SideB
+}

@@ -1,0 +1,108 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlacementsStructure(t *testing.T) {
+	const wires, n = 12, 3 // two caves of 6
+	ps, err := Placements(wires, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != wires {
+		t.Fatalf("got %d placements", len(ps))
+	}
+	// First cave, side A: definition order equals position.
+	for w := 0; w < 3; w++ {
+		p := ps[w]
+		if p.Cave != 0 || p.Side != SideA || p.DefinitionIndex != w || p.Position != w {
+			t.Errorf("wire %d: %+v", w, p)
+		}
+	}
+	// First cave, side B: mirrored — wire 5 (right wall) defined first.
+	if ps[5].Side != SideB || ps[5].DefinitionIndex != 0 {
+		t.Errorf("wire 5: %+v", ps[5])
+	}
+	if ps[3].DefinitionIndex != 2 {
+		t.Errorf("wire 3 (centre): %+v", ps[3])
+	}
+	// Second cave repeats the pattern.
+	if ps[6].Cave != 1 || ps[6].Side != SideA || ps[6].DefinitionIndex != 0 {
+		t.Errorf("wire 6: %+v", ps[6])
+	}
+}
+
+func TestPlacementsMirrorSymmetry(t *testing.T) {
+	ps, err := Placements(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each cave, the definition indices are symmetric about the
+	// axis: position k from the left wall equals position k from the right.
+	for cave := 0; cave < 2; cave++ {
+		base := cave * 20
+		for k := 0; k < 10; k++ {
+			left := ps[base+k]
+			right := ps[base+19-k]
+			if left.DefinitionIndex != right.DefinitionIndex {
+				t.Errorf("cave %d offset %d: %d vs %d", cave, k,
+					left.DefinitionIndex, right.DefinitionIndex)
+			}
+		}
+	}
+}
+
+func TestNeighborsAcrossAxis(t *testing.T) {
+	ps, _ := Placements(12, 3)
+	// Wires 2 and 3 straddle the axis of cave 0.
+	if !NeighborsAcrossAxis(ps[2], ps[3]) || !NeighborsAcrossAxis(ps[3], ps[2]) {
+		t.Error("axis neighbors not detected")
+	}
+	if NeighborsAcrossAxis(ps[1], ps[2]) {
+		t.Error("same-side neighbors misreported")
+	}
+	if NeighborsAcrossAxis(ps[5], ps[6]) {
+		t.Error("cave-boundary neighbors misreported")
+	}
+	// Axis neighbors are the two *last defined* spacers.
+	if ps[2].DefinitionIndex != 2 || ps[3].DefinitionIndex != 2 {
+		t.Error("axis wires are not the last-defined spacers")
+	}
+}
+
+func TestPlacementsValidation(t *testing.T) {
+	if _, err := Placements(0, 4); err == nil {
+		t.Error("zero wires accepted")
+	}
+	if _, err := Placements(4, 0); err == nil {
+		t.Error("zero half-cave population accepted")
+	}
+}
+
+func TestPlacementsProperty(t *testing.T) {
+	f := func(wRaw, nRaw uint8) bool {
+		wires := int(wRaw%100) + 1
+		n := int(nRaw%12) + 1
+		ps, err := Placements(wires, n)
+		if err != nil {
+			return false
+		}
+		for i, p := range ps {
+			if p.Wire != i || p.Position != i {
+				return false
+			}
+			if p.DefinitionIndex < 0 || p.DefinitionIndex >= n {
+				return false
+			}
+			if p.Cave != i/(2*n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package mspt
+
+// The tests in this file reproduce the paper's worked Examples 1-6
+// bit-for-bit. They pin the semantics of the whole matrix algebra: if any of
+// these fail, the reproduction has diverged from the paper.
+
+import (
+	"math"
+	"testing"
+
+	"nwdec/internal/code"
+	"nwdec/internal/physics"
+)
+
+// paperDoses is the digit -> doping mapping of Example 1 in units of
+// 10^18 cm^-3: digits 0/1/2 need 2/4/9.
+var paperDoses = []int64{2, 4, 9}
+
+// paperTreePattern is the pattern matrix P of Example 1 (ternary tree-code
+// words 0121, 0220, 1012).
+func paperTreePattern() []code.Word {
+	return []code.Word{
+		code.FromDigits(0, 1, 2, 1),
+		code.FromDigits(0, 2, 2, 0),
+		code.FromDigits(1, 0, 1, 2),
+	}
+}
+
+// paperGrayPattern is the pattern matrix of Example 5, which replaces the
+// forbidden transition 0220 => 1012 with the Gray word 1210.
+func paperGrayPattern() []code.Word {
+	return []code.Word{
+		code.FromDigits(0, 1, 2, 1),
+		code.FromDigits(0, 2, 2, 0),
+		code.FromDigits(1, 2, 1, 0),
+	}
+}
+
+func mustPlan(t *testing.T, pattern []code.Word) *Plan {
+	t.Helper()
+	p, err := NewPlan(pattern, 3, paperDoses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExample1FinalDopingMatrix(t *testing.T) {
+	p := mustPlan(t, paperTreePattern())
+	wantD := [][]int64{
+		{2, 4, 9, 4},
+		{2, 9, 9, 2},
+		{4, 2, 4, 9},
+	}
+	checkInt64Matrix(t, "D", p.D(), wantD)
+}
+
+func TestExample1ThresholdMatrix(t *testing.T) {
+	// V = P mapped through the quantizer: digits 0/1/2 -> 0.1/0.3/0.5 V,
+	// i.e. the paper's matrix [[1,3,5,3],[1,5,5,1],[3,1,3,5]] x 0.1 V.
+	q := physics.PaperExampleQuantizer()
+	wantV := [][]float64{
+		{0.1, 0.3, 0.5, 0.3},
+		{0.1, 0.5, 0.5, 0.1},
+		{0.3, 0.1, 0.3, 0.5},
+	}
+	for i, w := range paperTreePattern() {
+		for j, digit := range w {
+			if got := q.VTOf(digit); math.Abs(got-wantV[i][j]) > 1e-12 {
+				t.Errorf("V[%d][%d] = %g, want %g", i, j, got, wantV[i][j])
+			}
+		}
+	}
+}
+
+func TestExample2StepDopingMatrix(t *testing.T) {
+	p := mustPlan(t, paperTreePattern())
+	wantS := [][]int64{
+		{0, -5, 0, 2},
+		{-2, 7, 5, -7},
+		{4, 2, 4, 9},
+	}
+	checkInt64Matrix(t, "S", p.S(), wantS)
+}
+
+func TestExample3FabricationComplexity(t *testing.T) {
+	p := mustPlan(t, paperTreePattern())
+	// Paper: φ_1 = 2, φ_2 = 4, φ_3 = 3, Φ = 9.
+	wantPhi := []int{2, 4, 3}
+	got := p.PhiPerStep()
+	for i := range wantPhi {
+		if got[i] != wantPhi[i] {
+			t.Errorf("φ_%d = %d, want %d", i+1, got[i], wantPhi[i])
+		}
+	}
+	if p.Phi() != 9 {
+		t.Errorf("Φ = %d, want 9", p.Phi())
+	}
+}
+
+func TestExample4VariabilityMatrix(t *testing.T) {
+	p := mustPlan(t, paperTreePattern())
+	wantNu := [][]int{
+		{2, 3, 2, 3},
+		{2, 2, 2, 2},
+		{1, 1, 1, 1},
+	}
+	checkIntMatrix(t, "ν", p.Nu(), wantNu)
+	// ‖Σ‖₁ = 22 σ_T².
+	if got := p.NuSum(); got != 22 {
+		t.Errorf("‖Σ‖₁/σ² = %d, want 22", got)
+	}
+	sigmaT := 0.05
+	if got := p.SigmaNorm1(sigmaT); math.Abs(got-22*sigmaT*sigmaT) > 1e-15 {
+		t.Errorf("SigmaNorm1 = %g", got)
+	}
+}
+
+func TestExample5GrayVariability(t *testing.T) {
+	p := mustPlan(t, paperGrayPattern())
+	wantS := [][]int64{
+		{0, -5, 0, 2},
+		{-2, 0, 5, 0},
+		{4, 9, 4, 2},
+	}
+	checkInt64Matrix(t, "S", p.S(), wantS)
+	wantNu := [][]int{
+		{2, 2, 2, 2},
+		{2, 1, 2, 1},
+		{1, 1, 1, 1},
+	}
+	checkIntMatrix(t, "ν", p.Nu(), wantNu)
+	if got := p.NuSum(); got != 18 {
+		t.Errorf("Gray ‖Σ‖₁/σ² = %d, want 18", got)
+	}
+}
+
+func TestExample6GrayFabricationComplexity(t *testing.T) {
+	p := mustPlan(t, paperGrayPattern())
+	wantPhi := []int{2, 2, 3}
+	got := p.PhiPerStep()
+	for i := range wantPhi {
+		if got[i] != wantPhi[i] {
+			t.Errorf("φ_%d = %d, want %d", i+1, got[i], wantPhi[i])
+		}
+	}
+	if p.Phi() != 7 {
+		t.Errorf("Gray Φ = %d, want 7", p.Phi())
+	}
+}
+
+func TestPaperExamplesGrayBeatsTree(t *testing.T) {
+	tree := mustPlan(t, paperTreePattern())
+	gray := mustPlan(t, paperGrayPattern())
+	if gray.Phi() >= tree.Phi() {
+		t.Errorf("Gray Φ %d not better than tree Φ %d", gray.Phi(), tree.Phi())
+	}
+	if gray.NuSum() >= tree.NuSum() {
+		t.Errorf("Gray ‖Σ‖₁ %d not better than tree %d", gray.NuSum(), tree.NuSum())
+	}
+}
+
+func TestPaperExampleFlowsVerify(t *testing.T) {
+	for _, pattern := range [][]code.Word{paperTreePattern(), paperGrayPattern()} {
+		p := mustPlan(t, pattern)
+		if err := p.Verify(); err != nil {
+			t.Errorf("flow replay diverges from matrices: %v", err)
+		}
+	}
+}
+
+func checkInt64Matrix(t *testing.T, name string, got, want [][]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s has %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("%s[%d][%d] = %d, want %d", name, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func checkIntMatrix(t *testing.T, name string, got, want [][]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s has %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("%s[%d][%d] = %d, want %d", name, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

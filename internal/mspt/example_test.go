@@ -1,0 +1,50 @@
+package mspt_test
+
+import (
+	"fmt"
+
+	"nwdec/internal/code"
+	"nwdec/internal/mspt"
+)
+
+// The paper's worked example end to end: the ternary tree-code patterns of
+// Example 1 cost Φ = 9 fabrication steps and ‖Σ‖₁ = 22σ²; switching the
+// last word to the Gray choice (Example 5) drops the costs to 7 and 18σ².
+func ExampleNewPlan() {
+	doses := []int64{2, 4, 9} // digit -> doping in 10^18 cm^-3
+	tree := []code.Word{
+		code.FromDigits(0, 1, 2, 1),
+		code.FromDigits(0, 2, 2, 0),
+		code.FromDigits(1, 0, 1, 2),
+	}
+	gray := []code.Word{
+		code.FromDigits(0, 1, 2, 1),
+		code.FromDigits(0, 2, 2, 0),
+		code.FromDigits(1, 2, 1, 0),
+	}
+	for _, c := range []struct {
+		name    string
+		pattern []code.Word
+	}{{"tree", tree}, {"gray", gray}} {
+		plan, _ := mspt.NewPlan(c.pattern, 3, doses)
+		fmt.Printf("%s: Φ=%d ‖Σ‖₁=%dσ²\n", c.name, plan.Phi(), plan.NuSum())
+	}
+	// Output:
+	// tree: Φ=9 ‖Σ‖₁=22σ²
+	// gray: Φ=7 ‖Σ‖₁=18σ²
+}
+
+// The fabrication-flow replay derives the same costs from the physical
+// sequence of spacer definitions and implant passes.
+func ExamplePlan_Run() {
+	plan, _ := mspt.NewPlan([]code.Word{
+		code.FromDigits(0, 1),
+		code.FromDigits(1, 0),
+	}, 2, []int64{2, 9})
+	res := plan.Run()
+	fmt.Println("litho passes:", res.LithoSteps)
+	fmt.Println("final doping:", res.Doping)
+	// Output:
+	// litho passes: 4
+	// final doping: [[2 9] [9 2]]
+}

@@ -1,0 +1,107 @@
+package mspt
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Export is the serializable view of a plan: every matrix of Sec. 4 plus
+// the derived costs, suitable for downstream tooling (plotting, spreadsheet
+// analysis, regression baselines).
+type Export struct {
+	Base    int       `json:"base"`
+	N       int       `json:"n"`
+	M       int       `json:"m"`
+	Doses   []int64   `json:"doses"`
+	Pattern [][]int   `json:"pattern"`
+	D       [][]int64 `json:"d"`
+	S       [][]int64 `json:"s"`
+	Nu      [][]int   `json:"nu"`
+	Phi     int       `json:"phi"`
+	PhiPer  []int     `json:"phiPerStep"`
+	NuSum   int       `json:"nuSum"`
+}
+
+// ExportView assembles the serializable view of the plan.
+func (p *Plan) ExportView() Export {
+	pattern := make([][]int, p.n)
+	for i, w := range p.pattern {
+		pattern[i] = append([]int(nil), w...)
+	}
+	return Export{
+		Base:    p.base,
+		N:       p.n,
+		M:       p.m,
+		Doses:   p.Doses(),
+		Pattern: pattern,
+		D:       p.D(),
+		S:       p.S(),
+		Nu:      p.Nu(),
+		Phi:     p.Phi(),
+		PhiPer:  p.PhiPerStep(),
+		NuSum:   p.NuSum(),
+	}
+}
+
+// WriteJSON writes the plan as indented JSON.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.ExportView())
+}
+
+// WriteCSV writes the plan's matrices as CSV: one section per matrix, each
+// row prefixed with the matrix name and the nanowire index.
+func (p *Plan) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"matrix", "wire"}, regionHeaders(p.m)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range p.pattern {
+		rec := []string{"P", strconv.Itoa(i)}
+		for _, d := range row {
+			rec = append(rec, strconv.Itoa(d))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for _, section := range []struct {
+		name string
+		m    [][]int64
+	}{{"D", p.d}, {"S", p.s}} {
+		name := section.name
+		for i, row := range section.m {
+			rec := []string{name, strconv.Itoa(i)}
+			for _, v := range row {
+				rec = append(rec, strconv.FormatInt(v, 10))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	for i, row := range p.nu {
+		rec := []string{"NU", strconv.Itoa(i)}
+		for _, v := range row {
+			rec = append(rec, strconv.Itoa(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func regionHeaders(m int) []string {
+	out := make([]string, m)
+	for j := range out {
+		out[j] = fmt.Sprintf("r%d", j)
+	}
+	return out
+}

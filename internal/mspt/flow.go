@@ -1,0 +1,167 @@
+package mspt
+
+import (
+	"fmt"
+	"sort"
+
+	"nwdec/internal/stats"
+)
+
+// EventKind discriminates fabrication-flow events.
+type EventKind int
+
+// Flow event kinds, in the order they occur per spacer.
+const (
+	// EventSpacer is the conformal deposition + anisotropic etch defining
+	// one poly-Si spacer (steps 2-3 of Fig. 2).
+	EventSpacer EventKind = iota
+	// EventLithoDose is one photolithography masking + implantation pass
+	// applying a single dose value to selected regions of all spacers
+	// defined so far (Fig. 4).
+	EventLithoDose
+)
+
+// Event is one entry of the fabrication-flow log.
+type Event struct {
+	Kind EventKind
+	// Spacer is the index of the spacer being defined (EventSpacer) or the
+	// step-doping procedure the pass belongs to (EventLithoDose).
+	Spacer int
+	// Dose is the implantation dose in dose units (EventLithoDose only).
+	// Negative doses are n-type compensation implants.
+	Dose int64
+	// Regions are the doping-region columns exposed by the mask
+	// (EventLithoDose only), ascending.
+	Regions []int
+}
+
+// String renders the event for flow listings.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventSpacer:
+		return fmt.Sprintf("define spacer %d", e.Spacer)
+	case EventLithoDose:
+		return fmt.Sprintf("litho+implant after spacer %d: dose %+d units on regions %v (hits spacers 0..%d)",
+			e.Spacer, e.Dose, e.Regions, e.Spacer)
+	default:
+		return fmt.Sprintf("event(%d)", int(e.Kind))
+	}
+}
+
+// FlowResult is the outcome of replaying the fabrication flow.
+type FlowResult struct {
+	// Doping is the accumulated doping of every region in dose units; by
+	// Proposition 2 it must equal the plan's final doping matrix D.
+	Doping [][]int64
+	// DoseOps counts how many implantation doses each region received; it
+	// must equal the plan's ν matrix.
+	DoseOps [][]int
+	// LithoSteps is the number of lithography/doping passes performed; it
+	// must equal the plan's fabrication complexity Φ.
+	LithoSteps int
+	// Events is the full ordered fabrication log.
+	Events []Event
+}
+
+// Run replays the decoder-aware fabrication flow of the plan: spacers are
+// defined in order, and after each definition the corresponding step-doping
+// procedure is decomposed into one lithography/implant pass per distinct
+// non-zero dose value, each pass dosing all spacers defined so far.
+//
+// Run is the executable counterpart of Propositions 1-2 and Definitions 4-5:
+// its outputs must reproduce D, ν and Φ exactly, which the test suite and
+// the Verify method check.
+func (p *Plan) Run() *FlowResult {
+	res := &FlowResult{
+		Doping:  make([][]int64, p.n),
+		DoseOps: make([][]int, p.n),
+	}
+	for i := range res.Doping {
+		res.Doping[i] = make([]int64, p.m)
+		res.DoseOps[i] = make([]int, p.m)
+	}
+	for i := 0; i < p.n; i++ {
+		res.Events = append(res.Events, Event{Kind: EventSpacer, Spacer: i})
+		// Group this procedure's doses by value: one mask+implant per value.
+		for _, dose := range distinctNonZero(p.s[i]) {
+			var regions []int
+			for j, v := range p.s[i] {
+				if v == dose {
+					regions = append(regions, j)
+				}
+			}
+			res.Events = append(res.Events, Event{
+				Kind: EventLithoDose, Spacer: i, Dose: dose, Regions: regions,
+			})
+			res.LithoSteps++
+			// The implant hits every spacer defined so far (0..i) at the
+			// exposed regions.
+			for k := 0; k <= i; k++ {
+				for _, j := range regions {
+					res.Doping[k][j] += dose
+					res.DoseOps[k][j]++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Verify replays the flow and checks it against the plan's analytic
+// matrices, returning a descriptive error on the first mismatch. It is the
+// internal consistency proof that the matrix algebra and the physical flow
+// agree.
+func (p *Plan) Verify() error {
+	res := p.Run()
+	if res.LithoSteps != p.Phi() {
+		return fmt.Errorf("mspt: flow used %d litho steps, Φ = %d", res.LithoSteps, p.Phi())
+	}
+	for i := 0; i < p.n; i++ {
+		for j := 0; j < p.m; j++ {
+			if res.Doping[i][j] != p.d[i][j] {
+				return fmt.Errorf("mspt: flow doping[%d][%d] = %d, D = %d", i, j, res.Doping[i][j], p.d[i][j])
+			}
+			if res.DoseOps[i][j] != p.nu[i][j] {
+				return fmt.Errorf("mspt: flow dose ops[%d][%d] = %d, ν = %d", i, j, res.DoseOps[i][j], p.nu[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// SampleVT draws one Monte-Carlo realization of the decoder's threshold
+// voltages: VT[i][j] = nominal VT of the region's digit plus the accumulated
+// noise of its ν[i][j] independent doses, each contributing a Gaussian
+// deviation of standard deviation sigmaT. nominal maps digits to nominal
+// threshold voltages (e.g. physics.Quantizer.VTOf).
+func (p *Plan) SampleVT(rng *stats.RNG, sigmaT float64, nominal func(digit int) float64) [][]float64 {
+	out := make([][]float64, p.n)
+	for i := 0; i < p.n; i++ {
+		row := make([]float64, p.m)
+		for j := 0; j < p.m; j++ {
+			vt := nominal(p.pattern[i][j])
+			for d := 0; d < p.nu[i][j]; d++ {
+				vt += rng.Normal(0, sigmaT)
+			}
+			row[j] = vt
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// distinctNonZero returns the distinct non-zero values of row, ascending.
+func distinctNonZero(row []int64) []int64 {
+	set := make(map[int64]bool)
+	for _, v := range row {
+		if v != 0 {
+			set[v] = true
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

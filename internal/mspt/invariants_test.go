@@ -1,0 +1,142 @@
+package mspt
+
+// Cross-cutting invariants of the doping algebra that the paper's
+// optimization arguments rely on implicitly.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nwdec/internal/code"
+)
+
+func TestPhiAndNuInvariantUnderDoseScaling(t *testing.T) {
+	// Scaling every dose level by a positive integer preserves which S
+	// entries are zero and which values are distinct, so Φ and ν — and
+	// therefore the whole code optimization — are invariant.
+	pattern := paperTreePattern()
+	base, err := NewPlan(pattern, 3, []int64{2, 4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{2, 5, 100} {
+		scaled, err := NewPlan(pattern, 3, []int64{2 * k, 4 * k, 9 * k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scaled.Phi() != base.Phi() {
+			t.Errorf("scale %d: Φ %d != %d", k, scaled.Phi(), base.Phi())
+		}
+		if scaled.NuSum() != base.NuSum() {
+			t.Errorf("scale %d: ‖Σ‖₁ %d != %d", k, scaled.NuSum(), base.NuSum())
+		}
+		nb, ns := base.Nu(), scaled.Nu()
+		for i := range nb {
+			for j := range nb[i] {
+				if nb[i][j] != ns[i][j] {
+					t.Fatalf("scale %d: ν[%d][%d] differs", k, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPhiInvariantUnderDoseShiftProperty(t *testing.T) {
+	// Adding a constant to all dose levels shifts D rows but leaves the
+	// differences S[i] = D[i] - D[i+1] untouched for i < N-1; only the
+	// last step's values move, and they stay distinct. ν is preserved
+	// exactly; Φ can only change through collisions in the last row, which
+	// a constant shift cannot create or destroy.
+	f := func(shiftRaw uint8) bool {
+		shift := int64(shiftRaw%50) + 1
+		pattern := paperGrayPattern()
+		a, err1 := NewPlan(pattern, 3, []int64{2, 4, 9})
+		b, err2 := NewPlan(pattern, 3, []int64{2 + shift, 4 + shift, 9 + shift})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.Phi() != b.Phi() || a.NuSum() != b.NuSum() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrayNuSumInvariantUnderReversal(t *testing.T) {
+	// A Gray sequence has a constant two-digit change per step, so reading
+	// the arrangement backwards redistributes ν across wires but preserves
+	// ‖Σ‖₁ exactly.
+	g, err := code.NewGray(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := g.Sequence(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]code.Word, len(words))
+	for i, w := range words {
+		reversed[len(words)-1-i] = w
+	}
+	fwd, err := NewPlan(words, 2, []int64{200, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := NewPlan(reversed, 2, []int64{200, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.NuSum() != rev.NuSum() {
+		t.Errorf("reversal changed ‖Σ‖₁: %d vs %d", fwd.NuSum(), rev.NuSum())
+	}
+	if fwd.Phi() != rev.Phi() {
+		t.Errorf("reversal changed Φ: %d vs %d", fwd.Phi(), rev.Phi())
+	}
+}
+
+func TestNuSumDecomposition(t *testing.T) {
+	// ‖Σ‖₁/σ² = N·M (the final doping step doses every region of every
+	// wire) + Σ_k c_k·(k+1), where c_k is the number of digit changes
+	// between rows k and k+1 — the identity behind Proposition 4's
+	// transition-counting argument.
+	for _, pattern := range [][]code.Word{paperTreePattern(), paperGrayPattern()} {
+		p, err := NewPlan(pattern, 3, []int64{2, 4, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.N() * p.M()
+		for k := 0; k+1 < p.N(); k++ {
+			want += pattern[k].Hamming(pattern[k+1]) * (k + 1)
+		}
+		if got := p.NuSum(); got != want {
+			t.Errorf("‖Σ‖₁ = %d, decomposition predicts %d", got, want)
+		}
+	}
+}
+
+func TestUniformPatternMinimizesEverything(t *testing.T) {
+	// All-identical rows: no transitions at all — one dose per region, Φ
+	// equal to the distinct values of a single word.
+	words := []code.Word{
+		code.FromDigits(0, 1, 2),
+		code.FromDigits(0, 1, 2),
+		code.FromDigits(0, 1, 2),
+		code.FromDigits(0, 1, 2),
+	}
+	p, err := NewPlan(words, 3, []int64{2, 4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NuSum() != 4*3 {
+		t.Errorf("‖Σ‖₁ = %d, want N·M = 12", p.NuSum())
+	}
+	if p.Phi() != 3 {
+		t.Errorf("Φ = %d, want 3 (one pass per distinct dose)", p.Phi())
+	}
+	if p.MaxNu() != 1 {
+		t.Errorf("max ν = %d, want 1", p.MaxNu())
+	}
+}

@@ -1,0 +1,154 @@
+package mspt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nwdec/internal/code"
+	"nwdec/internal/physics"
+)
+
+func TestMasksPaperExample(t *testing.T) {
+	p := mustPlan(t, paperTreePattern())
+	set := p.Masks()
+	if set.Passes != p.Phi() {
+		t.Errorf("mask passes %d != Φ %d", set.Passes, p.Phi())
+	}
+	// Every pass must be accounted for exactly once.
+	total := 0
+	for _, m := range set.Masks {
+		total += len(m.Passes)
+		if len(m.Regions) == 0 {
+			t.Error("mask with empty window set")
+		}
+		for k := 1; k < len(m.Regions); k++ {
+			if m.Regions[k] <= m.Regions[k-1] {
+				t.Error("mask regions not ascending")
+			}
+		}
+	}
+	if total != set.Passes {
+		t.Errorf("pass accounting: %d vs %d", total, set.Passes)
+	}
+	if set.DistinctMasks() > set.Passes {
+		t.Error("more masks than passes")
+	}
+	if set.ReuseFactor() < 1 {
+		t.Errorf("reuse factor %g below 1", set.ReuseFactor())
+	}
+}
+
+func TestMasksGrayReusesAggressively(t *testing.T) {
+	// A binary reflected Gray plan flips one base digit (+ complement) per
+	// step: every pass exposes exactly one region pair, so at most M
+	// distinct single-column... pair masks exist while Φ = 2N passes run.
+	g, _ := code.NewGray(2, 10)
+	words, err := g.Sequence(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(words, 2, []int64{200, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := p.Masks()
+	if set.Passes != 40 {
+		t.Fatalf("Φ = %d", set.Passes)
+	}
+	// Single-digit flips expose one column each (the flipped base digit
+	// and its complement get different dose signs, hence separate passes).
+	if set.DistinctMasks() > 2*p.M() {
+		t.Errorf("Gray plan needs %d masks, expected <= %d", set.DistinctMasks(), 2*p.M())
+	}
+	if set.ReuseFactor() < 1.5 {
+		t.Errorf("Gray reuse factor %g unexpectedly low", set.ReuseFactor())
+	}
+}
+
+func TestMasksDeterministicOrder(t *testing.T) {
+	p := mustPlan(t, paperGrayPattern())
+	a := p.Masks()
+	b := p.Masks()
+	if len(a.Masks) != len(b.Masks) {
+		t.Fatal("nondeterministic mask count")
+	}
+	for i := range a.Masks {
+		if regionKey(a.Masks[i].Regions) != regionKey(b.Masks[i].Regions) {
+			t.Fatal("nondeterministic mask order")
+		}
+	}
+	// Most-used mask first.
+	for i := 1; i < len(a.Masks); i++ {
+		if len(a.Masks[i].Passes) > len(a.Masks[i-1].Passes) {
+			t.Error("masks not sorted by usage")
+		}
+	}
+}
+
+func TestExportViewAndJSON(t *testing.T) {
+	p := mustPlan(t, paperTreePattern())
+	v := p.ExportView()
+	if v.Base != 3 || v.N != 3 || v.M != 4 || v.Phi != 9 || v.NuSum != 22 {
+		t.Errorf("export view wrong: %+v", v)
+	}
+	if v.Pattern[2][3] != 2 || v.S[0][1] != -5 {
+		t.Error("export matrices wrong")
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Phi != 9 || back.Nu[0][1] != 3 {
+		t.Errorf("JSON round trip wrong: %+v", back)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := mustPlan(t, paperGrayPattern())
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 4 matrices x 3 rows.
+	if len(lines) != 1+4*3 {
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "matrix,wire,r0") {
+		t.Errorf("CSV header wrong: %s", lines[0])
+	}
+	// D rows come before S rows (deterministic section order).
+	dIdx := strings.Index(out, "\nD,")
+	sIdx := strings.Index(out, "\nS,")
+	if dIdx == -1 || sIdx == -1 || dIdx > sIdx {
+		t.Error("CSV section order nondeterministic or missing")
+	}
+	if !strings.Contains(out, "S,1,-2,0,5,0") {
+		t.Errorf("CSV missing paper S row:\n%s", out)
+	}
+}
+
+func TestExportDigitDoseConsistency(t *testing.T) {
+	// D must be the pattern mapped through the dose table.
+	q := physics.PaperExampleQuantizer()
+	doses, _ := DoseLevels(q, 1e18)
+	p, err := NewPlan(paperTreePattern(), 3, doses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.ExportView()
+	for i := range v.Pattern {
+		for j := range v.Pattern[i] {
+			if v.D[i][j] != v.Doses[v.Pattern[i][j]] {
+				t.Fatalf("D[%d][%d] inconsistent with pattern digit", i, j)
+			}
+		}
+	}
+}

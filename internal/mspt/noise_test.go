@@ -1,0 +1,108 @@
+package mspt
+
+import (
+	"math"
+	"testing"
+
+	"nwdec/internal/physics"
+	"nwdec/internal/stats"
+)
+
+func TestNoiseParamsValidate(t *testing.T) {
+	if err := (NoiseParams{SigmaRandom: 0.05}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if err := (NoiseParams{SigmaRandom: -1}).Validate(); err == nil {
+		t.Error("negative random sigma accepted")
+	}
+	if err := (NoiseParams{SigmaSystematic: -1}).Validate(); err == nil {
+		t.Error("negative systematic sigma accepted")
+	}
+}
+
+func TestEffectiveSigma(t *testing.T) {
+	np := NoiseParams{SigmaRandom: 0.03, SigmaSystematic: 0.04}
+	if got := np.EffectiveSigma(1); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("EffectiveSigma(1) = %g, want 0.05", got)
+	}
+	if got := np.EffectiveSigma(4); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("EffectiveSigma(4) = %g, want 0.1", got)
+	}
+	if np.EffectiveSigma(0) != 0 {
+		t.Error("zero doses should have zero sigma")
+	}
+}
+
+func TestCorrelatedReducesToIIDMarginals(t *testing.T) {
+	// With SigmaSystematic = 0, the marginal std of each region must match
+	// the i.i.d. model σ_T·sqrt(ν).
+	p := mustPlan(t, paperTreePattern())
+	q := physics.PaperExampleQuantizer()
+	np := NoiseParams{SigmaRandom: 0.05}
+	rng := stats.NewRNG(31)
+	const trials = 4000
+	var sum, sumSq float64
+	i, j := 0, 1 // region with ν = 3
+	for tr := 0; tr < trials; tr++ {
+		vt := p.SampleVTCorrelated(rng, np, q.VTOf)
+		d := vt[i][j] - q.VTOf(p.Pattern()[i][j])
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / trials
+	std := math.Sqrt(sumSq/trials - mean*mean)
+	want := 0.05 * math.Sqrt(3)
+	if math.Abs(std-want)/want > 0.08 {
+		t.Errorf("marginal std %g, want %g", std, want)
+	}
+}
+
+func TestCorrelatedMarginalsMatchEffectiveSigma(t *testing.T) {
+	p := mustPlan(t, paperGrayPattern())
+	q := physics.PaperExampleQuantizer()
+	np := NoiseParams{SigmaRandom: 0.03, SigmaSystematic: 0.04}
+	rng := stats.NewRNG(37)
+	const trials = 5000
+	i, j := 1, 0 // ν = 2 in the Gray example
+	var sumSq float64
+	for tr := 0; tr < trials; tr++ {
+		vt := p.SampleVTCorrelated(rng, np, q.VTOf)
+		d := vt[i][j] - q.VTOf(p.Pattern()[i][j])
+		sumSq += d * d
+	}
+	std := math.Sqrt(sumSq / trials)
+	want := np.EffectiveSigma(p.Nu()[i][j])
+	if math.Abs(std-want)/want > 0.08 {
+		t.Errorf("marginal std %g, want %g", std, want)
+	}
+}
+
+func TestSystematicNoiseCorrelatesSharedPasses(t *testing.T) {
+	// Wires 0 and 1 share every pass from step 1 on; their common regions
+	// must correlate strongly under a dominant systematic term, while an
+	// independent-noise run stays near zero.
+	p := mustPlan(t, paperGrayPattern())
+	q := physics.PaperExampleQuantizer()
+
+	strong := NoiseParams{SigmaRandom: 0.005, SigmaSystematic: 0.05}
+	rng := stats.NewRNG(41)
+	corr := p.PassCorrelationProbe(rng, strong, q.VTOf, 0, 2, 1, 2, 2000)
+	if corr < 0.5 {
+		t.Errorf("systematic correlation %g unexpectedly low", corr)
+	}
+
+	iid := NoiseParams{SigmaRandom: 0.05}
+	rng = stats.NewRNG(43)
+	corr = p.PassCorrelationProbe(rng, iid, q.VTOf, 0, 2, 1, 2, 2000)
+	if math.Abs(corr) > 0.1 {
+		t.Errorf("iid correlation %g unexpectedly high", corr)
+	}
+}
+
+func TestPassCorrelationProbeDegenerate(t *testing.T) {
+	p := mustPlan(t, paperTreePattern())
+	q := physics.PaperExampleQuantizer()
+	if got := p.PassCorrelationProbe(stats.NewRNG(1), NoiseParams{}, q.VTOf, 0, 0, 1, 1, 1); got != 0 {
+		t.Errorf("degenerate probe = %g", got)
+	}
+}

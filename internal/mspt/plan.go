@@ -1,0 +1,220 @@
+// Package mspt implements the abstract MSPT decoder model of Section 4 of
+// the paper: the pattern matrix P, the final doping matrix D, the
+// step-doping matrix S, the fabrication complexity Φ and the variability
+// matrix Σ, together with a step-by-step fabrication-flow simulator.
+//
+// The central physical constraint of the Multi-Spacer Patterning Technique
+// is cumulative doping: the lithography/doping procedure that patterns
+// spacer i simultaneously doses every spacer defined before it. Hence the
+// final doping of nanowire i is the sum of all step doses from its own
+// definition onward (Proposition 2):
+//
+//	D[i][j] = Σ_{k >= i} S[k][j]
+//
+// equivalently S[i] = D[i] - D[i+1] with S[N-1] = D[N-1]. Every non-zero
+// entry of S is one implantation dose received by a region, and every
+// *distinct* non-zero value in a row of S needs its own mask + implant pass.
+//
+// Doping levels are handled in integer dose units (DefaultDoseUnit cm^-3 per
+// unit) so that the zero/non-zero and distinct-value tests defining Φ and ν
+// are exact.
+package mspt
+
+import (
+	"fmt"
+	"math"
+
+	"nwdec/internal/code"
+	"nwdec/internal/physics"
+)
+
+// DefaultDoseUnit is the doping resolution used when quantizing physical
+// concentrations to integer dose units: 10^16 cm^-3, two orders of magnitude
+// below the 10^18 cm^-3 scale of the paper's doping levels.
+const DefaultDoseUnit = 1e16
+
+// Plan is the complete doping plan of one half cave: the pattern matrix and
+// everything derived from it. All matrices have N rows (nanowires, in
+// definition order: row 0 is the first spacer defined) and M columns
+// (doping regions along the nanowire).
+type Plan struct {
+	base  int
+	n, m  int
+	doses []int64 // digit -> dose units, strictly increasing, positive
+
+	pattern []code.Word // N words of length M
+	d       [][]int64   // final doping matrix D
+	s       [][]int64   // step doping matrix S
+	nu      [][]int     // dose-operation counts ν
+}
+
+// NewPlan builds the doping plan for the given pattern rows. The pattern
+// rows are the code words assigned to consecutive nanowires. doses maps each
+// digit 0..base-1 to its required net doping in integer dose units and must
+// be strictly increasing and positive (doping and threshold voltage are
+// related by a strictly increasing bijection).
+func NewPlan(pattern []code.Word, base int, doses []int64) (*Plan, error) {
+	if base < 2 {
+		return nil, fmt.Errorf("mspt: base must be >= 2, got %d", base)
+	}
+	if len(doses) != base {
+		return nil, fmt.Errorf("mspt: need %d dose levels, got %d", base, len(doses))
+	}
+	for i, d := range doses {
+		if d <= 0 {
+			return nil, fmt.Errorf("mspt: dose level %d is %d, must be positive", i, d)
+		}
+		if i > 0 && doses[i] <= doses[i-1] {
+			return nil, fmt.Errorf("mspt: dose levels must be strictly increasing, level %d (%d) <= level %d (%d)",
+				i, doses[i], i-1, doses[i-1])
+		}
+	}
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("mspt: empty pattern")
+	}
+	m := len(pattern[0])
+	for i, w := range pattern {
+		if len(w) != m {
+			return nil, fmt.Errorf("mspt: pattern row %d has length %d, want %d", i, len(w), m)
+		}
+		if !w.Valid(base) {
+			return nil, fmt.Errorf("mspt: pattern row %d (%v) has digits outside base %d", i, w, base)
+		}
+	}
+	p := &Plan{
+		base:    base,
+		n:       len(pattern),
+		m:       m,
+		doses:   append([]int64(nil), doses...),
+		pattern: code.CloneWords(pattern),
+	}
+	p.computeD()
+	p.computeS()
+	p.computeNu()
+	return p, nil
+}
+
+// NewPlanFromGenerator assigns the first n words of the generator's
+// arrangement (cyclically if n exceeds the code space) and builds the plan
+// with dose levels derived from the quantizer at the given dose unit
+// (cm^-3 per unit; pass 0 for DefaultDoseUnit).
+func NewPlanFromGenerator(g code.Generator, n int, q *physics.Quantizer, doseUnit float64) (*Plan, error) {
+	if g.Base() != q.N() {
+		return nil, fmt.Errorf("mspt: generator base %d does not match quantizer levels %d", g.Base(), q.N())
+	}
+	words, err := code.CyclicSequence(g, n)
+	if err != nil {
+		return nil, err
+	}
+	doses, err := DoseLevels(q, doseUnit)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlan(words, g.Base(), doses)
+}
+
+// DoseLevels quantizes the quantizer's doping levels into integer dose
+// units. It fails if two logic levels collapse onto the same unit count,
+// which would break the bijectivity of Proposition 1.
+func DoseLevels(q *physics.Quantizer, doseUnit float64) ([]int64, error) {
+	if doseUnit <= 0 {
+		doseUnit = DefaultDoseUnit
+	}
+	dopings := q.DopingLevels()
+	doses := make([]int64, len(dopings))
+	for i, nd := range dopings {
+		doses[i] = int64(math.Round(nd / doseUnit))
+		if doses[i] <= 0 {
+			return nil, fmt.Errorf("mspt: doping level %g below dose unit %g", nd, doseUnit)
+		}
+		if i > 0 && doses[i] <= doses[i-1] {
+			return nil, fmt.Errorf("mspt: dose unit %g too coarse, levels %d and %d collapse", doseUnit, i-1, i)
+		}
+	}
+	return doses, nil
+}
+
+func (p *Plan) computeD() {
+	p.d = make([][]int64, p.n)
+	for i, w := range p.pattern {
+		row := make([]int64, p.m)
+		for j, digit := range w {
+			row[j] = p.doses[digit]
+		}
+		p.d[i] = row
+	}
+}
+
+func (p *Plan) computeS() {
+	p.s = make([][]int64, p.n)
+	for i := 0; i < p.n; i++ {
+		row := make([]int64, p.m)
+		for j := 0; j < p.m; j++ {
+			if i == p.n-1 {
+				row[j] = p.d[i][j]
+			} else {
+				row[j] = p.d[i][j] - p.d[i+1][j]
+			}
+		}
+		p.s[i] = row
+	}
+}
+
+func (p *Plan) computeNu() {
+	p.nu = make([][]int, p.n)
+	// ν accumulates bottom-up: ν[i][j] = ν[i+1][j] + [S[i][j] != 0].
+	next := make([]int, p.m)
+	for i := p.n - 1; i >= 0; i-- {
+		row := make([]int, p.m)
+		for j := 0; j < p.m; j++ {
+			row[j] = next[j]
+			if p.s[i][j] != 0 {
+				row[j]++
+			}
+		}
+		p.nu[i] = row
+		next = row
+	}
+}
+
+// Base returns the logic valency n of the addressing scheme.
+func (p *Plan) Base() int { return p.base }
+
+// N returns the number of nanowires per half cave (pattern rows).
+func (p *Plan) N() int { return p.n }
+
+// M returns the number of doping regions per nanowire (pattern columns).
+func (p *Plan) M() int { return p.m }
+
+// Pattern returns a copy of the pattern matrix rows.
+func (p *Plan) Pattern() []code.Word { return code.CloneWords(p.pattern) }
+
+// Doses returns a copy of the digit -> dose-unit mapping.
+func (p *Plan) Doses() []int64 { return append([]int64(nil), p.doses...) }
+
+// D returns a copy of the final doping matrix in dose units.
+func (p *Plan) D() [][]int64 { return cloneInt64(p.d) }
+
+// S returns a copy of the step doping matrix in dose units. Negative
+// entries are n-type compensation doses, positive entries p-type.
+func (p *Plan) S() [][]int64 { return cloneInt64(p.s) }
+
+// Nu returns a copy of the dose-operation count matrix ν:
+// ν[i][j] = number of implantation doses region (i,j) accumulates.
+func (p *Plan) Nu() [][]int { return cloneInt(p.nu) }
+
+func cloneInt64(m [][]int64) [][]int64 {
+	out := make([][]int64, len(m))
+	for i, row := range m {
+		out[i] = append([]int64(nil), row...)
+	}
+	return out
+}
+
+func cloneInt(m [][]int) [][]int {
+	out := make([][]int, len(m))
+	for i, row := range m {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Package physics implements the device-physics mapping between channel
+// doping concentration N_D and transistor threshold voltage V_T that the
+// paper's Proposition 1 calls f: a monotonic non-linear bijection (after
+// Sze & Ng, "Physics of Semiconductor Devices").
+//
+// Two interchangeable models are provided:
+//
+//   - PhysicalModel: the long-channel MOSFET threshold equation with
+//     parameters (oxide thickness, flat-band voltage, temperature). Its
+//     inverse is computed numerically by bisection, which is exact enough
+//     because V_T is strictly monotonic in the doping.
+//   - TableModel: a monotonic log-doping interpolation table. The
+//     PaperExampleTable reproduces the paper's worked Example 1 exactly
+//     (0.1 V / 0.3 V / 0.5 V at 2, 4, 9 x 10^18 cm^-3).
+//
+// On top of either model, Quantizer maps multi-valued logic digits
+// 0..n-1 to equally spaced threshold-voltage levels and to the doping
+// levels realizing them — the composition h = f ∘ g of Proposition 1.
+package physics
+
+// Physical constants in CGS-flavoured semiconductor units
+// (centimetres, volts, coulombs), as customary in device physics.
+const (
+	// ElectronCharge is the elementary charge in coulombs.
+	ElectronCharge = 1.602176634e-19
+	// VacuumPermittivity in F/cm.
+	VacuumPermittivity = 8.8541878128e-14
+	// SiliconRelativePermittivity of crystalline silicon.
+	SiliconRelativePermittivity = 11.7
+	// OxideRelativePermittivity of thermal SiO2.
+	OxideRelativePermittivity = 3.9
+	// IntrinsicCarrierConcentration of silicon at 300 K in cm^-3.
+	IntrinsicCarrierConcentration = 9.65e9
+	// ThermalVoltage300K is kT/q at 300 K in volts.
+	ThermalVoltage300K = 0.025852
+	// SiliconBandGap at 300 K in electron-volts.
+	SiliconBandGap = 1.12
+)
+
+// SiliconPermittivity is the absolute permittivity of silicon in F/cm.
+const SiliconPermittivity = SiliconRelativePermittivity * VacuumPermittivity
+
+// OxidePermittivity is the absolute permittivity of SiO2 in F/cm.
+const OxidePermittivity = OxideRelativePermittivity * VacuumPermittivity
+
+// Doping bounds accepted by the models, in cm^-3. Outside this window the
+// silicon is either effectively intrinsic or degenerate and the threshold
+// equation loses validity.
+const (
+	MinDoping = 1e14
+	MaxDoping = 1e21
+)

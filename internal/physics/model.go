@@ -1,0 +1,205 @@
+package physics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VTModel is the bijection f of Proposition 1 between a region's net channel
+// doping (cm^-3) and the threshold voltage (V) of the decoder transistor
+// formed over it. Implementations must be strictly increasing in the doping.
+type VTModel interface {
+	// VT returns the threshold voltage for a net channel doping in cm^-3.
+	VT(doping float64) float64
+	// Doping returns the net channel doping realizing the given threshold
+	// voltage; it is the inverse of VT.
+	Doping(vt float64) float64
+}
+
+// PhysicalModel evaluates the long-channel MOSFET threshold equation
+//
+//	V_T = V_FB + 2·ψ_B + sqrt(2·q·ε_si·N·2ψ_B) / C_ox
+//
+// with ψ_B = V_th·ln(N/n_i), for a transistor whose channel is the doped
+// nanowire region and whose gate is the crossing mesowire.
+type PhysicalModel struct {
+	// OxideThickness of the gate dielectric in cm.
+	OxideThickness float64
+	// FlatBand voltage in volts; captures the gate work-function difference
+	// and fixed oxide charge. It is the single calibration parameter.
+	FlatBand float64
+	// ThermalVoltage kT/q in volts.
+	ThermalVoltage float64
+	// Ni is the intrinsic carrier concentration in cm^-3 at the model's
+	// temperature; zero selects the 300 K silicon value.
+	Ni float64
+}
+
+// DefaultPhysicalModel returns a model with a 2.5 nm gate oxide at 300 K,
+// with the flat-band voltage calibrated so that the threshold at
+// 2x10^18 cm^-3 matches the 0.1 V of the paper's Example 1.
+func DefaultPhysicalModel() *PhysicalModel {
+	m := &PhysicalModel{
+		OxideThickness: 2.5e-7, // 2.5 nm in cm
+		ThermalVoltage: ThermalVoltage300K,
+	}
+	// Calibrate: choose V_FB so that VT(2e18 cm^-3) = 0.1 V.
+	m.FlatBand = 0
+	m.FlatBand = 0.1 - m.VT(2e18)
+	return m
+}
+
+// Cox returns the oxide capacitance per unit area in F/cm^2.
+func (m *PhysicalModel) Cox() float64 {
+	return OxidePermittivity / m.OxideThickness
+}
+
+// VT implements VTModel. Doping values are clamped into
+// [MinDoping, MaxDoping] to keep the logarithm well defined.
+func (m *PhysicalModel) VT(doping float64) float64 {
+	n := clampDoping(doping)
+	ni := m.Ni
+	if ni == 0 {
+		ni = IntrinsicCarrierConcentration
+	}
+	psiB := m.ThermalVoltage * math.Log(n/ni)
+	qDep := math.Sqrt(2 * ElectronCharge * SiliconPermittivity * n * 2 * psiB)
+	return m.FlatBand + 2*psiB + qDep/m.Cox()
+}
+
+// AtTemperature returns a copy of the model evaluated at the given
+// temperature in kelvin: the thermal voltage scales linearly and the
+// intrinsic carrier concentration follows n_i ∝ T^1.5·exp(-E_g/2kT). The
+// flat-band calibration is kept, so the returned model predicts how the
+// thresholds of an already-fabricated decoder drift away from their design
+// values when operated off the 300 K design point.
+func (m *PhysicalModel) AtTemperature(tempK float64) (*PhysicalModel, error) {
+	if tempK < 150 || tempK > 600 {
+		return nil, fmt.Errorf("physics: temperature %g K outside the model's 150-600 K validity", tempK)
+	}
+	out := *m
+	out.ThermalVoltage = ThermalVoltage300K * tempK / 300
+	// Calibrated so n_i(300 K) equals the standard silicon value.
+	c := IntrinsicCarrierConcentration /
+		(math.Pow(300, 1.5) * math.Exp(-SiliconBandGap/(2*ThermalVoltage300K)))
+	out.Ni = c * math.Pow(tempK, 1.5) * math.Exp(-SiliconBandGap/(2*out.ThermalVoltage))
+	return &out, nil
+}
+
+// Doping implements VTModel by bisecting VT over the valid doping window.
+// Thresholds outside the representable range clamp to the window edges.
+func (m *PhysicalModel) Doping(vt float64) float64 {
+	lo, hi := MinDoping, MaxDoping
+	if vt <= m.VT(lo) {
+		return lo
+	}
+	if vt >= m.VT(hi) {
+		return hi
+	}
+	// Bisect in log space: VT is smooth and strictly increasing in log N.
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := 0; i < 200 && lhi-llo > 1e-14; i++ {
+		mid := (llo + lhi) / 2
+		if m.VT(math.Exp(mid)) < vt {
+			llo = mid
+		} else {
+			lhi = mid
+		}
+	}
+	return math.Exp((llo + lhi) / 2)
+}
+
+func clampDoping(n float64) float64 {
+	if n < MinDoping {
+		return MinDoping
+	}
+	if n > MaxDoping {
+		return MaxDoping
+	}
+	return n
+}
+
+// TableModel interpolates threshold voltage linearly in log-doping between
+// calibration points and extrapolates with the edge slopes. Points must be
+// strictly increasing in both coordinates, which preserves bijectivity.
+type TableModel struct {
+	logN []float64 // natural log of doping, ascending
+	vt   []float64 // threshold voltage, ascending
+}
+
+// CalPoint is a (doping, threshold-voltage) calibration pair.
+type CalPoint struct {
+	Doping float64 // cm^-3
+	VT     float64 // volts
+}
+
+// ErrBadTable reports an invalid calibration table.
+var ErrBadTable = errors.New("physics: calibration table must have >= 2 points, strictly increasing in doping and VT")
+
+// NewTableModel builds a TableModel from calibration points (any order).
+func NewTableModel(points []CalPoint) (*TableModel, error) {
+	if len(points) < 2 {
+		return nil, ErrBadTable
+	}
+	pts := append([]CalPoint(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Doping < pts[j].Doping })
+	m := &TableModel{
+		logN: make([]float64, len(pts)),
+		vt:   make([]float64, len(pts)),
+	}
+	for i, p := range pts {
+		if p.Doping <= 0 {
+			return nil, fmt.Errorf("%w: non-positive doping %g", ErrBadTable, p.Doping)
+		}
+		if i > 0 && (pts[i].Doping <= pts[i-1].Doping || pts[i].VT <= pts[i-1].VT) {
+			return nil, ErrBadTable
+		}
+		m.logN[i] = math.Log(p.Doping)
+		m.vt[i] = p.VT
+	}
+	return m, nil
+}
+
+// PaperExampleTable returns the TableModel reproducing the paper's worked
+// Example 1 exactly: digits 0/1/2 map to 0.1/0.3/0.5 V and to doping levels
+// 2, 4 and 9 x 10^18 cm^-3.
+func PaperExampleTable() *TableModel {
+	m, err := NewTableModel([]CalPoint{
+		{Doping: 2e18, VT: 0.1},
+		{Doping: 4e18, VT: 0.3},
+		{Doping: 9e18, VT: 0.5},
+	})
+	if err != nil {
+		panic("physics: paper example table must be valid: " + err.Error())
+	}
+	return m
+}
+
+// VT implements VTModel.
+func (m *TableModel) VT(doping float64) float64 {
+	x := math.Log(clampDoping(doping))
+	return interp(m.logN, m.vt, x)
+}
+
+// Doping implements VTModel.
+func (m *TableModel) Doping(vt float64) float64 {
+	return clampDoping(math.Exp(interp(m.vt, m.logN, vt)))
+}
+
+// interp linearly interpolates y(x) on the piecewise-linear curve defined by
+// ascending xs/ys, extrapolating with the first/last segment slope.
+func interp(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	i := sort.SearchFloat64s(xs, x)
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}

@@ -1,0 +1,142 @@
+package physics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysicalModelCalibration(t *testing.T) {
+	m := DefaultPhysicalModel()
+	if got := m.VT(2e18); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("VT(2e18) = %g, want 0.1 (calibration point)", got)
+	}
+}
+
+func TestPhysicalModelMonotone(t *testing.T) {
+	m := DefaultPhysicalModel()
+	prev := math.Inf(-1)
+	for n := MinDoping; n <= MaxDoping; n *= 1.3 {
+		vt := m.VT(n)
+		if vt <= prev {
+			t.Fatalf("VT not strictly increasing at N=%g: %g <= %g", n, vt, prev)
+		}
+		prev = vt
+	}
+}
+
+func TestPhysicalModelNonLinear(t *testing.T) {
+	// Proposition 1 needs f non-linear; check the slope changes.
+	m := DefaultPhysicalModel()
+	s1 := m.VT(2e18) - m.VT(1e18)
+	s2 := m.VT(9e18) - m.VT(8e18)
+	if math.Abs(s1-s2) < 1e-6 {
+		t.Errorf("threshold law looks linear: slopes %g vs %g", s1, s2)
+	}
+}
+
+func TestPhysicalModelInverse(t *testing.T) {
+	m := DefaultPhysicalModel()
+	for _, n := range []float64{1e16, 5e17, 2e18, 4e18, 9e18, 3e19} {
+		vt := m.VT(n)
+		back := m.Doping(vt)
+		if math.Abs(back-n)/n > 1e-6 {
+			t.Errorf("Doping(VT(%g)) = %g, relative error too large", n, back)
+		}
+	}
+}
+
+func TestPhysicalModelInverseClamps(t *testing.T) {
+	m := DefaultPhysicalModel()
+	if got := m.Doping(-100); got != MinDoping {
+		t.Errorf("Doping(very low VT) = %g, want MinDoping", got)
+	}
+	if got := m.Doping(100); got != MaxDoping {
+		t.Errorf("Doping(very high VT) = %g, want MaxDoping", got)
+	}
+}
+
+func TestClampDoping(t *testing.T) {
+	if clampDoping(1) != MinDoping || clampDoping(1e30) != MaxDoping {
+		t.Error("clampDoping does not clamp")
+	}
+	if clampDoping(5e17) != 5e17 {
+		t.Error("clampDoping modified an in-range value")
+	}
+}
+
+func TestPaperExampleTableExact(t *testing.T) {
+	m := PaperExampleTable()
+	cases := []struct{ n, vt float64 }{
+		{2e18, 0.1}, {4e18, 0.3}, {9e18, 0.5},
+	}
+	for _, c := range cases {
+		if got := m.VT(c.n); math.Abs(got-c.vt) > 1e-12 {
+			t.Errorf("VT(%g) = %g, want %g", c.n, got, c.vt)
+		}
+		if got := m.Doping(c.vt); math.Abs(got-c.n)/c.n > 1e-9 {
+			t.Errorf("Doping(%g) = %g, want %g", c.vt, got, c.n)
+		}
+	}
+}
+
+func TestTableModelInterpolatesMonotonically(t *testing.T) {
+	m := PaperExampleTable()
+	prev := math.Inf(-1)
+	for n := 1e18; n <= 2e19; n *= 1.05 {
+		vt := m.VT(n)
+		if vt <= prev {
+			t.Fatalf("table VT not increasing at %g", n)
+		}
+		prev = vt
+	}
+}
+
+func TestTableModelRoundTripProperty(t *testing.T) {
+	m := PaperExampleTable()
+	f := func(raw uint16) bool {
+		// Sample dopings across the calibrated span.
+		n := 1e18 * math.Pow(10, float64(raw%1000)/700) // 1e18..~2.7e19
+		back := m.Doping(m.VT(n))
+		return math.Abs(back-n)/n < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTableModelValidation(t *testing.T) {
+	_, err := NewTableModel([]CalPoint{{1e18, 0.1}})
+	if !errors.Is(err, ErrBadTable) {
+		t.Error("single-point table must be rejected")
+	}
+	_, err = NewTableModel([]CalPoint{{1e18, 0.3}, {2e18, 0.1}})
+	if !errors.Is(err, ErrBadTable) {
+		t.Error("non-monotone VT must be rejected")
+	}
+	_, err = NewTableModel([]CalPoint{{-1e18, 0.1}, {2e18, 0.3}})
+	if !errors.Is(err, ErrBadTable) {
+		t.Error("negative doping must be rejected")
+	}
+	// Order independence: shuffled points are sorted internally.
+	m, err := NewTableModel([]CalPoint{{9e18, 0.5}, {2e18, 0.1}, {4e18, 0.3}})
+	if err != nil {
+		t.Fatalf("shuffled valid table rejected: %v", err)
+	}
+	if got := m.VT(4e18); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("shuffled table VT(4e18) = %g", got)
+	}
+}
+
+func TestPhysicalAndTableModelsAgreeInShape(t *testing.T) {
+	// Both models must be monotone bijections; their digit ordering under a
+	// shared quantizer must therefore be identical.
+	phys := DefaultPhysicalModel()
+	table := PaperExampleTable()
+	for _, model := range []VTModel{phys, table} {
+		if model.VT(2e18) >= model.VT(9e18) {
+			t.Errorf("%T: ordering of dopings not preserved in VT", model)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package readout
+
+import (
+	"fmt"
+
+	"nwdec/internal/mspt"
+	"nwdec/internal/physics"
+	"nwdec/internal/stats"
+)
+
+// DefaultMinRatio is the on/off current ratio a simple sense amplifier
+// needs to distinguish the addressed wire from the group leakage.
+const DefaultMinRatio = 10
+
+// Study is the Monte-Carlo sensing analysis of one decoder plan.
+type Study struct {
+	// SensableFraction is the fraction of (trial, wire) reads with an
+	// on/off ratio at or above the criterion.
+	SensableFraction float64
+	// Ratios summarizes the observed on/off current ratios.
+	Ratios stats.Summary
+	// Trials is the number of fabricated half-cave instances.
+	Trials int
+	// MinRatio is the applied criterion.
+	MinRatio float64
+}
+
+// MonteCarlo runs the sensing analysis: it fabricates the half cave trials
+// times (sampling thresholds with per-dose deviation sigmaT), addresses
+// every wire through the band-edge voltages, and scores the analog on/off
+// ratio of each read.
+func MonteCarlo(t Transistor, plan *mspt.Plan, q *physics.Quantizer,
+	sigmaT, minRatio float64, trials int, rng *stats.RNG) (*Study, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Base() != q.N() {
+		return nil, fmt.Errorf("readout: plan base %d does not match quantizer levels %d", plan.Base(), q.N())
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("readout: non-positive trial count %d", trials)
+	}
+	if minRatio <= 0 {
+		minRatio = DefaultMinRatio
+	}
+	pattern := plan.Pattern()
+	var ratios []float64
+	sensable := 0
+	for tr := 0; tr < trials; tr++ {
+		vt := plan.SampleVT(rng, sigmaT, q.VTOf)
+		for i := range pattern {
+			va := addressVoltages(q, pattern[i])
+			read, err := t.ReadGroup(vt, va, i)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, read.OnCurrentRatio)
+			if read.Sensable(minRatio) {
+				sensable++
+			}
+		}
+	}
+	return &Study{
+		SensableFraction: float64(sensable) / float64(len(ratios)),
+		Ratios:           stats.Summarize(ratios),
+		Trials:           trials,
+		MinRatio:         minRatio,
+	}, nil
+}
+
+// addressVoltages drives each mesowire to the upper edge of the addressed
+// digit's threshold band (the same scheme as the digital decoder).
+func addressVoltages(q *physics.Quantizer, w []int) []float64 {
+	vmin, vmax := q.Window()
+	spacing := (vmax - vmin) / float64(q.N())
+	va := make([]float64, len(w))
+	for j, digit := range w {
+		va[j] = vmin + float64(digit+1)*spacing
+	}
+	return va
+}

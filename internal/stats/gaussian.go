@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gaussian is a normal distribution with mean Mu and standard deviation
+// Sigma. Sigma must be non-negative; Sigma == 0 denotes a point mass at Mu.
+type Gaussian struct {
+	Mu    float64
+	Sigma float64
+}
+
+// CDF returns P(X <= x).
+func (g Gaussian) CDF(x float64) float64 {
+	if g.Sigma == 0 {
+		if x < g.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((x-g.Mu)/(g.Sigma*math.Sqrt2)))
+}
+
+// ProbWithin returns P(|X - Mu| <= delta), the probability that the variate
+// stays within +/- delta of its mean. This is the addressability primitive of
+// the yield model: a doping region decodes correctly when its threshold
+// voltage stays within half a level spacing of its nominal value.
+func (g Gaussian) ProbWithin(delta float64) float64 {
+	if delta < 0 {
+		return 0
+	}
+	if g.Sigma == 0 {
+		return 1
+	}
+	return math.Erf(delta / (g.Sigma * math.Sqrt2))
+}
+
+// ProbBetween returns P(lo <= X <= hi). It returns 0 when hi < lo.
+func (g Gaussian) ProbBetween(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	return g.CDF(hi) - g.CDF(lo)
+}
+
+// Sample draws one variate using the supplied generator.
+func (g Gaussian) Sample(r *RNG) float64 {
+	return r.Normal(g.Mu, g.Sigma)
+}
+
+// String implements fmt.Stringer.
+func (g Gaussian) String() string {
+	return fmt.Sprintf("N(%g, %g²)", g.Mu, g.Sigma)
+}
+
+// AddIndependent returns the distribution of the sum of two independent
+// Gaussian variates: means add, variances add.
+func AddIndependent(a, b Gaussian) Gaussian {
+	return Gaussian{
+		Mu:    a.Mu + b.Mu,
+		Sigma: math.Sqrt(a.Sigma*a.Sigma + b.Sigma*b.Sigma),
+	}
+}

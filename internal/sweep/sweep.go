@@ -1,0 +1,191 @@
+// Package sweep is the batch design-space exploration engine: it evaluates
+// the decoder designer over the Cartesian product of parameter grids and
+// emits tidy (long-format) rows suitable for CSV export and downstream
+// statistical tooling — the kind of systematic data product the paper's
+// evaluation implies but never shipped.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+)
+
+// Grid spans the design space to evaluate. Empty slices select the default
+// grid for that axis.
+type Grid struct {
+	// Types are the code families (default: all five).
+	Types []code.Type
+	// Lengths are the code lengths M; structurally invalid (family, M)
+	// pairs are skipped.
+	Lengths []int
+	// SigmaTs are the per-dose deviations in volts (default: 50 mV).
+	SigmaTs []float64
+	// MarginFactors scale the sensing margin (default: 1.0).
+	MarginFactors []float64
+	// HalfCaveWires are the cave populations N (default: 20).
+	HalfCaveWires []int
+}
+
+// DefaultGrid returns the paper's Fig. 7/8 grid extended with one sigma and
+// margin axis point each.
+func DefaultGrid() Grid {
+	return Grid{
+		Types:         code.AllTypes(),
+		Lengths:       []int{4, 6, 8, 10},
+		SigmaTs:       []float64{0.05},
+		MarginFactors: []float64{1.0},
+		HalfCaveWires: []int{20},
+	}
+}
+
+func (g Grid) withDefaults() Grid {
+	d := DefaultGrid()
+	if len(g.Types) == 0 {
+		g.Types = d.Types
+	}
+	if len(g.Lengths) == 0 {
+		g.Lengths = d.Lengths
+	}
+	if len(g.SigmaTs) == 0 {
+		g.SigmaTs = d.SigmaTs
+	}
+	if len(g.MarginFactors) == 0 {
+		g.MarginFactors = d.MarginFactors
+	}
+	if len(g.HalfCaveWires) == 0 {
+		g.HalfCaveWires = d.HalfCaveWires
+	}
+	return g
+}
+
+// Size returns the number of grid points before validity filtering.
+func (g Grid) Size() int {
+	g = g.withDefaults()
+	return len(g.Types) * len(g.Lengths) * len(g.SigmaTs) * len(g.MarginFactors) * len(g.HalfCaveWires)
+}
+
+// Row is one evaluated design point in long format.
+type Row struct {
+	Type          code.Type
+	Length        int
+	SigmaT        float64
+	MarginFactor  float64
+	HalfCaveWires int
+
+	SpaceSize      int
+	ContactGroups  int
+	Phi            int
+	AvgVariability float64
+	Yield          float64
+	EffectiveBits  float64
+	BitArea        float64
+}
+
+// Run evaluates every structurally valid grid point on the base platform.
+func Run(base core.Config, grid Grid) ([]Row, error) {
+	grid = grid.withDefaults()
+	var rows []Row
+	for _, tp := range grid.Types {
+		for _, m := range grid.Lengths {
+			for _, sigma := range grid.SigmaTs {
+				for _, mf := range grid.MarginFactors {
+					for _, n := range grid.HalfCaveWires {
+						cfg := base.WithDefaults()
+						cfg.CodeType = tp
+						cfg.CodeLength = m
+						cfg.SigmaT = sigma
+						cfg.MarginFactor = mf
+						cfg.Spec.HalfCaveWires = n
+						if !validLength(tp, cfg.Base, m) {
+							continue
+						}
+						d, err := core.NewDesign(cfg)
+						if err != nil {
+							return nil, fmt.Errorf("sweep: %v M=%d σ=%g mf=%g N=%d: %w",
+								tp, m, sigma, mf, n, err)
+						}
+						rows = append(rows, Row{
+							Type:           tp,
+							Length:         m,
+							SigmaT:         sigma,
+							MarginFactor:   mf,
+							HalfCaveWires:  n,
+							SpaceSize:      d.Generator.SpaceSize(),
+							ContactGroups:  d.Layout.Contact.Groups,
+							Phi:            d.Phi,
+							AvgVariability: d.AvgVariability,
+							Yield:          d.Crossbar.Yield,
+							EffectiveBits:  d.Crossbar.EffectiveBits,
+							BitArea:        d.Crossbar.BitArea,
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("sweep: grid produced no valid design points")
+	}
+	return rows, nil
+}
+
+// validLength mirrors the structural rule of the core sweeps.
+func validLength(tp code.Type, base, m int) bool {
+	if base == 0 {
+		base = 2
+	}
+	if m <= 0 {
+		return false
+	}
+	if tp.Reflected() {
+		return m%2 == 0
+	}
+	return m%base == 0
+}
+
+// Header lists the CSV column names, matching WriteCSV's output order.
+func Header() []string {
+	return []string{
+		"code", "length", "sigmaT_V", "marginFactor", "halfCaveWires",
+		"spaceSize", "contactGroups", "phi", "avgVariability_V2",
+		"yield", "effectiveBits", "bitArea_nm2",
+	}
+}
+
+// WriteCSV emits the rows in tidy long format.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(Header()); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Type.String(),
+			strconv.Itoa(r.Length),
+			formatFloat(r.SigmaT),
+			formatFloat(r.MarginFactor),
+			strconv.Itoa(r.HalfCaveWires),
+			strconv.Itoa(r.SpaceSize),
+			strconv.Itoa(r.ContactGroups),
+			strconv.Itoa(r.Phi),
+			formatFloat(r.AvgVariability),
+			formatFloat(r.Yield),
+			formatFloat(r.EffectiveBits),
+			formatFloat(r.BitArea),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

@@ -1,0 +1,138 @@
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series plots one or more named (x, y) series as horizontal bar charts
+// grouped by x — a terminal stand-in for the paper's grouped bar figures.
+type Series struct {
+	title  string
+	names  []string
+	xs     []string
+	values map[string]map[string]float64 // name -> x -> y
+	unit   string
+}
+
+// NewSeries creates a grouped bar chart with the given series names.
+func NewSeries(title, unit string, names ...string) *Series {
+	return &Series{
+		title:  title,
+		unit:   unit,
+		names:  names,
+		values: make(map[string]map[string]float64),
+	}
+}
+
+// Set records the value of series name at category x.
+func (s *Series) Set(name, x string, y float64) {
+	if s.values[name] == nil {
+		s.values[name] = make(map[string]float64)
+		found := false
+		for _, n := range s.names {
+			if n == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.names = append(s.names, name)
+		}
+	}
+	if _, seen := s.values[name][x]; !seen {
+		known := false
+		for _, e := range s.xs {
+			if e == x {
+				known = true
+				break
+			}
+		}
+		if !known {
+			s.xs = append(s.xs, x)
+		}
+	}
+	s.values[name][x] = y
+}
+
+// String renders the chart with one bar per (x, series) pair.
+func (s *Series) String() string {
+	maxVal := 0.0
+	for _, m := range s.values {
+		for _, v := range m {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	const barWidth = 40
+	var sb strings.Builder
+	if s.title != "" {
+		sb.WriteString(s.title)
+		sb.WriteByte('\n')
+	}
+	nameW := 0
+	for _, n := range s.names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for _, x := range s.xs {
+		fmt.Fprintf(&sb, "%s:\n", x)
+		for _, n := range s.names {
+			v, ok := s.values[n][x]
+			if !ok {
+				continue
+			}
+			bars := int(math.Round(v / maxVal * barWidth))
+			fmt.Fprintf(&sb, "  %-*s |%s %.4g%s\n", nameW, n, strings.Repeat("#", bars), v, s.unit)
+		}
+	}
+	return sb.String()
+}
+
+// Heatmap renders a matrix as a character raster; larger values map to
+// denser glyphs. It is the text stand-in for the paper's Fig. 6 surfaces.
+func Heatmap(title string, m [][]float64, rowLabel, colLabel string) string {
+	if len(m) == 0 {
+		return title + "\n(empty)\n"
+	}
+	shades := []byte(" .:-=+*#%@")
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range m {
+		for _, v := range row {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (rows: %s, cols: %s; scale %.3g..%.3g)\n", title, rowLabel, colLabel, min, max)
+	for i, row := range m {
+		fmt.Fprintf(&sb, "%3d |", i)
+		for _, v := range row {
+			idx := int((v - min) / span * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			sb.WriteByte(shades[idx])
+			sb.WriteByte(shades[idx])
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}

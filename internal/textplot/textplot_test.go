@@ -1,0 +1,121 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "Code", "Yield")
+	tb.AddRow("TC", "57.4%")
+	tb.AddRow("BGC", "93.0%")
+	out := tb.String()
+	for _, want := range []string{"Results", "Code", "Yield", "TC", "BGC", "93.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x")                // short row padded
+	tb.AddRow("1", "2", "3", "4") // long row truncated
+	out := tb.String()
+	if strings.Contains(out, "4") {
+		t.Error("overflow cell not dropped")
+	}
+	if !strings.Contains(out, "x") {
+		t.Error("short row lost")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "name", "v")
+	tb.AddRowf("pi", 3.14159265)
+	if !strings.Contains(tb.String(), "3.142") {
+		t.Errorf("float formatting wrong:\n%s", tb.String())
+	}
+	tb2 := NewTable("", "name", "v")
+	tb2.AddRowf("n", 42)
+	if !strings.Contains(tb2.String(), "42") {
+		t.Error("int formatting wrong")
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := NewSeries("Crossbar yield", "%", "TC", "BGC")
+	s.Set("TC", "M=6", 57.4)
+	s.Set("BGC", "M=6", 70.2)
+	s.Set("TC", "M=8", 64.4)
+	s.Set("BGC", "M=8", 82.0)
+	out := s.String()
+	for _, want := range []string{"Crossbar yield", "M=6", "M=8", "TC", "BGC", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+	// Largest value should own the longest bar.
+	var tcBar, bgcBar int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "TC") && strings.Contains(line, "57.4") {
+			tcBar = strings.Count(line, "#")
+		}
+		if strings.Contains(line, "BGC") && strings.Contains(line, "82") {
+			bgcBar = strings.Count(line, "#")
+		}
+	}
+	if bgcBar <= tcBar {
+		t.Errorf("bar lengths not proportional: %d vs %d", tcBar, bgcBar)
+	}
+}
+
+func TestSeriesDiscoverNewNames(t *testing.T) {
+	s := NewSeries("t", "")
+	s.Set("new", "x", 1)
+	if !strings.Contains(s.String(), "new") {
+		t.Error("dynamically added series missing")
+	}
+}
+
+func TestSeriesAllZeros(t *testing.T) {
+	s := NewSeries("z", "")
+	s.Set("a", "x", 0)
+	if out := s.String(); !strings.Contains(out, "0") {
+		t.Errorf("zero series mishandled:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	m := [][]float64{{1, 1, 4.5}, {2, 3, 4}}
+	out := Heatmap("Sigma", m, "nanowire", "digit")
+	if !strings.Contains(out, "Sigma") || !strings.Contains(out, "nanowire") {
+		t.Errorf("heatmap header wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	// The maximum cell uses the densest glyph, the minimum the sparsest.
+	if !strings.Contains(lines[1], "@") {
+		t.Errorf("max glyph missing in row 0: %s", lines[1])
+	}
+	if !strings.Contains(lines[1], "  ") {
+		t.Errorf("min glyph missing in row 0: %s", lines[1])
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	if out := Heatmap("t", nil, "r", "c"); !strings.Contains(out, "empty") {
+		t.Error("empty heatmap mishandled")
+	}
+	// Constant matrix must not divide by zero.
+	out := Heatmap("t", [][]float64{{2, 2}, {2, 2}}, "r", "c")
+	if !strings.Contains(out, "|") {
+		t.Error("constant heatmap mishandled")
+	}
+}

@@ -1,0 +1,125 @@
+// Package viz renders decoder layouts as standalone SVG drawings: the
+// half-cave pattern matrix as a colored doping map (the reproduction of the
+// paper's Fig. 1.b / Fig. 4 layout view) and the photolithography mask set
+// of the fabrication flow. Everything is emitted in physical nanometre
+// coordinates scaled for screen viewing, with no dependencies beyond the
+// standard library.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"nwdec/internal/geometry"
+	"nwdec/internal/mspt"
+)
+
+// digitPalette colors doping digits 0..5 (light to dark with hue steps so
+// adjacent levels stay distinguishable in grayscale too).
+var digitPalette = []string{
+	"#d7e8f7", "#6aaed6", "#2070b4", "#0a3d6e", "#86c49b", "#2a7e43",
+}
+
+// scale converts nanometres to SVG user units.
+const scale = 0.35
+
+// DecoderSVG draws one half cave of the decoder: each nanowire is a
+// horizontal bar of M doping regions at the lithographic pitch, filled by
+// the region's logic digit; mesowire gates are drawn as translucent vertical
+// stripes, and contact-group boundaries as dashed lines. Wires run top to
+// bottom in spacer-definition order.
+func DecoderSVG(plan *mspt.Plan, params geometry.Params, contact geometry.ContactPlan) string {
+	n, m := plan.N(), plan.M()
+	pattern := plan.Pattern()
+	regionW := params.LithoPitch * scale
+	wireH := params.NanowirePitch * scale
+	gap := wireH * 0.35
+	labelW := 60.0
+	width := labelW + float64(m)*regionW + 20
+	height := float64(n)*(wireH+gap) + 40
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="%.1f" y="14" font-family="monospace" font-size="11">half cave: %d wires x %d regions (base %d)</text>`+"\n",
+		labelW, n, m, plan.Base())
+
+	top := 24.0
+	// Mesowire gate stripes behind the wires.
+	for j := 0; j < m; j++ {
+		x := labelW + float64(j)*regionW
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#f3f0e8"/>`+"\n",
+			x+regionW*0.38, top-4, regionW*0.24, float64(n)*(wireH+gap)+8)
+	}
+	// Nanowires with per-region doping fill.
+	for i := 0; i < n; i++ {
+		y := top + float64(i)*(wireH+gap)
+		fmt.Fprintf(&sb, `<text x="4" y="%.1f" font-family="monospace" font-size="9">w%02d %s</text>`+"\n",
+			y+wireH*0.9, i, pattern[i])
+		for j := 0; j < m; j++ {
+			x := labelW + float64(j)*regionW
+			digit := pattern[i][j]
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#444" stroke-width="0.4"/>`+"\n",
+				x, y, regionW, wireH, digitColor(digit))
+		}
+	}
+	// Contact-group boundaries.
+	if contact.GroupWires > 0 {
+		for g := 1; g*contact.GroupWires < n; g++ {
+			y := top + float64(g*contact.GroupWires)*(wireH+gap) - gap/2
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#b03030" stroke-width="1" stroke-dasharray="4,3"/>`+"\n",
+				labelW-4, y, labelW+float64(m)*regionW+4, y)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// MaskSVG draws the photolithography mask set of the plan: one row per
+// distinct mask, its exposed doping-region windows filled, annotated with
+// the number of implant passes reusing it.
+func MaskSVG(plan *mspt.Plan, params geometry.Params) string {
+	set := plan.Masks()
+	m := plan.M()
+	regionW := params.LithoPitch * scale
+	rowH := 14.0
+	labelW := 120.0
+	width := labelW + float64(m)*regionW + 20
+	height := float64(len(set.Masks))*(rowH+6) + 40
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="4" y="14" font-family="monospace" font-size="11">mask set: %d masks / %d passes (reuse %.1fx)</text>`+"\n",
+		set.DistinctMasks(), set.Passes, set.ReuseFactor())
+	top := 26.0
+	for k, mask := range set.Masks {
+		y := top + float64(k)*(rowH+6)
+		fmt.Fprintf(&sb, `<text x="4" y="%.1f" font-family="monospace" font-size="9">mask %02d (%d passes)</text>`+"\n",
+			y+rowH*0.8, k, len(mask.Passes))
+		exposed := make(map[int]bool, len(mask.Regions))
+		for _, r := range mask.Regions {
+			exposed[r] = true
+		}
+		for j := 0; j < m; j++ {
+			x := labelW + float64(j)*regionW
+			fill := "#eeeeee"
+			if exposed[j] {
+				fill = "#2070b4"
+			}
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#444" stroke-width="0.4"/>`+"\n",
+				x, y, regionW, rowH, fill)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func digitColor(d int) string {
+	if d >= 0 && d < len(digitPalette) {
+		return digitPalette[d]
+	}
+	return "#888888"
+}

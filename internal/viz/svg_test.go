@@ -1,0 +1,121 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"nwdec/internal/code"
+	"nwdec/internal/geometry"
+	"nwdec/internal/mspt"
+	"nwdec/internal/physics"
+)
+
+func testPlan(t *testing.T) *mspt.Plan {
+	t.Helper()
+	g, err := code.NewGray(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := physics.NewQuantizer(physics.DefaultPhysicalModel(), 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := mspt.NewPlanFromGenerator(g, 12, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// countTokens counts occurrences of an XML element name in the SVG.
+func countTokens(svg, element string) int {
+	return strings.Count(svg, "<"+element+" ")
+}
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestDecoderSVG(t *testing.T) {
+	plan := testPlan(t)
+	contact := geometry.ContactPlan{GroupWires: 6, Groups: 2}
+	svg := DecoderSVG(plan, geometry.DefaultParams(), contact)
+	wellFormed(t, svg)
+	// One rect per doping region + background + M mesowire stripes.
+	wantRects := plan.N()*plan.M() + 1 + plan.M()
+	if got := countTokens(svg, "rect"); got != wantRects {
+		t.Errorf("rect count = %d, want %d", got, wantRects)
+	}
+	// One dashed boundary between the two groups.
+	if got := countTokens(svg, "line"); got != 1 {
+		t.Errorf("boundary line count = %d, want 1", got)
+	}
+	// Wire labels include the pattern words.
+	if !strings.Contains(svg, plan.Pattern()[0].String()) {
+		t.Error("first pattern word missing from labels")
+	}
+	if !strings.Contains(svg, "base 2") {
+		t.Error("header missing")
+	}
+}
+
+func TestDecoderSVGSingleGroupNoBoundaries(t *testing.T) {
+	plan := testPlan(t)
+	svg := DecoderSVG(plan, geometry.DefaultParams(), geometry.ContactPlan{GroupWires: 12, Groups: 1})
+	wellFormed(t, svg)
+	if got := countTokens(svg, "line"); got != 0 {
+		t.Errorf("unexpected boundary lines: %d", got)
+	}
+}
+
+func TestMaskSVG(t *testing.T) {
+	plan := testPlan(t)
+	svg := MaskSVG(plan, geometry.DefaultParams())
+	wellFormed(t, svg)
+	set := plan.Masks()
+	// One row of M rects per mask + background.
+	wantRects := set.DistinctMasks()*plan.M() + 1
+	if got := countTokens(svg, "rect"); got != wantRects {
+		t.Errorf("rect count = %d, want %d", got, wantRects)
+	}
+	if !strings.Contains(svg, "mask 00") {
+		t.Error("mask labels missing")
+	}
+}
+
+func TestDigitColor(t *testing.T) {
+	if digitColor(0) == digitColor(1) {
+		t.Error("adjacent digits share a color")
+	}
+	if digitColor(99) != "#888888" || digitColor(-1) != "#888888" {
+		t.Error("out-of-palette digits should fall back to gray")
+	}
+}
+
+func TestDecoderSVGTernary(t *testing.T) {
+	g, _ := code.NewGray(3, 6)
+	q := physics.PaperExampleQuantizer()
+	plan, err := mspt.NewPlanFromGenerator(g, 9, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := DecoderSVG(plan, geometry.DefaultParams(), geometry.ContactPlan{GroupWires: 9, Groups: 1})
+	wellFormed(t, svg)
+	// All three digit colors appear.
+	for d := 0; d < 3; d++ {
+		if !strings.Contains(svg, digitColor(d)) {
+			t.Errorf("digit %d color missing", d)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package yield
+
+import (
+	"nwdec/internal/geometry"
+	"nwdec/internal/mspt"
+)
+
+// Bounds are closed-form envelopes on the half-cave yield, cheap enough for
+// inner-loop design exploration before the exact product-form analysis runs.
+type Bounds struct {
+	// Lower is the union-style bound: every wire's failure probability is
+	// at most the sum of its regions' failure probabilities, so
+	// P(wire ok) >= 1 - Σ_j (1 - p_j).
+	Lower float64
+	// Upper is the weakest-link bound: a wire is never more likely to work
+	// than its worst region, so P(wire ok) <= min_j p_j.
+	Upper float64
+}
+
+// YieldBounds computes the closed-form envelopes for a plan under the
+// analyzer's margin model, including the layout losses of the contact plan.
+func (a Analyzer) YieldBounds(plan *mspt.Plan, contact geometry.ContactPlan) Bounds {
+	nu := plan.Nu()
+	n := plan.N()
+	var lowerSum, upperSum float64
+	for _, row := range nu {
+		failSum := 0.0
+		worst := 1.0
+		for _, v := range row {
+			p := a.RegionProb(v)
+			failSum += 1 - p
+			if p < worst {
+				worst = p
+			}
+		}
+		lower := 1 - failSum
+		if lower < 0 {
+			lower = 0
+		}
+		lowerSum += lower
+		upperSum += worst
+	}
+	lost := contact.Lost()
+	if lost > n {
+		lost = n
+	}
+	// Average over wires, then discount the layout-lost fraction exactly as
+	// AnalyzeHalfCave does.
+	factor := float64(n-lost) / float64(n)
+	return Bounds{
+		Lower: lowerSum / float64(n) * factor,
+		Upper: upperSum / float64(n) * factor,
+	}
+}

@@ -1,0 +1,94 @@
+package yield
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nwdec/internal/code"
+	"nwdec/internal/geometry"
+	"nwdec/internal/mspt"
+	"nwdec/internal/physics"
+)
+
+func TestYieldBoundsBracketExactYield(t *testing.T) {
+	for _, tp := range code.AllTypes() {
+		m := 10
+		if !tp.Reflected() {
+			m = 6
+		}
+		g, err := code.New(tp, 2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := testPlan(t, g, 20)
+		a := Analyzer{SigmaT: DefaultSigmaT, Margin: 0.25}
+		contact := geometry.ContactPlan{Groups: 1}
+		exact := a.AnalyzeHalfCave(plan, contact).Yield
+		b := a.YieldBounds(plan, contact)
+		if exact < b.Lower-1e-12 {
+			t.Errorf("%v: exact %g below lower bound %g", tp, exact, b.Lower)
+		}
+		if exact > b.Upper+1e-12 {
+			t.Errorf("%v: exact %g above upper bound %g", tp, exact, b.Upper)
+		}
+		if b.Lower < 0 || b.Upper > 1 {
+			t.Errorf("%v: bounds out of range %+v", tp, b)
+		}
+	}
+}
+
+func TestYieldBoundsTightAtLowNoise(t *testing.T) {
+	// With little variability the bounds collapse onto the exact yield.
+	g, _ := code.NewGray(2, 8)
+	plan := testPlan(t, g, 12)
+	a := Analyzer{SigmaT: 0.01, Margin: 0.25}
+	contact := geometry.ContactPlan{Groups: 1}
+	exact := a.AnalyzeHalfCave(plan, contact).Yield
+	b := a.YieldBounds(plan, contact)
+	if b.Upper-b.Lower > 1e-6 {
+		t.Errorf("bounds not tight at low noise: [%g, %g]", b.Lower, b.Upper)
+	}
+	if exact < b.Lower || exact > b.Upper {
+		t.Errorf("exact %g outside [%g, %g]", exact, b.Lower, b.Upper)
+	}
+}
+
+func TestYieldBoundsLayoutLossApplied(t *testing.T) {
+	g, _ := code.NewGray(2, 8)
+	plan := testPlan(t, g, 16)
+	a := Analyzer{SigmaT: DefaultSigmaT, Margin: 0.25}
+	clean := a.YieldBounds(plan, geometry.ContactPlan{Groups: 1})
+	lossy := a.YieldBounds(plan, geometry.ContactPlan{Groups: 2, BoundaryLost: 4})
+	wantRatio := 12.0 / 16.0
+	if diff := lossy.Upper/clean.Upper - wantRatio; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("upper bound loss ratio %g, want %g", lossy.Upper/clean.Upper, wantRatio)
+	}
+	over := a.YieldBounds(plan, geometry.ContactPlan{Groups: 4, BoundaryLost: 999})
+	if over.Lower != 0 || over.Upper != 0 {
+		t.Errorf("fully lost cave bounds %+v, want zeros", over)
+	}
+}
+
+func TestBoundsBracketProperty(t *testing.T) {
+	q, _ := physics.NewQuantizer(physics.DefaultPhysicalModel(), 2, 0, 1)
+	f := func(nRaw, marginRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		margin := float64(marginRaw%200)/1000 + 0.02
+		g, err := code.NewGray(2, 8)
+		if err != nil {
+			return false
+		}
+		plan, err := mspt.NewPlanFromGenerator(g, n, q, 0)
+		if err != nil {
+			return false
+		}
+		a := Analyzer{SigmaT: DefaultSigmaT, Margin: margin}
+		contact := geometry.ContactPlan{Groups: 1}
+		exact := a.AnalyzeHalfCave(plan, contact).Yield
+		b := a.YieldBounds(plan, contact)
+		return b.Lower-1e-12 <= exact && exact <= b.Upper+1e-12 && b.Lower <= b.Upper+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

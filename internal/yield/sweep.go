@@ -1,0 +1,86 @@
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"nwdec/internal/geometry"
+	"nwdec/internal/mspt"
+)
+
+// SweepPoint is one evaluation of a parameter sweep.
+type SweepPoint struct {
+	// X is the swept parameter value.
+	X float64
+	// Yield is the half-cave yield at that value.
+	Yield float64
+}
+
+// SweepSigma evaluates the half-cave yield across per-dose deviations
+// sigmas, keeping the margin fixed — the variability stress curve.
+func (a Analyzer) SweepSigma(plan *mspt.Plan, contact geometry.ContactPlan, sigmas []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(sigmas))
+	for _, s := range sigmas {
+		aa := Analyzer{SigmaT: s, Margin: a.Margin}
+		if err := aa.Validate(); err != nil {
+			return nil, fmt.Errorf("yield: sigma sweep at %g: %w", s, err)
+		}
+		out = append(out, SweepPoint{X: s, Yield: aa.AnalyzeHalfCave(plan, contact).Yield})
+	}
+	return out, nil
+}
+
+// SweepMargin evaluates the half-cave yield across margin values, keeping
+// sigma fixed — the sensing-window sensitivity curve.
+func (a Analyzer) SweepMargin(plan *mspt.Plan, contact geometry.ContactPlan, margins []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(margins))
+	for _, m := range margins {
+		aa := Analyzer{SigmaT: a.SigmaT, Margin: m}
+		if err := aa.Validate(); err != nil {
+			return nil, fmt.Errorf("yield: margin sweep at %g: %w", m, err)
+		}
+		out = append(out, SweepPoint{X: m, Yield: aa.AnalyzeHalfCave(plan, contact).Yield})
+	}
+	return out, nil
+}
+
+// Sensitivity estimates the local logarithmic sensitivities of the yield to
+// the two analyzer parameters with central finite differences:
+// d(lnY)/d(lnσ_T) and d(lnY)/d(ln margin). A yield with |S_sigma| well above
+// |S_margin| is variability-limited; the reverse is sensing-limited.
+type Sensitivity struct {
+	Sigma  float64 // d ln Y / d ln σ_T  (negative: more noise, less yield)
+	Margin float64 // d ln Y / d ln margin (positive)
+}
+
+// Sensitivities evaluates the local sensitivities at the analyzer's
+// operating point with the given relative step (e.g. 0.01).
+func (a Analyzer) Sensitivities(plan *mspt.Plan, contact geometry.ContactPlan, relStep float64) (Sensitivity, error) {
+	if relStep <= 0 || relStep >= 0.5 {
+		return Sensitivity{}, fmt.Errorf("yield: relative step %g outside (0, 0.5)", relStep)
+	}
+	base := a.AnalyzeHalfCave(plan, contact).Yield
+	if base <= 0 {
+		return Sensitivity{}, fmt.Errorf("yield: zero yield at operating point, sensitivities undefined")
+	}
+	logDeriv := func(up, down Analyzer) float64 {
+		yUp := up.AnalyzeHalfCave(plan, contact).Yield
+		yDown := down.AnalyzeHalfCave(plan, contact).Yield
+		if yUp <= 0 || yDown <= 0 {
+			return 0
+		}
+		return (ln(yUp) - ln(yDown)) / (2 * relStep)
+	}
+	s := Sensitivity{
+		Sigma: logDeriv(
+			Analyzer{SigmaT: a.SigmaT * (1 + relStep), Margin: a.Margin},
+			Analyzer{SigmaT: a.SigmaT * (1 - relStep), Margin: a.Margin}),
+		Margin: logDeriv(
+			Analyzer{SigmaT: a.SigmaT, Margin: a.Margin * (1 + relStep)},
+			Analyzer{SigmaT: a.SigmaT, Margin: a.Margin * (1 - relStep)}),
+	}
+	return s, nil
+}
+
+// ln aliases math.Log so the finite-difference code reads like the math.
+func ln(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,158 @@
+// Package yield implements the statistical addressability analysis of
+// Sec. 6.1 of the paper: the probability that each nanowire of a half cave
+// is uniquely addressable given the threshold-voltage variability Σ of its
+// decoder regions, the resulting cave yield, and the effective density and
+// bit area of the complete crossbar.
+//
+// The model: each doping region (i, j) holds a threshold voltage that is
+// Gaussian around its nominal level with variance Σ[i][j] = σ_T²·ν[i][j].
+// The region decodes correctly while the threshold stays within the
+// addressability margin (a fraction of half the level spacing); a nanowire
+// is addressable iff all M of its regions decode correctly. Nanowires lying
+// under the boundary between two adjacent contact groups can be driven by
+// both groups and are removed from the addressable set (after DeHon et al.).
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"nwdec/internal/geometry"
+	"nwdec/internal/mspt"
+	"nwdec/internal/stats"
+)
+
+// DefaultSigmaT is the paper's per-dose threshold-voltage standard
+// deviation: 50 mV.
+const DefaultSigmaT = 0.05
+
+// DefaultMarginFactor scales the quantizer's geometric margin (half the
+// level spacing) to the effective sensing margin of the readout circuit:
+// a region decodes correctly while its threshold stays inside its own
+// level band, so the factor is 1 by default. Lowering it models readout
+// circuits needing extra noise margin for the on/off current ratio
+// (Ben Jamaa et al., TCAD'08).
+const DefaultMarginFactor = 1.0
+
+// Analyzer evaluates addressability probabilities for a decoder plan.
+type Analyzer struct {
+	// SigmaT is the standard deviation contributed by a single
+	// implantation dose, in volts.
+	SigmaT float64
+	// Margin is the maximum tolerated threshold-voltage excursion in
+	// volts; a region whose threshold drifts further decodes as a
+	// neighbouring level.
+	Margin float64
+}
+
+// NewAnalyzer builds an Analyzer from the paper's defaults: per-dose sigma
+// σ_T and the quantizer margin scaled by DefaultMarginFactor.
+func NewAnalyzer(sigmaT, quantizerMargin float64) (Analyzer, error) {
+	a := Analyzer{SigmaT: sigmaT, Margin: quantizerMargin * DefaultMarginFactor}
+	if err := a.Validate(); err != nil {
+		return Analyzer{}, err
+	}
+	return a, nil
+}
+
+// Validate reports whether the analyzer parameters are meaningful.
+func (a Analyzer) Validate() error {
+	if a.SigmaT <= 0 {
+		return fmt.Errorf("yield: sigmaT must be positive, got %g", a.SigmaT)
+	}
+	if a.Margin <= 0 {
+		return fmt.Errorf("yield: margin must be positive, got %g", a.Margin)
+	}
+	return nil
+}
+
+// RegionProb returns the probability that a doping region dosed nu times
+// decodes correctly: P(|N(0, σ_T²·ν)| <= margin).
+func (a Analyzer) RegionProb(nu int) float64 {
+	if nu <= 0 {
+		return 1
+	}
+	g := stats.Gaussian{Mu: 0, Sigma: a.SigmaT * math.Sqrt(float64(nu))}
+	return g.ProbWithin(a.Margin)
+}
+
+// WireProb returns the probability that a nanowire with the given per-region
+// dose counts is addressable: the product of its region probabilities
+// (region noises are independent).
+func (a Analyzer) WireProb(nus []int) float64 {
+	p := 1.0
+	for _, nu := range nus {
+		p *= a.RegionProb(nu)
+	}
+	return p
+}
+
+// WireProbs returns the addressability probability of every nanowire in the
+// plan's half cave, in definition order.
+func (a Analyzer) WireProbs(plan *mspt.Plan) []float64 {
+	nu := plan.Nu()
+	out := make([]float64, plan.N())
+	for i, row := range nu {
+		out[i] = a.WireProb(row)
+	}
+	return out
+}
+
+// HalfCave is the yield analysis of one half cave.
+type HalfCave struct {
+	// WireProbs is the per-nanowire addressability probability.
+	WireProbs []float64
+	// MeanProb is the average addressability probability before layout
+	// losses.
+	MeanProb float64
+	// LayoutLost is the number of wires removed for layout reasons
+	// (contact-group boundaries and duplicated codes).
+	LayoutLost int
+	// Yield is the expected fraction of addressable nanowires including
+	// layout losses.
+	Yield float64
+}
+
+// AnalyzeHalfCave combines the decoder variability of the plan with the
+// contact partition: the expected addressable fraction is the mean
+// addressability probability discounted by the layout-lost wires.
+func (a Analyzer) AnalyzeHalfCave(plan *mspt.Plan, contact geometry.ContactPlan) HalfCave {
+	probs := a.WireProbs(plan)
+	mean := stats.Mean(probs)
+	n := plan.N()
+	lost := contact.Lost()
+	if lost > n {
+		lost = n
+	}
+	return HalfCave{
+		WireProbs:  probs,
+		MeanProb:   mean,
+		LayoutLost: lost,
+		Yield:      mean * float64(n-lost) / float64(n),
+	}
+}
+
+// Crossbar is the full-array yield and density analysis.
+type Crossbar struct {
+	HalfCave HalfCave
+	// Yield is the cave yield Y (equal on both layers for a square array).
+	Yield float64
+	// EffectiveBits is D_EFF = D_RAW · Y².
+	EffectiveBits float64
+	// BitArea is the area per working crosspoint in nm².
+	BitArea float64
+}
+
+// AnalyzeCrossbar evaluates a decoder plan on a crossbar layout. Both
+// layers are assumed to use the same decoder design, so the effective
+// crosspoint density is D_RAW·Y² (a crosspoint works when both of its
+// nanowires are addressable).
+func (a Analyzer) AnalyzeCrossbar(plan *mspt.Plan, layout *geometry.Layout) Crossbar {
+	hc := a.AnalyzeHalfCave(plan, layout.Contact)
+	return Crossbar{
+		HalfCave:      hc,
+		Yield:         hc.Yield,
+		EffectiveBits: float64(layout.Spec.RawBits) * hc.Yield * hc.Yield,
+		BitArea:       layout.EffectiveBitArea(hc.Yield),
+	}
+}
