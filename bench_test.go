@@ -9,6 +9,8 @@
 package nwdec
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"nwdec/internal/code"
@@ -101,6 +103,27 @@ func BenchmarkMonteCarloValidation(b *testing.B) {
 		if _, err := experiments.MonteCarlo(core.Config{}, 1, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParScaling runs the Fig. 7 sweep at fixed worker counts to expose
+// the scaling of the parallel execution engine. The output is bit-identical
+// at every worker count; only the wall clock moves. On a single-core host
+// the curve is flat — the engine can only help where GOMAXPROCS > 1.
+func BenchmarkParScaling(b *testing.B) {
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, err := experiments.Fig7Workers(core.Config{}, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(points) != 12 {
+					b.Fatal("wrong point count")
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,10 @@
 //
 //	nwsim [-exp fig5|fig6|fig7|fig8|headline|montecarlo|all]
 //	      [-wires N] [-rawbits D] [-sigma V] [-margin F] [-trials T] [-seed S]
+//	      [-workers W]
+//
+// Parallelized experiments run on W workers (0 = GOMAXPROCS); their output
+// is bit-identical at every worker count.
 package main
 
 import (
@@ -26,6 +30,7 @@ func main() {
 		margin  = flag.Float64("margin", 0, "margin factor relative to half the level spacing (default 1.0)")
 		trials  = flag.Int("trials", 4, "Monte-Carlo repetitions for the validation experiment")
 		seed    = flag.Uint64("seed", 2009, "Monte-Carlo seed")
+		workers = flag.Int("workers", 0, "worker pool size for parallel experiments (0 = GOMAXPROCS, 1 = serial)")
 		md      = flag.Bool("markdown", false, "emit the full reproduction report as Markdown instead")
 	)
 	flag.Parse()
@@ -33,6 +38,7 @@ func main() {
 	r := experiments.NewRunner()
 	r.MCTrials = *trials
 	r.Seed = *seed
+	r.Workers = *workers
 	if *wires > 0 {
 		if r.Cfg.Spec.RawBits == 0 {
 			r.Cfg = r.Cfg.WithDefaults()

@@ -5,7 +5,10 @@
 // Usage:
 //
 //	nwsweep [-types tc,gc,bgc,hc,ahc] [-lengths 4,6,8,10]
-//	        [-sigmas 0.05] [-margins 1.0] [-wires 20] > sweep.csv
+//	        [-sigmas 0.05] [-margins 1.0] [-wires 20] [-workers W] > sweep.csv
+//
+// The grid is evaluated on W workers (0 = GOMAXPROCS); the CSV is
+// bit-identical at every worker count.
 package main
 
 import (
@@ -27,6 +30,7 @@ func main() {
 		sigmasArg  = flag.String("sigmas", "", "comma-separated per-dose sigmas in volts (default: 0.05)")
 		marginsArg = flag.String("margins", "", "comma-separated margin factors (default: 1.0)")
 		wiresArg   = flag.String("wires", "", "comma-separated half-cave populations (default: 20)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -54,7 +58,7 @@ func main() {
 		fail(err)
 	}
 
-	rows, err := sweep.Run(core.Config{}, grid)
+	rows, err := sweep.RunWorkers(core.Config{}, grid, *workers)
 	if err != nil {
 		fail(err)
 	}

@@ -3,9 +3,15 @@
 // (Ben Jamaa, Leblebici, De Micheli — DAC 2009).
 //
 // The library lives under internal/ (code, physics, mspt, geometry, yield,
-// crossbar, readout, core, experiments, report, sweep, stats, textplot,
-// viz); the root package carries the repository-level test and benchmark
-// harness: integration tests across the full design-fabricate-operate
-// pipeline, CLI smoke tests, and one benchmark per figure of the paper's
-// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+// crossbar, readout, core, experiments, report, sweep, stats, par,
+// textplot, viz); the root package carries the repository-level test and
+// benchmark harness: integration tests across the full
+// design-fabricate-operate pipeline, CLI smoke tests, and one benchmark per
+// figure of the paper's evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+//
+// Package par is the deterministic parallel execution engine: every sweep,
+// experiment grid and Monte-Carlo driver fans out over its bounded worker
+// pool, with jump-based RNG substreams (stats.RNG.Split/Streams) keeping
+// the output bit-identical at every worker count.
 package nwdec

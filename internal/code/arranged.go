@@ -1,6 +1,9 @@
 package code
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ArrangedHot is the arranged hot code AHC: the words of the hot code
 // HC(M, k) re-ordered in a Gray-code fashion so that successive words differ
@@ -20,6 +23,7 @@ type ArrangedHot struct {
 	// SearchBudget bounds the number of DFS nodes explored per search.
 	SearchBudget int
 
+	mu    sync.Mutex
 	cache map[int][]Word
 }
 
@@ -62,6 +66,10 @@ func (a *ArrangedHot) Sequence(count int) ([]Word, error) {
 		return nil, fmt.Errorf("%w: arranged hot code (M=%d, k=%d, n=%d) has %d words, requested %d",
 			ErrCountExceedsSpace, a.hot.length, a.hot.k, a.hot.base, a.SpaceSize(), count)
 	}
+	// The sequence cache makes the generator safe for concurrent use by
+	// the parallel sweep drivers (which share generators through Cached).
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if cached, ok := a.cache[count]; ok {
 		return cloneWords(cached), nil
 	}

@@ -1,6 +1,9 @@
 package code
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // BalancedGray is the balanced Gray arrangement BGC (after Bhat & Savage):
 // a Gray sequence — successive base words differ in exactly one digit — in
@@ -27,6 +30,7 @@ type BalancedGray struct {
 	// SearchBudget bounds the number of DFS nodes explored per cap level.
 	SearchBudget int
 
+	mu    sync.Mutex
 	cache map[int][]Word
 }
 
@@ -77,6 +81,10 @@ func (b *BalancedGray) Sequence(count int) ([]Word, error) {
 		return nil, fmt.Errorf("%w: balanced Gray code base %d length %d has %d words, requested %d",
 			ErrCountExceedsSpace, b.base, b.length, b.SpaceSize(), count)
 	}
+	// The sequence cache makes the generator safe for concurrent use by
+	// the parallel sweep drivers (which share generators through Cached).
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if cached, ok := b.cache[count]; ok {
 		return cloneWords(cached), nil
 	}

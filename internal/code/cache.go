@@ -1,0 +1,38 @@
+package code
+
+import "sync"
+
+// cacheKey identifies one arrangement search result.
+type cacheKey struct {
+	t      Type
+	base   int
+	length int
+}
+
+// cacheEntry is populated exactly once per key.
+type cacheEntry struct {
+	once sync.Once
+	g    Generator
+	err  error
+}
+
+var generatorCache sync.Map // cacheKey -> *cacheEntry
+
+// Cached returns a process-wide shared Generator for (t, base, length),
+// constructing it at most once. The expensive arrangement searches (the
+// balanced-Gray and arranged-hot backtracking) are thereby paid once per
+// process instead of once per design point — every figure and sweep
+// re-derives the same handful of generators.
+//
+// The returned Generator is shared: it is safe for concurrent Sequence
+// calls, but callers must not mutate its exported tuning fields
+// (SearchBudget, DigitChangeTarget); use New for a private instance.
+func Cached(t Type, base, length int) (Generator, error) {
+	k := cacheKey{t: t, base: base, length: length}
+	v, _ := generatorCache.LoadOrStore(k, &cacheEntry{})
+	e := v.(*cacheEntry)
+	e.once.Do(func() {
+		e.g, e.err = New(t, base, length)
+	})
+	return e.g, e.err
+}

@@ -1,0 +1,96 @@
+package code
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCachedReturnsSameInstance(t *testing.T) {
+	a, err := Cached(TypeBalancedGray, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(TypeBalancedGray, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same key returned distinct generator instances")
+	}
+	c, err := Cached(TypeBalancedGray, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("distinct keys shared one generator instance")
+	}
+}
+
+func TestCachedMatchesNew(t *testing.T) {
+	for _, tp := range AllTypes() {
+		cached, err := Cached(tp, 2, 6)
+		if err != nil {
+			t.Fatalf("%v: %v", tp, err)
+		}
+		fresh, err := New(tp, 2, 6)
+		if err != nil {
+			t.Fatalf("%v: %v", tp, err)
+		}
+		cs, err := cached.Sequence(cached.SpaceSize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fresh.Sequence(fresh.SpaceSize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cs) != len(fs) {
+			t.Fatalf("%v: cached space %d != fresh space %d", tp, len(cs), len(fs))
+		}
+		for i := range cs {
+			if cs[i].String() != fs[i].String() {
+				t.Fatalf("%v: word %d differs: %s != %s", tp, i, cs[i], fs[i])
+			}
+		}
+	}
+}
+
+func TestCachedCachesError(t *testing.T) {
+	if _, err := Cached(TypeGray, 2, 7); err == nil {
+		t.Fatal("odd Gray length accepted")
+	}
+	// The failure is memoized too; asking again must keep failing.
+	if _, err := Cached(TypeGray, 2, 7); err == nil {
+		t.Fatal("cached error lost on second lookup")
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	const goroutines = 16
+	gens := make([]Generator, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen, err := Cached(TypeArrangedHot, 2, 6)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Concurrent Sequence calls exercise the generator's internal
+			// word cache under the race detector.
+			if _, err := gen.Sequence(gen.SpaceSize()); err != nil {
+				t.Error(err)
+				return
+			}
+			gens[g] = gen
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if gens[g] != gens[0] {
+			t.Fatalf("goroutine %d got a different instance", g)
+		}
+	}
+}

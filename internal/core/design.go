@@ -99,10 +99,14 @@ type Design struct {
 	Crossbar yield.Crossbar
 }
 
-// NewDesign resolves a configuration into a complete decoder design.
+// NewDesign resolves a configuration into a complete decoder design. The
+// code generator comes from the process-wide memoization cache: the same
+// arrangement search (notably the balanced-Gray and arranged-hot
+// backtracking) is re-derived by every figure and sweep, so it is paid once
+// per (type, base, length) per process.
 func NewDesign(cfg Config) (*Design, error) {
 	cfg = cfg.WithDefaults()
-	gen, err := code.New(cfg.CodeType, cfg.Base, cfg.CodeLength)
+	gen, err := code.Cached(cfg.CodeType, cfg.Base, cfg.CodeLength)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

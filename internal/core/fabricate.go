@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/crossbar"
+	"nwdec/internal/par"
 	"nwdec/internal/stats"
 )
 
@@ -34,18 +36,34 @@ func (d *Design) Fabricate(rng *stats.RNG) (*crossbar.Memory, error) {
 
 // MonteCarloYield measures the mean usable crosspoint fraction over trials
 // independent fabrications — the empirical counterpart of the analytic Y².
+// It runs on the default worker pool.
 func (d *Design) MonteCarloYield(trials int, seed uint64) (float64, error) {
+	return d.MonteCarloYieldWorkers(trials, seed, 0)
+}
+
+// MonteCarloYieldWorkers is MonteCarloYield with an explicit worker count
+// (<= 0 means GOMAXPROCS). Each trial fabricates from its own jump
+// substream of the seed and the mean is reduced in trial order, so the
+// result is bit-identical at every worker count.
+func (d *Design) MonteCarloYieldWorkers(trials int, seed uint64, workers int) (float64, error) {
 	if trials <= 0 {
 		return 0, fmt.Errorf("core: non-positive trial count %d", trials)
 	}
-	rng := stats.NewRNG(seed)
+	streams := stats.NewRNG(seed).Streams(trials)
+	fracs, err := par.MapN(context.Background(), workers, trials,
+		func(_ context.Context, t int) (float64, error) {
+			mem, err := d.Fabricate(streams[t])
+			if err != nil {
+				return 0, err
+			}
+			return mem.UsableFraction(), nil
+		})
+	if err != nil {
+		return 0, err
+	}
 	sum := 0.0
-	for i := 0; i < trials; i++ {
-		mem, err := d.Fabricate(rng)
-		if err != nil {
-			return 0, err
-		}
-		sum += mem.UsableFraction()
+	for _, f := range fracs {
+		sum += f
 	}
 	return sum / float64(trials), nil
 }

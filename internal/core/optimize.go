@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"nwdec/internal/code"
+	"nwdec/internal/par"
 )
 
 // SweepPoint is one evaluated configuration in a design-space sweep.
@@ -17,23 +19,42 @@ type SweepPoint struct {
 // Sweep evaluates the base configuration across every combination of the
 // given code types and code lengths. Combinations that are structurally
 // invalid for a family (e.g. a hot-code length not divisible by the base)
-// are skipped silently, so callers can pass one shared length grid.
+// are skipped silently, so callers can pass one shared length grid. It runs
+// on the default worker pool.
 func Sweep(base Config, types []code.Type, lengths []int) ([]SweepPoint, error) {
-	var points []SweepPoint
+	return SweepWorkers(base, types, lengths, 0)
+}
+
+// SweepWorkers is Sweep with an explicit worker count (<= 0 means
+// GOMAXPROCS). Every design point is a pure function of the base
+// configuration, so the output is bit-identical at every worker count.
+func SweepWorkers(base Config, types []code.Type, lengths []int, workers int) ([]SweepPoint, error) {
+	type unit struct {
+		tp code.Type
+		m  int
+	}
+	var units []unit
 	for _, tp := range types {
 		for _, m := range lengths {
-			cfg := base
-			cfg.CodeType = tp
-			cfg.CodeLength = m
-			if !validLength(tp, cfg.Base, m) {
+			if !validLength(tp, base.Base, m) {
 				continue
 			}
+			units = append(units, unit{tp: tp, m: m})
+		}
+	}
+	points, err := par.Map(context.Background(), workers, units,
+		func(_ context.Context, _ int, u unit) (SweepPoint, error) {
+			cfg := base
+			cfg.CodeType = u.tp
+			cfg.CodeLength = u.m
 			d, err := NewDesign(cfg)
 			if err != nil {
-				return nil, fmt.Errorf("core: sweep %v M=%d: %w", tp, m, err)
+				return SweepPoint{}, fmt.Errorf("core: sweep %v M=%d: %w", u.tp, u.m, err)
 			}
-			points = append(points, SweepPoint{Type: tp, Length: m, Design: d})
-		}
+			return SweepPoint{Type: u.tp, Length: u.m, Design: d}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if len(points) == 0 {
 		return nil, fmt.Errorf("core: sweep produced no valid configurations")

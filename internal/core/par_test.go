@@ -1,0 +1,52 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"nwdec/internal/code"
+)
+
+func TestMonteCarloYieldWorkersDeterministic(t *testing.T) {
+	d, err := NewDesign(Config{CodeType: code.TypeTree, CodeLength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := d.MonteCarloYieldWorkers(6, 2009, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0), 0} {
+		parallel, err := d.MonteCarloYieldWorkers(6, 2009, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if parallel != serial {
+			t.Errorf("workers=%d: yield %v != serial %v", w, parallel, serial)
+		}
+	}
+}
+
+func TestSweepWorkersDeterministic(t *testing.T) {
+	types := []code.Type{code.TypeTree, code.TypeBalancedGray}
+	lengths := []int{6, 8, 10}
+	serial, err := SweepWorkers(Config{}, types, lengths, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SweepWorkers(Config{}, types, lengths, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("%d vs %d points", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Type != p.Type || s.Length != p.Length ||
+			s.Design.Yield() != p.Design.Yield() || s.Design.BitArea() != p.Design.BitArea() {
+			t.Errorf("point %d differs: %v M=%d Y=%g vs %v M=%d Y=%g",
+				i, s.Type, s.Length, s.Design.Yield(), p.Type, p.Length, p.Design.Yield())
+		}
+	}
+}

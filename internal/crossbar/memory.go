@@ -1,9 +1,11 @@
 package crossbar
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/geometry"
+	"nwdec/internal/par"
 	"nwdec/internal/stats"
 )
 
@@ -37,8 +39,19 @@ type Layer struct {
 // BuildLayer fabricates a layer: it stamps the decoder plan into as many
 // half caves as needed to cover wires nanowires, samples each half cave's
 // threshold voltages independently, marks boundary-ambiguous wires and
-// resolves functional addressability group by group.
+// resolves functional addressability group by group. Half caves are
+// resolved on the default worker pool; the output is bit-identical to the
+// serial path for the same rng state.
 func BuildLayer(d *Decoder, contact geometry.ContactPlan, wires int, sigmaT float64, rng *stats.RNG) (*Layer, error) {
+	return BuildLayerWorkers(d, contact, wires, sigmaT, rng, 0)
+}
+
+// BuildLayerWorkers is BuildLayer with an explicit worker count (<= 0 means
+// GOMAXPROCS, 1 is the serial path). Every half cave's generator is forked
+// from rng up front in cave order — exactly the draws the serial loop makes
+// — so the fabricated layer is bit-identical at every worker count, and rng
+// is left in the same state.
+func BuildLayerWorkers(d *Decoder, contact geometry.ContactPlan, wires int, sigmaT float64, rng *stats.RNG, workers int) (*Layer, error) {
 	if wires <= 0 {
 		return nil, fmt.Errorf("crossbar: non-positive wire count %d", wires)
 	}
@@ -53,45 +66,60 @@ func BuildLayer(d *Decoder, contact geometry.ContactPlan, wires int, sigmaT floa
 			contact.Groups = 1
 		}
 	}
-	layer := &Layer{Decoder: d, Contact: contact}
 	lossPerBoundary := 0
 	if contact.Groups > 1 {
 		lossPerBoundary = contact.BoundaryLost / (contact.Groups - 1)
 	}
-	for cave := 0; len(layer.Wires) < wires; cave++ {
-		vt := d.SampleVT(rng.Split(), sigmaT)
-		// Mark the wires nearest each internal group boundary ambiguous.
-		ambiguous := make([]bool, n)
-		for b := 1; b < contact.Groups; b++ {
-			edge := b * contact.GroupWires
-			for k := 0; k < lossPerBoundary; k++ {
-				idx := edge - 1 - k/2
-				if k%2 == 1 {
-					idx = edge + k/2
-				}
-				if idx >= 0 && idx < n {
-					ambiguous[idx] = true
-				}
+	// Mark the wires nearest each internal group boundary ambiguous; the
+	// mask is identical for every half cave.
+	ambiguous := make([]bool, n)
+	for b := 1; b < contact.Groups; b++ {
+		edge := b * contact.GroupWires
+		for k := 0; k < lossPerBoundary; k++ {
+			idx := edge - 1 - k/2
+			if k%2 == 1 {
+				idx = edge + k/2
+			}
+			if idx >= 0 && idx < n {
+				ambiguous[idx] = true
 			}
 		}
-		for g := 0; g*contact.GroupWires < n; g++ {
-			lo := g * contact.GroupWires
-			hi := lo + contact.GroupWires
-			if hi > n {
-				hi = n
+	}
+	caves := (wires + n - 1) / n
+	caveRNGs := make([]*stats.RNG, caves)
+	for c := range caveRNGs {
+		caveRNGs[c] = rng.Fork()
+	}
+	caveWires, err := par.Map(context.Background(), workers, caveRNGs,
+		func(_ context.Context, cave int, crng *stats.RNG) ([]Wire, error) {
+			vt := d.SampleVT(crng, sigmaT)
+			out := make([]Wire, 0, n)
+			for g := 0; g*contact.GroupWires < n; g++ {
+				lo := g * contact.GroupWires
+				hi := lo + contact.GroupWires
+				if hi > n {
+					hi = n
+				}
+				unique := d.UniquelyAddressable(vt, lo, hi)
+				for i := lo; i < hi; i++ {
+					out = append(out, Wire{
+						HalfCave:          cave,
+						Index:             i,
+						Group:             g,
+						VT:                vt[i],
+						BoundaryAmbiguous: ambiguous[i],
+						Addressable:       unique[i-lo] && !ambiguous[i],
+					})
+				}
 			}
-			unique := d.UniquelyAddressable(vt, lo, hi)
-			for i := lo; i < hi; i++ {
-				layer.Wires = append(layer.Wires, Wire{
-					HalfCave:          cave,
-					Index:             i,
-					Group:             g,
-					VT:                vt[i],
-					BoundaryAmbiguous: ambiguous[i],
-					Addressable:       unique[i-lo] && !ambiguous[i],
-				})
-			}
-		}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	layer := &Layer{Decoder: d, Contact: contact, Wires: make([]Wire, 0, caves*n)}
+	for _, cw := range caveWires {
+		layer.Wires = append(layer.Wires, cw...)
 	}
 	layer.Wires = layer.Wires[:wires]
 	return layer, nil

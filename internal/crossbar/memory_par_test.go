@@ -1,0 +1,50 @@
+package crossbar
+
+import (
+	"testing"
+
+	"nwdec/internal/code"
+	"nwdec/internal/geometry"
+	"nwdec/internal/stats"
+	"nwdec/internal/yield"
+)
+
+func TestBuildLayerWorkersDeterministic(t *testing.T) {
+	d := testDecoder(t, code.TypeGray, 8, 16)
+	contact, err := geometry.DefaultParams().PlanContacts(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(workers int) (*Layer, *stats.RNG) {
+		rng := stats.NewRNG(3)
+		layer, err := BuildLayerWorkers(d, contact, 128, yield.DefaultSigmaT, rng, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return layer, rng
+	}
+	serial, serialRNG := build(1)
+	for _, w := range []int{2, 4, 0} {
+		parallel, parallelRNG := build(w)
+		if len(parallel.Wires) != len(serial.Wires) {
+			t.Fatalf("workers=%d: %d wires vs %d", w, len(parallel.Wires), len(serial.Wires))
+		}
+		for i := range serial.Wires {
+			a, b := serial.Wires[i], parallel.Wires[i]
+			if a.HalfCave != b.HalfCave || a.Index != b.Index || a.Group != b.Group ||
+				a.BoundaryAmbiguous != b.BoundaryAmbiguous || a.Addressable != b.Addressable {
+				t.Fatalf("workers=%d: wire %d metadata differs: %+v vs %+v", w, i, a, b)
+			}
+			for j := range a.VT {
+				if a.VT[j] != b.VT[j] {
+					t.Fatalf("workers=%d: wire %d VT[%d]: %g != %g", w, i, j, a.VT[j], b.VT[j])
+				}
+			}
+		}
+		// The caller's generator must be left in the same position too, so
+		// downstream draws (the column layer) stay aligned.
+		if serialRNG.Clone().Uint64() != parallelRNG.Clone().Uint64() {
+			t.Fatalf("workers=%d: caller RNG left in a different state", w)
+		}
+	}
+}

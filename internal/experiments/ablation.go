@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/geometry"
 	"nwdec/internal/mspt"
+	"nwdec/internal/par"
 	"nwdec/internal/physics"
 	"nwdec/internal/stats"
 	"nwdec/internal/textplot"
@@ -26,8 +28,16 @@ type ArrangementPoint struct {
 // over the *same* binary reflected code space (M=10, N=20), it compares the
 // counting (tree) order, seeded random orders, the Gray order and the
 // balanced Gray order. Gray arrangements must dominate every random order
-// in both Φ and ‖Σ‖₁.
+// in both Φ and ‖Σ‖₁. It runs on the default worker pool.
 func AblationArrangement(seeds []uint64) ([]ArrangementPoint, error) {
+	return AblationArrangementWorkers(seeds, 0)
+}
+
+// AblationArrangementWorkers is AblationArrangement with an explicit worker
+// count (<= 0 means GOMAXPROCS). The random orders are drawn serially from
+// their own seeds before the evaluations fan out, so the output is
+// bit-identical at every worker count.
+func AblationArrangementWorkers(seeds []uint64, workers int) ([]ArrangementPoint, error) {
 	const m, n = 10, 20
 	q, err := physics.NewQuantizer(physics.DefaultPhysicalModel(), 2, 0, 1)
 	if err != nil {
@@ -50,27 +60,12 @@ func AblationArrangement(seeds []uint64) ([]ArrangementPoint, error) {
 		return nil, err
 	}
 
-	evaluate := func(name string, words []code.Word) (ArrangementPoint, error) {
-		plan, err := mspt.NewPlan(words, 2, doses)
-		if err != nil {
-			return ArrangementPoint{}, err
-		}
-		hc := analyzer.AnalyzeHalfCave(plan, geometry.ContactPlan{Groups: 1})
-		return ArrangementPoint{
-			Name:  name,
-			Phi:   plan.Phi(),
-			NuSum: plan.NuSum(),
-			MaxNu: plan.MaxNu(),
-			Yield: hc.Yield,
-		}, nil
+	// The arrangements under comparison, in presentation order.
+	type arrangement struct {
+		name  string
+		words []code.Word
 	}
-
-	var out []ArrangementPoint
-	pt, err := evaluate("counting (TC)", full[:n])
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, pt)
+	units := []arrangement{{name: "counting (TC)", words: full[:n]}}
 	for _, seed := range seeds {
 		rng := stats.NewRNG(seed)
 		perm := rng.Perm(len(full))
@@ -78,14 +73,10 @@ func AblationArrangement(seeds []uint64) ([]ArrangementPoint, error) {
 		for i := range words {
 			words[i] = full[perm[i]]
 		}
-		pt, err := evaluate(fmt.Sprintf("random #%d", seed), words)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
+		units = append(units, arrangement{name: fmt.Sprintf("random #%d", seed), words: words})
 	}
 	for _, fam := range []code.Type{code.TypeGray, code.TypeBalancedGray} {
-		g, err := code.New(fam, 2, m)
+		g, err := code.Cached(fam, 2, m)
 		if err != nil {
 			return nil, err
 		}
@@ -93,13 +84,24 @@ func AblationArrangement(seeds []uint64) ([]ArrangementPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		pt, err := evaluate(fam.String(), words)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
+		units = append(units, arrangement{name: fam.String(), words: words})
 	}
-	return out, nil
+
+	return par.Map(context.Background(), workers, units,
+		func(_ context.Context, _ int, u arrangement) (ArrangementPoint, error) {
+			plan, err := mspt.NewPlan(u.words, 2, doses)
+			if err != nil {
+				return ArrangementPoint{}, err
+			}
+			hc := analyzer.AnalyzeHalfCave(plan, geometry.ContactPlan{Groups: 1})
+			return ArrangementPoint{
+				Name:  u.name,
+				Phi:   plan.Phi(),
+				NuSum: plan.NuSum(),
+				MaxNu: plan.MaxNu(),
+				Yield: hc.Yield,
+			}, nil
+		})
 }
 
 // RenderAblationArrangement renders the arrangement comparison.
@@ -124,25 +126,31 @@ type MarginPoint struct {
 
 // AblationMargin sweeps the sensing-margin factor — the one calibration
 // constant of the yield model — and shows the BGC advantage over TC is
-// robust across it.
+// robust across it. It runs on the default worker pool.
 func AblationMargin(factors []float64) ([]MarginPoint, error) {
-	var out []MarginPoint
-	for _, f := range factors {
-		row := MarginPoint{Factor: f}
-		for _, tp := range []code.Type{code.TypeTree, code.TypeBalancedGray} {
-			d, err := core.NewDesign(core.Config{CodeType: tp, CodeLength: 10, MarginFactor: f})
-			if err != nil {
-				return nil, err
+	return AblationMarginWorkers(factors, 0)
+}
+
+// AblationMarginWorkers is AblationMargin with an explicit worker count
+// (<= 0 means GOMAXPROCS); the output is bit-identical at every worker
+// count.
+func AblationMarginWorkers(factors []float64, workers int) ([]MarginPoint, error) {
+	return par.Map(context.Background(), workers, factors,
+		func(_ context.Context, _ int, f float64) (MarginPoint, error) {
+			row := MarginPoint{Factor: f}
+			for _, tp := range []code.Type{code.TypeTree, code.TypeBalancedGray} {
+				d, err := core.NewDesign(core.Config{CodeType: tp, CodeLength: 10, MarginFactor: f})
+				if err != nil {
+					return MarginPoint{}, err
+				}
+				if tp == code.TypeTree {
+					row.YieldTC = d.Yield()
+				} else {
+					row.YieldBG = d.Yield()
+				}
 			}
-			if tp == code.TypeTree {
-				row.YieldTC = d.Yield()
-			} else {
-				row.YieldBG = d.Yield()
-			}
-		}
-		out = append(out, row)
-	}
-	return out, nil
+			return row, nil
+		})
 }
 
 // RenderAblationMargin renders the margin sweep.
@@ -179,39 +187,46 @@ type ModelInvariance struct {
 
 // AblationModel evaluates the model-invariance check for each tree-family
 // code on a ternary decoder (where dose magnitudes differ most between
-// models).
+// models). It runs on the default worker pool.
 func AblationModel() ([]ModelInvariance, error) {
+	return AblationModelWorkers(0)
+}
+
+// AblationModelWorkers is AblationModel with an explicit worker count
+// (<= 0 means GOMAXPROCS); the output is bit-identical at every worker
+// count.
+func AblationModelWorkers(workers int) ([]ModelInvariance, error) {
 	const m, n = 6, 10
-	var out []ModelInvariance
-	for _, tp := range []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray} {
-		g, err := code.New(tp, 3, m)
-		if err != nil {
-			return nil, err
-		}
-		var phi [2]int
-		var nuSum [2]int
-		for mi, model := range []physics.VTModel{physics.DefaultPhysicalModel(), physics.PaperExampleTable()} {
-			q, err := physics.NewQuantizer(model, 3, 0, 0.6)
+	types := []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray}
+	return par.Map(context.Background(), workers, types,
+		func(_ context.Context, _ int, tp code.Type) (ModelInvariance, error) {
+			g, err := code.Cached(tp, 3, m)
 			if err != nil {
-				return nil, err
+				return ModelInvariance{}, err
 			}
-			plan, err := mspt.NewPlanFromGenerator(g, n, q, 0)
-			if err != nil {
-				return nil, err
+			var phi [2]int
+			var nuSum [2]int
+			for mi, model := range []physics.VTModel{physics.DefaultPhysicalModel(), physics.PaperExampleTable()} {
+				q, err := physics.NewQuantizer(model, 3, 0, 0.6)
+				if err != nil {
+					return ModelInvariance{}, err
+				}
+				plan, err := mspt.NewPlanFromGenerator(g, n, q, 0)
+				if err != nil {
+					return ModelInvariance{}, err
+				}
+				phi[mi] = plan.Phi()
+				nuSum[mi] = plan.NuSum()
 			}
-			phi[mi] = plan.Phi()
-			nuSum[mi] = plan.NuSum()
-		}
-		out = append(out, ModelInvariance{
-			CodeType:      tp,
-			PhiPhysical:   phi[0],
-			PhiTable:      phi[1],
-			NuSumPhysical: nuSum[0],
-			NuSumTable:    nuSum[1],
-			Invariant:     phi[0] == phi[1] && nuSum[0] == nuSum[1],
+			return ModelInvariance{
+				CodeType:      tp,
+				PhiPhysical:   phi[0],
+				PhiTable:      phi[1],
+				NuSumPhysical: nuSum[0],
+				NuSumTable:    nuSum[1],
+				Invariant:     phi[0] == phi[1] && nuSum[0] == nuSum[1],
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // RenderAblationModel renders the invariance table.
@@ -238,20 +253,26 @@ type BoundaryPoint struct {
 
 // AblationBoundary sweeps the per-boundary wire loss — the second
 // calibration constant — on a short-code design (TC M=6) where contact
-// groups dominate.
+// groups dominate. It runs on the default worker pool.
 func AblationBoundary(losses []int) ([]BoundaryPoint, error) {
-	var out []BoundaryPoint
-	for _, loss := range losses {
-		cfg := core.Config{CodeType: code.TypeTree, CodeLength: 6}
-		cfg.Spec = geometry.DefaultCrossbarSpec()
-		cfg.Spec.BoundaryLossWires = loss
-		d, err := core.NewDesign(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, BoundaryPoint{LossWires: loss, Yield: d.Yield(), BitArea: d.BitArea()})
-	}
-	return out, nil
+	return AblationBoundaryWorkers(losses, 0)
+}
+
+// AblationBoundaryWorkers is AblationBoundary with an explicit worker count
+// (<= 0 means GOMAXPROCS); the output is bit-identical at every worker
+// count.
+func AblationBoundaryWorkers(losses []int, workers int) ([]BoundaryPoint, error) {
+	return par.Map(context.Background(), workers, losses,
+		func(_ context.Context, _ int, loss int) (BoundaryPoint, error) {
+			cfg := core.Config{CodeType: code.TypeTree, CodeLength: 6}
+			cfg.Spec = geometry.DefaultCrossbarSpec()
+			cfg.Spec.BoundaryLossWires = loss
+			d, err := core.NewDesign(cfg)
+			if err != nil {
+				return BoundaryPoint{}, err
+			}
+			return BoundaryPoint{LossWires: loss, Yield: d.Yield(), BitArea: d.BitArea()}, nil
+		})
 }
 
 // RenderAblationBoundary renders the boundary-loss sweep.

@@ -184,7 +184,8 @@ func TestRunnerIncludesAblations(t *testing.T) {
 }
 
 func TestSweepFamilyErrorPropagation(t *testing.T) {
-	if _, err := sweepFamily(core.Config{}, code.TypeGray, []int{7}); err == nil {
+	units := familyGrid([]familyPanel{{tp: code.TypeGray, lengths: []int{7}}})
+	if _, err := evalYieldPoints(core.Config{}, units, 1); err == nil {
 		t.Error("invalid length not propagated")
 	}
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/code"
 	"nwdec/internal/mspt"
+	"nwdec/internal/par"
 	"nwdec/internal/physics"
 	"nwdec/internal/textplot"
 )
@@ -26,10 +28,10 @@ type Fig6Surface struct {
 	MaxNu int
 }
 
-// Fig6 computes the variability surfaces for binary TC, GC and BGC at the
-// given code lengths (the paper uses 8 and 10) with n nanowires per half
-// cave.
-func Fig6(n int, lengths []int) ([]Fig6Surface, error) {
+// fig6Surfaces evaluates the variability surface of every (family, length)
+// unit on the worker pool; each unit is pure, so the result is independent
+// of the worker count.
+func fig6Surfaces(n int, types []code.Type, lengths []int, workers int) ([]Fig6Surface, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive N %d", n)
 	}
@@ -37,27 +39,43 @@ func Fig6(n int, lengths []int) ([]Fig6Surface, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig6Surface
-	for _, tp := range []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray} {
+	var units []familyPoint
+	for _, tp := range types {
 		for _, m := range lengths {
-			g, err := code.New(tp, 2, m)
+			units = append(units, familyPoint{tp: tp, m: m})
+		}
+	}
+	return par.Map(context.Background(), workers, units,
+		func(_ context.Context, _ int, u familyPoint) (Fig6Surface, error) {
+			g, err := code.Cached(u.tp, 2, u.m)
 			if err != nil {
-				return nil, err
+				return Fig6Surface{}, err
 			}
 			plan, err := mspt.NewPlanFromGenerator(g, n, q, 0)
 			if err != nil {
-				return nil, err
+				return Fig6Surface{}, err
 			}
-			out = append(out, Fig6Surface{
-				Type:           tp,
-				Length:         m,
+			return Fig6Surface{
+				Type:           u.tp,
+				Length:         u.m,
 				Root:           plan.SigmaRootNormalized(),
-				AvgVariability: float64(plan.NuSum()) / float64(n*m),
+				AvgVariability: float64(plan.NuSum()) / float64(n*u.m),
 				MaxNu:          plan.MaxNu(),
-			})
-		}
-	}
-	return out, nil
+			}, nil
+		})
+}
+
+// Fig6 computes the variability surfaces for binary TC, GC and BGC at the
+// given code lengths (the paper uses 8 and 10) with n nanowires per half
+// cave. It runs on the default worker pool.
+func Fig6(n int, lengths []int) ([]Fig6Surface, error) {
+	return Fig6Workers(n, lengths, 0)
+}
+
+// Fig6Workers is Fig6 with an explicit worker count (<= 0 means GOMAXPROCS);
+// the output is bit-identical at every worker count.
+func Fig6Workers(n int, lengths []int, workers int) ([]Fig6Surface, error) {
+	return fig6Surfaces(n, []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray}, lengths, workers)
 }
 
 // Fig6VariabilitySaving returns the average-variability saving of the Gray
@@ -105,36 +123,16 @@ func RenderFig6(surfaces []Fig6Surface) string {
 // Fig6Hot computes the variability surfaces for the hot code and its
 // arranged version — the paper reports (Sec. 6.2) that "similar results
 // were obtained ... for hot codes and their arranged version" without
-// plotting them; this experiment makes the claim concrete.
+// plotting them; this experiment makes the claim concrete. It runs on the
+// default worker pool.
 func Fig6Hot(n int, lengths []int) ([]Fig6Surface, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("experiments: non-positive N %d", n)
-	}
-	q, err := physics.NewQuantizer(physics.DefaultPhysicalModel(), 2, 0, 1)
-	if err != nil {
-		return nil, err
-	}
-	var out []Fig6Surface
-	for _, tp := range []code.Type{code.TypeHot, code.TypeArrangedHot} {
-		for _, m := range lengths {
-			g, err := code.New(tp, 2, m)
-			if err != nil {
-				return nil, err
-			}
-			plan, err := mspt.NewPlanFromGenerator(g, n, q, 0)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig6Surface{
-				Type:           tp,
-				Length:         m,
-				Root:           plan.SigmaRootNormalized(),
-				AvgVariability: float64(plan.NuSum()) / float64(n*m),
-				MaxNu:          plan.MaxNu(),
-			})
-		}
-	}
-	return out, nil
+	return Fig6HotWorkers(n, lengths, 0)
+}
+
+// Fig6HotWorkers is Fig6Hot with an explicit worker count (<= 0 means
+// GOMAXPROCS); the output is bit-identical at every worker count.
+func Fig6HotWorkers(n int, lengths []int, workers int) ([]Fig6Surface, error) {
+	return fig6Surfaces(n, []code.Type{code.TypeHot, code.TypeArrangedHot}, lengths, workers)
 }
 
 // RenderFig6Hot renders the hot-code variability surfaces.

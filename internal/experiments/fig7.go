@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/par"
 	"nwdec/internal/textplot"
 )
 
@@ -29,50 +31,71 @@ type YieldPoint struct {
 	AvgVariability float64
 }
 
-// sweepFamily evaluates one code family across a length grid on the default
-// platform (overridable through cfg).
-func sweepFamily(cfg core.Config, tp code.Type, lengths []int) ([]YieldPoint, error) {
-	cfg.CodeType = tp
-	var out []YieldPoint
-	for _, m := range lengths {
-		c := cfg
-		c.CodeLength = m
-		d, err := core.NewDesign(c)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s M=%d: %w", tp, m, err)
+// familyPoint is one (code family, code length) unit of a panel grid.
+type familyPoint struct {
+	tp code.Type
+	m  int
+}
+
+// familyPanel is one (family, length grid) panel of a figure.
+type familyPanel struct {
+	tp      code.Type
+	lengths []int
+}
+
+// familyGrid flattens panels of (family, length grid) into evaluation units
+// in presentation order.
+func familyGrid(panels []familyPanel) []familyPoint {
+	var units []familyPoint
+	for _, panel := range panels {
+		for _, m := range panel.lengths {
+			units = append(units, familyPoint{tp: panel.tp, m: m})
 		}
-		out = append(out, YieldPoint{
-			Type:           tp,
-			Length:         m,
-			Yield:          d.Yield(),
-			BitArea:        d.BitArea(),
-			Phi:            d.Phi,
-			AvgVariability: d.AvgVariability,
-		})
 	}
-	return out, nil
+	return units
+}
+
+// evalYieldPoints evaluates the design points of a panel grid on the worker
+// pool. Each unit is a pure function of cfg, so the output order (and every
+// value in it) is independent of the worker count.
+func evalYieldPoints(cfg core.Config, units []familyPoint, workers int) ([]YieldPoint, error) {
+	return par.Map(context.Background(), workers, units,
+		func(_ context.Context, _ int, u familyPoint) (YieldPoint, error) {
+			c := cfg
+			c.CodeType = u.tp
+			c.CodeLength = u.m
+			d, err := core.NewDesign(c)
+			if err != nil {
+				return YieldPoint{}, fmt.Errorf("experiments: %s M=%d: %w", u.tp, u.m, err)
+			}
+			return YieldPoint{
+				Type:           u.tp,
+				Length:         u.m,
+				Yield:          d.Yield(),
+				BitArea:        d.BitArea(),
+				Phi:            d.Phi,
+				AvgVariability: d.AvgVariability,
+			}, nil
+		})
 }
 
 // Fig7 computes the crossbar yield versus code length for the paper's two
 // panels: TC vs BGC over lengths 6/8/10 and HC vs AHC over lengths 4/6/8.
+// It runs on the default worker pool.
 func Fig7(cfg core.Config) ([]YieldPoint, error) {
-	var out []YieldPoint
-	for _, panel := range []struct {
-		tp      code.Type
-		lengths []int
-	}{
+	return Fig7Workers(cfg, 0)
+}
+
+// Fig7Workers is Fig7 with an explicit worker count (<= 0 means GOMAXPROCS);
+// the output is bit-identical at every worker count.
+func Fig7Workers(cfg core.Config, workers int) ([]YieldPoint, error) {
+	units := familyGrid([]familyPanel{
 		{code.TypeTree, TreeFamilyLengths},
 		{code.TypeBalancedGray, TreeFamilyLengths},
 		{code.TypeHot, HotFamilyLengths},
 		{code.TypeArrangedHot, HotFamilyLengths},
-	} {
-		pts, err := sweepFamily(cfg, panel.tp, panel.lengths)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pts...)
-	}
-	return out, nil
+	})
+	return evalYieldPoints(cfg, units, workers)
 }
 
 // find returns the point for (tp, length), or nil.

@@ -11,26 +11,22 @@ import (
 
 // Fig8 computes the effective area per functional bit for all five code
 // families over their length grids (tree family 6/8/10, hot family 4/6/8) —
-// the paper's Fig. 8.
+// the paper's Fig. 8. It runs on the default worker pool.
 func Fig8(cfg core.Config) ([]YieldPoint, error) {
-	var out []YieldPoint
-	for _, panel := range []struct {
-		tp      code.Type
-		lengths []int
-	}{
+	return Fig8Workers(cfg, 0)
+}
+
+// Fig8Workers is Fig8 with an explicit worker count (<= 0 means GOMAXPROCS);
+// the output is bit-identical at every worker count.
+func Fig8Workers(cfg core.Config, workers int) ([]YieldPoint, error) {
+	units := familyGrid([]familyPanel{
 		{code.TypeTree, TreeFamilyLengths},
 		{code.TypeGray, TreeFamilyLengths},
 		{code.TypeBalancedGray, TreeFamilyLengths},
 		{code.TypeHot, HotFamilyLengths},
 		{code.TypeArrangedHot, HotFamilyLengths},
-	} {
-		pts, err := sweepFamily(cfg, panel.tp, panel.lengths)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pts...)
-	}
-	return out, nil
+	})
+	return evalYieldPoints(cfg, units, workers)
 }
 
 // Fig8Best returns the smallest bit area per code family.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/crossbar"
+	"nwdec/internal/par"
 	"nwdec/internal/stats"
 	"nwdec/internal/textplot"
 )
@@ -20,55 +22,98 @@ type MCPoint struct {
 	Trials   int
 }
 
+// mcDesign is one design point of the validation experiment.
+type mcDesign struct {
+	tp code.Type
+	m  int
+}
+
+// mcDesignPoints are the validation design points: one per arrangement
+// family class.
+var mcDesignPoints = []mcDesign{
+	{code.TypeTree, 8},
+	{code.TypeBalancedGray, 10},
+	{code.TypeArrangedHot, 6},
+}
+
 // MonteCarlo fabricates full crossbar memories with the functional simulator
 // and compares their usable crosspoint fraction against the analytic
 // Y² prediction. This experiment is the validation of the reproduction's
 // statistical platform (it has no direct counterpart figure in the paper,
-// which used the analytic model only).
+// which used the analytic model only). It runs on the default worker pool.
 func MonteCarlo(cfg core.Config, trials int, seed uint64) ([]MCPoint, error) {
+	return MonteCarloWorkers(cfg, trials, seed, 0)
+}
+
+// MonteCarloWorkers is MonteCarlo with an explicit worker count (<= 0 means
+// GOMAXPROCS). Every (design point, trial) unit draws from its own jump
+// substream of the seed and the per-point averages are reduced in trial
+// order, so the output is bit-identical at every worker count.
+func MonteCarloWorkers(cfg core.Config, trials int, seed uint64, workers int) ([]MCPoint, error) {
 	if trials <= 0 {
 		trials = 4
 	}
-	rng := stats.NewRNG(seed)
-	var out []MCPoint
-	for _, pt := range []struct {
-		tp code.Type
-		m  int
-	}{
-		{code.TypeTree, 8},
-		{code.TypeBalancedGray, 10},
-		{code.TypeArrangedHot, 6},
-	} {
-		c := cfg
-		c.CodeType = pt.tp
-		c.CodeLength = pt.m
-		d, err := core.NewDesign(c)
-		if err != nil {
-			return nil, err
-		}
-		dec, err := crossbar.NewDecoder(d.Plan, d.Quantizer)
-		if err != nil {
-			return nil, err
-		}
+	ctx := context.Background()
+
+	type bundle struct {
+		d   *core.Design
+		dec *crossbar.Decoder
+	}
+	bundles, err := par.Map(ctx, workers, mcDesignPoints,
+		func(_ context.Context, _ int, pt mcDesign) (bundle, error) {
+			c := cfg
+			c.CodeType = pt.tp
+			c.CodeLength = pt.m
+			d, err := core.NewDesign(c)
+			if err != nil {
+				return bundle{}, err
+			}
+			dec, err := crossbar.NewDecoder(d.Plan, d.Quantizer)
+			if err != nil {
+				return bundle{}, err
+			}
+			return bundle{d: d, dec: dec}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// One substream per (design point, trial) unit; units never share RNG
+	// state, so execution order cannot influence the samples.
+	streams := stats.NewRNG(seed).Streams(len(mcDesignPoints) * trials)
+	fracs, err := par.MapN(ctx, workers, len(mcDesignPoints)*trials,
+		func(_ context.Context, u int) (float64, error) {
+			b := bundles[u/trials]
+			rng := streams[u]
+			// Caves stay serial here: the (point, trial) fan-out above
+			// already saturates the pool.
+			rows, err := crossbar.BuildLayerWorkers(b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
+			if err != nil {
+				return 0, err
+			}
+			cols, err := crossbar.BuildLayerWorkers(b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
+			if err != nil {
+				return 0, err
+			}
+			return crossbar.NewMemory(rows, cols).UsableFraction(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]MCPoint, len(mcDesignPoints))
+	for p, b := range bundles {
 		sum := 0.0
-		for tr := 0; tr < trials; tr++ {
-			rows, err := crossbar.BuildLayer(dec, d.Layout.Contact, d.Layout.WiresPerLayer, d.Config.SigmaT, rng)
-			if err != nil {
-				return nil, err
-			}
-			cols, err := crossbar.BuildLayer(dec, d.Layout.Contact, d.Layout.WiresPerLayer, d.Config.SigmaT, rng)
-			if err != nil {
-				return nil, err
-			}
-			sum += crossbar.NewMemory(rows, cols).UsableFraction()
+		for t := 0; t < trials; t++ {
+			sum += fracs[p*trials+t]
 		}
-		out = append(out, MCPoint{
-			Type:     pt.tp,
-			Length:   pt.m,
-			Analytic: d.Yield() * d.Yield(),
+		out[p] = MCPoint{
+			Type:     mcDesignPoints[p].tp,
+			Length:   mcDesignPoints[p].m,
+			Analytic: b.d.Yield() * b.d.Yield(),
 			MC:       sum / float64(trials),
 			Trials:   trials,
-		})
+		}
 	}
 	return out, nil
 }

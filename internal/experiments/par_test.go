@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"nwdec/internal/core"
+)
+
+// The determinism contract of the parallel engine: every experiment must be
+// bit-identical at every worker count. These tests compare the fully serial
+// path (workers = 1) against the saturated pool (GOMAXPROCS).
+
+func TestMonteCarloSerialParallelIdentical(t *testing.T) {
+	for _, seed := range []uint64{1, 2009, 0xDEADBEEF} {
+		serial, err := MonteCarloWorkers(core.Config{}, 3, seed, 1)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		parallel, err := MonteCarloWorkers(core.Config{}, 3, seed, runtime.GOMAXPROCS(0))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if len(serial) != len(parallel) {
+			t.Fatalf("seed %d: %d vs %d points", seed, len(serial), len(parallel))
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Errorf("seed %d point %d: serial %+v != parallel %+v",
+					seed, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+func TestFig7SerialParallelIdentical(t *testing.T) {
+	serial, err := Fig7Workers(core.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig7Workers(core.Config{}, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("%d vs %d points", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d: serial %+v != parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestFig8SerialParallelIdentical(t *testing.T) {
+	serial, err := Fig8Workers(core.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig8Workers(core.Config{}, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("%d vs %d points", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d: serial %+v != parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunnerWorkerCountInvisible(t *testing.T) {
+	// The same experiment through the Runner must render identically at
+	// every worker count.
+	for _, name := range []string{"fig7", "montecarlo", "margin"} {
+		serial := NewRunner()
+		serial.Workers = 1
+		parallel := NewRunner()
+		parallel.Workers = runtime.GOMAXPROCS(0)
+		a, err := serial.Run(name)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		b, err := parallel.Run(name)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if a != b {
+			t.Errorf("%s: report differs between worker counts", name)
+		}
+	}
+}

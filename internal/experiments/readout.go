@@ -54,7 +54,7 @@ func Readout(cfg core.Config, trials int, seed uint64) ([]ReadoutPoint, error) {
 			return nil, err
 		}
 		study, err := readout.MonteCarlo(tr, d.Plan, d.Quantizer, d.Config.SigmaT,
-			readout.DefaultMinRatio, trials, rng.Split())
+			readout.DefaultMinRatio, trials, rng.Fork())
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +69,7 @@ func Readout(cfg core.Config, trials int, seed uint64) ([]ReadoutPoint, error) {
 		// drive, which multiplies its blockers per unselected wire.
 		if pt.tp == code.TypeArrangedHot {
 			dual, err := readout.MonteCarloDualRail(tr, d.Plan, d.Quantizer, d.Config.SigmaT,
-				readout.DefaultMinRatio, trials, rng.Split())
+				readout.DefaultMinRatio, trials, rng.Fork())
 			if err != nil {
 				return nil, err
 			}

@@ -17,6 +17,10 @@ type Runner struct {
 	MCTrials int
 	// Seed drives the Monte-Carlo experiment.
 	Seed uint64
+	// Workers bounds the worker pool of every parallelized experiment
+	// (0 = GOMAXPROCS, 1 = serial). Experiment output is bit-identical at
+	// every worker count.
+	Workers int
 }
 
 // NewRunner returns a Runner on the paper's default platform.
@@ -43,25 +47,25 @@ func (r *Runner) Run(name string) (string, error) {
 		}
 		return RenderFig5(rows), nil
 	case "fig6":
-		surfaces, err := Fig6(Fig6N, []int{8, 10})
+		surfaces, err := Fig6Workers(Fig6N, []int{8, 10}, r.Workers)
 		if err != nil {
 			return "", err
 		}
 		return RenderFig6(surfaces), nil
 	case "fig6hot":
-		surfaces, err := Fig6Hot(Fig6N, []int{6, 8})
+		surfaces, err := Fig6HotWorkers(Fig6N, []int{6, 8}, r.Workers)
 		if err != nil {
 			return "", err
 		}
 		return RenderFig6Hot(surfaces), nil
 	case "fig7":
-		points, err := Fig7(r.Cfg)
+		points, err := Fig7Workers(r.Cfg, r.Workers)
 		if err != nil {
 			return "", err
 		}
 		return RenderFig7(points), nil
 	case "fig8":
-		points, err := Fig8(r.Cfg)
+		points, err := Fig8Workers(r.Cfg, r.Workers)
 		if err != nil {
 			return "", err
 		}
@@ -73,31 +77,31 @@ func (r *Runner) Run(name string) (string, error) {
 		}
 		return RenderHeadline(claims), nil
 	case "montecarlo", "mc":
-		points, err := MonteCarlo(r.Cfg, r.MCTrials, r.Seed)
+		points, err := MonteCarloWorkers(r.Cfg, r.MCTrials, r.Seed, r.Workers)
 		if err != nil {
 			return "", err
 		}
 		return RenderMonteCarlo(points), nil
 	case "arrangement":
-		points, err := AblationArrangement([]uint64{1, 2, 3})
+		points, err := AblationArrangementWorkers([]uint64{1, 2, 3}, r.Workers)
 		if err != nil {
 			return "", err
 		}
 		return RenderAblationArrangement(points), nil
 	case "margin":
-		points, err := AblationMargin([]float64{0.4, 0.6, 0.8, 1.0})
+		points, err := AblationMarginWorkers([]float64{0.4, 0.6, 0.8, 1.0}, r.Workers)
 		if err != nil {
 			return "", err
 		}
 		return RenderAblationMargin(points), nil
 	case "model":
-		rows, err := AblationModel()
+		rows, err := AblationModelWorkers(r.Workers)
 		if err != nil {
 			return "", err
 		}
 		return RenderAblationModel(rows), nil
 	case "boundary":
-		points, err := AblationBoundary([]int{0, 1, 2, 4})
+		points, err := AblationBoundaryWorkers([]int{0, 1, 2, 4}, r.Workers)
 		if err != nil {
 			return "", err
 		}

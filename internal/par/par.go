@@ -1,0 +1,143 @@
+// Package par is the deterministic parallel execution engine of the
+// simulator: a bounded worker pool with order-preserving Map/ForEach
+// primitives used by every sweep, experiment grid and Monte-Carlo driver in
+// the repository.
+//
+// Determinism is the design constraint. The pool never changes *what* is
+// computed, only *when*: work items are pure functions of their index, every
+// result lands in its input slot, and any reduction over the results happens
+// in index order on the caller's side. Combined with the jump-based RNG
+// substreams of package stats (each shard owns an independent
+// xoshiro256** stream derived from the experiment seed), a sweep produces
+// bit-identical output at every worker count — the serial path is simply
+// workers = 1.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: any value <= 0 selects
+// runtime.GOMAXPROCS(0), the default of every parallel API in the
+// repository.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEachN runs fn(ctx, i) for every i in [0, n) on a bounded pool of
+// workers. The first error observed cancels the remaining work via the
+// derived context and is returned (with workers = 1 this is exactly the
+// serial first error; at higher worker counts it is the lowest-index error
+// among the items that ran before cancellation took effect). A nil return
+// guarantees every index was processed.
+func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					mu.Lock()
+					if firstIdx < 0 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// ForEach runs fn over every element of items on a bounded worker pool with
+// ForEachN's cancellation semantics.
+func ForEach[T any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) error) error {
+	return ForEachN(ctx, workers, len(items), func(ctx context.Context, i int) error {
+		return fn(ctx, i, items[i])
+	})
+}
+
+// Map evaluates fn over every element of items on a bounded worker pool and
+// returns the results in input order. On error the partial results are
+// discarded and the first observed error is returned.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEachN(ctx, workers, len(items), func(ctx context.Context, i int) error {
+		r, err := fn(ctx, i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapN evaluates fn(ctx, i) for every i in [0, n) and returns the results
+// in index order — Map for work items that are pure functions of their
+// index.
+func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]R, n)
+	err := ForEachN(ctx, workers, n, func(ctx context.Context, i int) error {
+		r, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

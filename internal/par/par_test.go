@@ -1,0 +1,173 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, w := range []int{1, 2, 4, 0} {
+		out, err := Map(context.Background(), w, items,
+			func(_ context.Context, i, item int) (int, error) { return item * item, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapNCoversEveryIndex(t *testing.T) {
+	var hits [64]atomic.Int32
+	out, err := MapN(context.Background(), 4, 64, func(_ context.Context, i int) (int, error) {
+		hits[i].Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Errorf("index %d ran %d times", i, hits[i].Load())
+		}
+		if out[i] != i {
+			t.Errorf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	if err := ForEachN(context.Background(), 4, 0, nil); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	out, err := MapN(context.Background(), 4, -1, func(_ context.Context, _ int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("n=-1: out=%v err=%v", out, err)
+	}
+}
+
+func TestSerialErrorIsFirstError(t *testing.T) {
+	var calls int
+	err := ForEachN(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		calls++
+		if i >= 3 {
+			return fmt.Errorf("boom at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom at 3" {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("serial path ran %d items after the error", calls)
+	}
+}
+
+func TestParallelErrorIsObservedFailure(t *testing.T) {
+	// Every item fails; whatever interleaving the scheduler picks, the
+	// reported error must be one of the failures (the lowest index among
+	// those that ran before cancellation).
+	err := ForEachN(context.Background(), 8, 100, func(_ context.Context, i int) error {
+		return fmt.Errorf("fail %d", i)
+	})
+	var idx int
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if _, serr := fmt.Sscanf(err.Error(), "fail %d", &idx); serr != nil || idx < 0 || idx >= 100 {
+		t.Fatalf("err = %v, want a propagated item failure", err)
+	}
+}
+
+func TestErrorCancelsRemainingWork(t *testing.T) {
+	sentinel := errors.New("stop")
+	var ran atomic.Int32
+	err := ForEachN(context.Background(), 2, 10000, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		// Give cancellation a moment to propagate so the count below is
+		// meaningful rather than a pure race.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("ran %d items after cancellation", n)
+	}
+}
+
+func TestMapDiscardsPartialResultsOnError(t *testing.T) {
+	out, err := Map(context.Background(), 4, []int{1, 2, 3, 4}, func(_ context.Context, i, v int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("bad item")
+		}
+		return v, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Fatalf("partial results leaked: %v", out)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEachN(ctx, 4, 50, func(_ context.Context, _ int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachPassesItems(t *testing.T) {
+	items := []string{"a", "b", "c"}
+	got := make([]string, len(items))
+	err := ForEach(context.Background(), 1, items, func(_ context.Context, i int, item string) error {
+		got[i] = item
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Errorf("item %d = %q", i, got[i])
+		}
+	}
+}

@@ -119,9 +119,83 @@ func (r *RNG) Perm(n int) []int {
 	return p
 }
 
-// Split returns a new RNG whose stream is decorrelated from r but still a
+// Fork returns a new RNG whose stream is decorrelated from r but still a
 // pure function of r's current state; useful to give each simulated cave or
-// trial its own generator while keeping global determinism.
-func (r *RNG) Split() *RNG {
+// trial its own generator while keeping global determinism. Fork advances
+// r by one draw, so successive forks differ.
+func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+// Clone returns an independent copy of r: both generators continue from the
+// same point of the same stream.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
+// jump256 and longJump256 are the standard xoshiro256** jump polynomials:
+// applying them is equivalent to 2^128 (resp. 2^192) calls of Uint64.
+var (
+	jump256     = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	longJump256 = [4]uint64{0x76e15d3efefdcbbf, 0xc5004e441c522fb3, 0x77710069854ee241, 0x39109bb02acbe635}
+)
+
+// advance applies one of the jump polynomials to the generator state and
+// drops any cached Gaussian variate (the cache belongs to the pre-jump
+// stream position).
+func (r *RNG) advance(poly [4]uint64) {
+	var s [4]uint64
+	for _, p := range poly {
+		for b := uint(0); b < 64; b++ {
+			if p&(1<<b) != 0 {
+				s[0] ^= r.s[0]
+				s[1] ^= r.s[1]
+				s[2] ^= r.s[2]
+				s[3] ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s = s
+	r.gauss = 0
+	r.hasGauss = false
+}
+
+// Jump advances r by 2^128 steps of the xoshiro256** stream. Between two
+// successive jump points there is room for 2^128 draws, so generators
+// separated by jumps never overlap in practice.
+func (r *RNG) Jump() { r.advance(jump256) }
+
+// LongJump advances r by 2^192 steps — one long-jump region holds 2^64 jump
+// regions, enabling two-level stream hierarchies.
+func (r *RNG) LongJump() { r.advance(longJump256) }
+
+// Split returns the i-th jump substream of r without mutating r: a copy of
+// r's state advanced by i+1 jumps. Each substream starts 2^128 steps after
+// the previous one, so shards that draw fewer than 2^128 values (all of
+// them) are guaranteed disjoint — the reproducible sharding primitive of
+// the parallel experiment drivers. Split(i) costs i+1 jump applications;
+// use Streams to fan out many substreams in linear time.
+func (r *RNG) Split(i uint64) *RNG {
+	c := &RNG{s: r.s}
+	for k := uint64(0); k <= i; k++ {
+		c.Jump()
+	}
+	return c
+}
+
+// Streams returns n substreams identical to Split(0) .. Split(n-1), computed
+// incrementally in O(n) jumps. r is not mutated.
+func (r *RNG) Streams(n int) []*RNG {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*RNG, n)
+	cur := &RNG{s: r.s}
+	for i := range out {
+		cur.Jump()
+		out[i] = &RNG{s: cur.s}
+	}
+	return out
 }

@@ -138,10 +138,10 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
-func TestSplitDecorrelated(t *testing.T) {
+func TestForkDecorrelated(t *testing.T) {
 	r := NewRNG(21)
-	a := r.Split()
-	b := r.Split()
+	a := r.Fork()
+	b := r.Fork()
 	same := 0
 	for i := 0; i < 100; i++ {
 		if a.Uint64() == b.Uint64() {
@@ -149,7 +149,7 @@ func TestSplitDecorrelated(t *testing.T) {
 		}
 	}
 	if same > 0 {
-		t.Fatalf("split streams overlapped %d/100 times", same)
+		t.Fatalf("forked streams overlapped %d/100 times", same)
 	}
 }
 

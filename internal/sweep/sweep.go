@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/par"
 )
 
 // Grid spans the design space to evaluate. Empty slices select the default
@@ -87,9 +89,27 @@ type Row struct {
 }
 
 // Run evaluates every structurally valid grid point on the base platform.
+// It runs on the default worker pool.
 func Run(base core.Config, grid Grid) ([]Row, error) {
+	return RunWorkers(base, grid, 0)
+}
+
+// RunWorkers is Run with an explicit worker count (<= 0 means GOMAXPROCS).
+// The valid grid points are flattened in the grid's Cartesian order
+// (types → lengths → sigmas → margins → wires) before fanning out, and the
+// rows come back in that same order, so the output is bit-identical at
+// every worker count.
+func RunWorkers(base core.Config, grid Grid, workers int) ([]Row, error) {
 	grid = grid.withDefaults()
-	var rows []Row
+	type unit struct {
+		cfg    core.Config
+		tp     code.Type
+		m      int
+		sigma  float64
+		mf     float64
+		nWires int
+	}
+	var units []unit
 	for _, tp := range grid.Types {
 		for _, m := range grid.Lengths {
 			for _, sigma := range grid.SigmaTs {
@@ -104,29 +124,36 @@ func Run(base core.Config, grid Grid) ([]Row, error) {
 						if !validLength(tp, cfg.Base, m) {
 							continue
 						}
-						d, err := core.NewDesign(cfg)
-						if err != nil {
-							return nil, fmt.Errorf("sweep: %v M=%d σ=%g mf=%g N=%d: %w",
-								tp, m, sigma, mf, n, err)
-						}
-						rows = append(rows, Row{
-							Type:           tp,
-							Length:         m,
-							SigmaT:         sigma,
-							MarginFactor:   mf,
-							HalfCaveWires:  n,
-							SpaceSize:      d.Generator.SpaceSize(),
-							ContactGroups:  d.Layout.Contact.Groups,
-							Phi:            d.Phi,
-							AvgVariability: d.AvgVariability,
-							Yield:          d.Crossbar.Yield,
-							EffectiveBits:  d.Crossbar.EffectiveBits,
-							BitArea:        d.Crossbar.BitArea,
-						})
+						units = append(units, unit{cfg: cfg, tp: tp, m: m, sigma: sigma, mf: mf, nWires: n})
 					}
 				}
 			}
 		}
+	}
+	rows, err := par.Map(context.Background(), workers, units,
+		func(_ context.Context, _ int, u unit) (Row, error) {
+			d, err := core.NewDesign(u.cfg)
+			if err != nil {
+				return Row{}, fmt.Errorf("sweep: %v M=%d σ=%g mf=%g N=%d: %w",
+					u.tp, u.m, u.sigma, u.mf, u.nWires, err)
+			}
+			return Row{
+				Type:           u.tp,
+				Length:         u.m,
+				SigmaT:         u.sigma,
+				MarginFactor:   u.mf,
+				HalfCaveWires:  u.nWires,
+				SpaceSize:      d.Generator.SpaceSize(),
+				ContactGroups:  d.Layout.Contact.Groups,
+				Phi:            d.Phi,
+				AvgVariability: d.AvgVariability,
+				Yield:          d.Crossbar.Yield,
+				EffectiveBits:  d.Crossbar.EffectiveBits,
+				BitArea:        d.Crossbar.BitArea,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("sweep: grid produced no valid design points")

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"encoding/csv"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -119,5 +120,35 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if records[1][0] != "GC" || records[1][1] != "8" {
 		t.Errorf("first data record %v", records[1])
+	}
+}
+
+func TestRunWorkersDeterministic(t *testing.T) {
+	serial, err := RunWorkers(core.Config{}, Grid{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunWorkers(core.Config{}, Grid{}, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("%d vs %d rows", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+	// The CSV — the actual data product — must be byte-identical too.
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("CSV output differs between worker counts")
 	}
 }

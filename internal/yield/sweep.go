@@ -1,11 +1,13 @@
 package yield
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"nwdec/internal/geometry"
 	"nwdec/internal/mspt"
+	"nwdec/internal/par"
 )
 
 // SweepPoint is one evaluation of a parameter sweep.
@@ -16,32 +18,65 @@ type SweepPoint struct {
 	Yield float64
 }
 
-// SweepSigma evaluates the half-cave yield across per-dose deviations
-// sigmas, keeping the margin fixed — the variability stress curve.
-func (a Analyzer) SweepSigma(plan *mspt.Plan, contact geometry.ContactPlan, sigmas []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(sigmas))
-	for _, s := range sigmas {
-		aa := Analyzer{SigmaT: s, Margin: a.Margin}
-		if err := aa.Validate(); err != nil {
-			return nil, fmt.Errorf("yield: sigma sweep at %g: %w", s, err)
-		}
-		out = append(out, SweepPoint{X: s, Yield: aa.AnalyzeHalfCave(plan, contact).Yield})
+// validateSweepValues rejects a sweep input before any evaluation runs: the
+// value slice must be non-empty, every value finite, and every derived
+// analyzer valid. Errors name the offending index so callers of long
+// programmatic grids can locate the bad entry.
+func validateSweepValues(what string, values []float64, analyzerAt func(float64) Analyzer) error {
+	if len(values) == 0 {
+		return fmt.Errorf("yield: %s sweep over empty value slice", what)
 	}
-	return out, nil
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("yield: %s sweep value %g at index %d is not finite", what, v, i)
+		}
+		if err := analyzerAt(v).Validate(); err != nil {
+			return fmt.Errorf("yield: %s sweep at %g (index %d): %w", what, v, i, err)
+		}
+	}
+	return nil
+}
+
+// SweepSigma evaluates the half-cave yield across per-dose deviations
+// sigmas, keeping the margin fixed — the variability stress curve. The whole
+// input is validated up front (so a bad value late in the grid costs nothing)
+// and the points are evaluated on the default worker pool.
+func (a Analyzer) SweepSigma(plan *mspt.Plan, contact geometry.ContactPlan, sigmas []float64) ([]SweepPoint, error) {
+	return a.SweepSigmaWorkers(plan, contact, sigmas, 0)
+}
+
+// SweepSigmaWorkers is SweepSigma with an explicit worker count (<= 0 means
+// GOMAXPROCS); the output is bit-identical at every worker count.
+func (a Analyzer) SweepSigmaWorkers(plan *mspt.Plan, contact geometry.ContactPlan, sigmas []float64, workers int) ([]SweepPoint, error) {
+	at := func(s float64) Analyzer { return Analyzer{SigmaT: s, Margin: a.Margin} }
+	if err := validateSweepValues("sigma", sigmas, at); err != nil {
+		return nil, err
+	}
+	return par.Map(context.Background(), workers, sigmas,
+		func(_ context.Context, _ int, s float64) (SweepPoint, error) {
+			return SweepPoint{X: s, Yield: at(s).AnalyzeHalfCave(plan, contact).Yield}, nil
+		})
 }
 
 // SweepMargin evaluates the half-cave yield across margin values, keeping
-// sigma fixed — the sensing-window sensitivity curve.
+// sigma fixed — the sensing-window sensitivity curve. The whole input is
+// validated up front and the points are evaluated on the default worker
+// pool.
 func (a Analyzer) SweepMargin(plan *mspt.Plan, contact geometry.ContactPlan, margins []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(margins))
-	for _, m := range margins {
-		aa := Analyzer{SigmaT: a.SigmaT, Margin: m}
-		if err := aa.Validate(); err != nil {
-			return nil, fmt.Errorf("yield: margin sweep at %g: %w", m, err)
-		}
-		out = append(out, SweepPoint{X: m, Yield: aa.AnalyzeHalfCave(plan, contact).Yield})
+	return a.SweepMarginWorkers(plan, contact, margins, 0)
+}
+
+// SweepMarginWorkers is SweepMargin with an explicit worker count (<= 0
+// means GOMAXPROCS); the output is bit-identical at every worker count.
+func (a Analyzer) SweepMarginWorkers(plan *mspt.Plan, contact geometry.ContactPlan, margins []float64, workers int) ([]SweepPoint, error) {
+	at := func(m float64) Analyzer { return Analyzer{SigmaT: a.SigmaT, Margin: m} }
+	if err := validateSweepValues("margin", margins, at); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return par.Map(context.Background(), workers, margins,
+		func(_ context.Context, _ int, m float64) (SweepPoint, error) {
+			return SweepPoint{X: m, Yield: at(m).AnalyzeHalfCave(plan, contact).Yield}, nil
+		})
 }
 
 // Sensitivity estimates the local logarithmic sensitivities of the yield to

@@ -1,6 +1,9 @@
 package yield
 
 import (
+	"math"
+	"runtime"
+	"strings"
 	"testing"
 
 	"nwdec/internal/code"
@@ -85,5 +88,62 @@ func TestSensitivitiesValidation(t *testing.T) {
 	dead := geometry.ContactPlan{Groups: 9, BoundaryLost: 999}
 	if _, err := a.Sensitivities(plan, dead, 0.01); err == nil {
 		t.Error("zero-yield operating point accepted")
+	}
+}
+
+func TestSweepValidationUpFront(t *testing.T) {
+	g, _ := code.NewGray(2, 8)
+	plan := testPlan(t, g, 8)
+	a := Analyzer{SigmaT: DefaultSigmaT, Margin: 0.25}
+	contact := geometry.ContactPlan{Groups: 1}
+
+	if _, err := a.SweepSigma(plan, contact, nil); err == nil {
+		t.Error("empty sigma slice accepted")
+	}
+	if _, err := a.SweepMargin(plan, contact, []float64{}); err == nil {
+		t.Error("empty margin slice accepted")
+	}
+
+	// A non-finite value must be rejected before any evaluation, and the
+	// error must name its index.
+	nan := math.NaN()
+	if _, err := a.SweepSigma(plan, contact, []float64{0.05, nan, 0.08}); err == nil {
+		t.Error("NaN sigma accepted")
+	} else if !strings.Contains(err.Error(), "index 1") {
+		t.Errorf("sigma error does not name the offending index: %v", err)
+	}
+	if _, err := a.SweepMargin(plan, contact, []float64{0.1, 0.2, math.Inf(1)}); err == nil {
+		t.Error("infinite margin accepted")
+	} else if !strings.Contains(err.Error(), "index 2") {
+		t.Errorf("margin error does not name the offending index: %v", err)
+	}
+
+	// An invalid-but-finite value late in the grid is likewise reported with
+	// its index.
+	if _, err := a.SweepSigma(plan, contact, []float64{0.05, 0.06, -1}); err == nil {
+		t.Error("negative sigma accepted")
+	} else if !strings.Contains(err.Error(), "index 2") {
+		t.Errorf("invalid-sigma error does not name the offending index: %v", err)
+	}
+}
+
+func TestSweepWorkersDeterministic(t *testing.T) {
+	g, _ := code.NewGray(2, 10)
+	plan := testPlan(t, g, 20)
+	a := Analyzer{SigmaT: DefaultSigmaT, Margin: 0.25}
+	contact := geometry.ContactPlan{Groups: 1}
+	sigmas := []float64{0.02, 0.04, 0.06, 0.08, 0.1, 0.12}
+	serial, err := a.SweepSigmaWorkers(plan, contact, sigmas, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := a.SweepSigmaWorkers(plan, contact, sigmas, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
 	}
 }

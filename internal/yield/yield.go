@@ -57,11 +57,11 @@ func NewAnalyzer(sigmaT, quantizerMargin float64) (Analyzer, error) {
 
 // Validate reports whether the analyzer parameters are meaningful.
 func (a Analyzer) Validate() error {
-	if a.SigmaT <= 0 {
-		return fmt.Errorf("yield: sigmaT must be positive, got %g", a.SigmaT)
+	if !(a.SigmaT > 0) || math.IsInf(a.SigmaT, 0) {
+		return fmt.Errorf("yield: sigmaT must be positive and finite, got %g", a.SigmaT)
 	}
-	if a.Margin <= 0 {
-		return fmt.Errorf("yield: margin must be positive, got %g", a.Margin)
+	if !(a.Margin > 0) || math.IsInf(a.Margin, 0) {
+		return fmt.Errorf("yield: margin must be positive and finite, got %g", a.Margin)
 	}
 	return nil
 }

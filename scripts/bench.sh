@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench.sh — run the parallel-engine benchmark suite and record the results
+# as BENCH_parallel.json in the repository root.
+#
+# Usage:  scripts/bench.sh [benchtime]
+#
+# benchtime is passed to -benchtime (default 50x: enough iterations to warm
+# the generator memoization cache and average out scheduler noise). The JSON
+# is an array of one metadata object {meta, benchtime, gomaxprocs, cpu}
+# followed by one object {name, workers, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op} per benchmark. The metadata records the host parallelism:
+# on a single-core host the BenchmarkParScaling curve is necessarily flat,
+# because the engine changes only where work runs, never what is computed.
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-50x}"
+
+out=BENCH_parallel.json
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkFig7$|BenchmarkFig8$|BenchmarkMonteCarloValidation$|BenchmarkSweepGrid$|BenchmarkParScaling' \
+	-benchmem -benchtime "$benchtime" . | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+/^cpu:/ { cpu = substr($0, 6); gsub(/^ +| +$/, "", cpu) }
+/^Benchmark/ {
+	name = $1
+	# The trailing -N is the GOMAXPROCS the run used; Go omits it when
+	# GOMAXPROCS is 1.
+	if (match(name, /-[0-9]+$/)) {
+		gmp = substr(name, RSTART + 1)
+		name = substr(name, 1, RSTART - 1)
+	} else {
+		gmp = 1
+	}
+	workers = "null"
+	if (match(name, /workers=[0-9]+/)) {
+		workers = substr(name, RSTART + 8, RLENGTH - 8)
+	}
+	bytes = "null"; allocs = "null"
+	for (i = 4; i <= NF; i++) {
+		if ($(i) == "B/op") bytes = $(i - 1)
+		if ($(i) == "allocs/op") allocs = $(i - 1)
+	}
+	rows[++n] = sprintf("  {\"name\": \"%s\", \"workers\": %s, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+		name, workers, $2, $3, bytes, allocs)
+}
+END {
+	print "["
+	if (gmp == "") gmp = "null"
+	printf "  {\"meta\": true, \"benchtime\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\"}", benchtime, gmp, cpu
+	for (i = 1; i <= n; i++) printf ",\n%s", rows[i]
+	print "\n]"
+}
+' "$tmp" > "$out"
+
+echo "wrote $out"
