@@ -9,6 +9,7 @@
 package nwdec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -115,7 +116,7 @@ func BenchmarkParScaling(b *testing.B) {
 	for _, w := range counts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				points, err := experiments.Fig7Workers(core.Config{}, w)
+				points, err := experiments.Fig7Workers(context.Background(), core.Config{}, w)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -324,7 +325,7 @@ func BenchmarkMultiValued(b *testing.B) {
 // plus correlated-noise Monte Carlo).
 func BenchmarkNoiseStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.NoiseStudy(core.Config{}, 20, uint64(i)); err != nil {
+		if _, err := experiments.NoiseStudy(context.Background(), core.Config{}, 20, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -333,7 +334,7 @@ func BenchmarkNoiseStudy(b *testing.B) {
 // BenchmarkReadoutStudy times the analog sensing extension.
 func BenchmarkReadoutStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Readout(core.Config{}, 10, uint64(i)); err != nil {
+		if _, err := experiments.Readout(context.Background(), core.Config{}, 10, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -383,7 +384,7 @@ func BenchmarkReportGeneration(b *testing.B) {
 	opt := report.DefaultOptions()
 	opt.MCTrials = 1
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Generate(opt); err != nil {
+		if _, err := report.Generate(context.Background(), opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -39,6 +39,40 @@ func run(t *testing.T, bin string, args ...string) (stdout, stderr string) {
 	return so.String(), se.String()
 }
 
+// runFail runs a command expected to exit non-zero and returns its exit
+// code and stderr.
+func runFail(t *testing.T, bin string, args ...string) (code int, stderr string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var se strings.Builder
+	cmd.Stderr = &se
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, got success", filepath.Base(bin), args)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v", filepath.Base(bin), args, err)
+	}
+	return ee.ExitCode(), se.String()
+}
+
+// parseJSONDataset asserts out is a valid dataset JSON document and returns
+// its parsed form.
+func parseJSONDataset(t *testing.T, out string) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	for _, key := range []string{"name", "columns", "rows"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("dataset JSON missing %q:\n%s", key, out)
+		}
+	}
+	return doc
+}
+
 func TestCLISmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI smoke tests build binaries; skipped in -short mode")
@@ -131,6 +165,111 @@ func TestCLISmoke(t *testing.T) {
 		}
 		if !strings.HasPrefix(lines[0], "code,length") || !strings.HasPrefix(lines[1], "BGC,10") {
 			t.Errorf("sweep CSV wrong:\n%s", out)
+		}
+	})
+}
+
+// TestCLIStructuredOutput drives the shared -format/-timeout surface of
+// every binary: JSON parses as a dataset document, CSV carries the schema
+// header, Markdown renders a pipe table, a bad format is a usage error
+// (exit 2) and an expired -timeout is a runtime error (exit 1).
+func TestCLIStructuredOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	t.Run("nwsim-formats", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwsim")
+		out, _ := run(t, bin, "-exp", "fig7", "-format", "json")
+		doc := parseJSONDataset(t, out)
+		if doc["name"] != "fig7" {
+			t.Errorf("dataset name = %v", doc["name"])
+		}
+		meta, _ := doc["meta"].(map[string]any)
+		if meta["experiment"] != "fig7" || meta["configHash"] == "" {
+			t.Errorf("metadata incomplete: %v", meta)
+		}
+		out, _ = run(t, bin, "-exp", "fig7", "-format", "csv")
+		if !strings.HasPrefix(out, "code,M,yield,") {
+			t.Errorf("fig7 CSV header wrong:\n%s", out)
+		}
+		out, _ = run(t, bin, "-exp", "fig7", "-format", "md")
+		if !strings.Contains(out, "| code | M | yield") || !strings.Contains(out, "|---|") {
+			t.Errorf("fig7 markdown table wrong:\n%s", out)
+		}
+		// Run-all JSON is one array over all experiments.
+		out, _ = run(t, bin, "-exp", "all", "-format", "json", "-trials", "1")
+		var docs []map[string]any
+		if err := json.Unmarshal([]byte(out), &docs); err != nil {
+			t.Fatalf("run-all JSON: %v", err)
+		}
+		if len(docs) < 15 {
+			t.Errorf("run-all JSON has only %d datasets", len(docs))
+		}
+	})
+
+	t.Run("nwsweep-formats", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwsweep")
+		out, _ := run(t, bin, "-types", "bgc", "-lengths", "10", "-format", "json")
+		parseJSONDataset(t, out)
+		out, _ = run(t, bin, "-types", "bgc", "-lengths", "10", "-format", "md")
+		if !strings.Contains(out, "| code | length") {
+			t.Errorf("sweep markdown wrong:\n%s", out)
+		}
+	})
+
+	t.Run("nwdecoder-formats", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwdecoder")
+		out, _ := run(t, bin, "-type", "bgc", "-length", "10", "-format", "json")
+		doc := parseJSONDataset(t, out)
+		if doc["name"] != "design" {
+			t.Errorf("dataset name = %v", doc["name"])
+		}
+		out, _ = run(t, bin, "-type", "bgc", "-length", "10", "-format", "csv")
+		if !strings.HasPrefix(out, "code,") || !strings.Contains(out, "BGC") {
+			t.Errorf("design CSV wrong:\n%s", out)
+		}
+	})
+
+	t.Run("nwcodes-formats", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwcodes")
+		out, _ := run(t, bin, "-type", "gc", "-length", "8", "-format", "csv")
+		if !strings.HasPrefix(out, "index,word,digitChanges") {
+			t.Errorf("words CSV header wrong:\n%s", out)
+		}
+		out, _ = run(t, bin, "-type", "gc", "-length", "8", "-format", "json")
+		parseJSONDataset(t, out)
+	})
+
+	t.Run("nwmem-formats", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwmem")
+		out, _ := run(t, bin, "-data", "smoke test payload", "-seed", "7", "-format", "json")
+		doc := parseJSONDataset(t, out)
+		if doc["name"] != "nwmem" {
+			t.Errorf("dataset name = %v", doc["name"])
+		}
+	})
+
+	t.Run("exit-codes", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwsim")
+		code, stderr := runFail(t, bin, "-exp", "fig7", "-format", "yaml")
+		if code != 2 {
+			t.Errorf("bad format: exit %d, want 2", code)
+		}
+		if !strings.Contains(stderr, "nwsim:") {
+			t.Errorf("usage error not name-prefixed: %q", stderr)
+		}
+		code, stderr = runFail(t, bin, "-exp", "montecarlo", "-trials", "10000", "-timeout", "1ms")
+		if code != 1 {
+			t.Errorf("timeout: exit %d, want 1", code)
+		}
+		if !strings.Contains(stderr, "deadline") {
+			t.Errorf("timeout error not reported: %q", stderr)
+		}
+		code, _ = runFail(t, bin, "-exp", "nope")
+		if code != 1 {
+			t.Errorf("unknown experiment: exit %d, want 1", code)
 		}
 	})
 }

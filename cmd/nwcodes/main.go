@@ -6,14 +6,20 @@
 // Usage:
 //
 //	nwcodes [-type tc|gc|bgc|hc|ahc] [-base n] [-length M] [-count N]
+//	        [-format text|json|csv|md] [-timeout D]
+//
+// The structured formats carry one row per word (index, word, digit changes
+// from the previous word); text keeps the annotated listing.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
+	"strings"
 
+	"nwdec/internal/cli"
 	"nwdec/internal/code"
+	"nwdec/internal/dataset"
 )
 
 func main() {
@@ -23,15 +29,16 @@ func main() {
 		length   = flag.Int("length", 8, "total code length M (including reflection for tree-based codes)")
 		count    = flag.Int("count", 0, "number of words to emit (default: whole space, capped at 64)")
 	)
+	c := cli.Register("nwcodes", "text")
 	flag.Parse()
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	gen, err := code.New(tp, *base, *length)
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	n := *count
 	if n <= 0 {
@@ -42,27 +49,51 @@ func main() {
 	}
 	words, err := code.CyclicSequence(gen, n)
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
+	c.Emit(wordsDataset(tp, gen, words))
+}
 
-	fmt.Printf("%s  base=%d  M=%d  Ω=%d  (showing %d words)\n",
+// wordsDataset packages the word listing; its text rendering is the
+// annotated sequence plus the transition statistics.
+func wordsDataset(tp code.Type, gen code.Generator, words []code.Word) *dataset.Dataset {
+	ds := dataset.New("nwcodes",
+		fmt.Sprintf("%s word sequence (base=%d, M=%d)", tp, gen.Base(), gen.Length()),
+		dataset.Col("index", dataset.Int),
+		dataset.Col("word", dataset.String),
+		dataset.Col("digitChanges", dataset.Int),
+	)
+	for i, w := range words {
+		changes := 0
+		if i > 0 {
+			changes = w.Hamming(words[i-1])
+		}
+		ds.AddRow(i, w.String(), changes)
+	}
+	st := code.Stats(words)
+	ds.Note("transitions: total=%d  per-step min/max=%d/%d  per-digit=%v (max %d)",
+		st.TotalTransitions, st.MinPerStep, st.MaxPerStep, st.PerDigit, st.MaxPerDigit)
+	ds.SetText(func() string { return renderWords(tp, gen, words) })
+	return ds
+}
+
+// renderWords is the historical text listing.
+func renderWords(tp code.Type, gen code.Generator, words []code.Word) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  base=%d  M=%d  Ω=%d  (showing %d words)\n",
 		tp, gen.Base(), gen.Length(), gen.SpaceSize(), len(words))
 	if tp.Reflected() {
-		fmt.Println("words are reflected: second half is the (n-1)-complement of the first")
+		sb.WriteString("words are reflected: second half is the (n-1)-complement of the first\n")
 	}
 	for i, w := range words {
 		if i == 0 {
-			fmt.Printf("%3d  %s\n", i, w)
+			fmt.Fprintf(&sb, "%3d  %s\n", i, w)
 			continue
 		}
-		fmt.Printf("%3d  %s  (%d digit changes)\n", i, w, w.Hamming(words[i-1]))
+		fmt.Fprintf(&sb, "%3d  %s  (%d digit changes)\n", i, w, w.Hamming(words[i-1]))
 	}
 	st := code.Stats(words)
-	fmt.Printf("\ntransitions: total=%d  per-step min/max=%d/%d  per-digit=%v (max %d)\n",
+	fmt.Fprintf(&sb, "\ntransitions: total=%d  per-step min/max=%d/%d  per-digit=%v (max %d)\n",
 		st.TotalTransitions, st.MinPerStep, st.MaxPerStep, st.PerDigit, st.MaxPerDigit)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "nwcodes:", err)
-	os.Exit(1)
+	return sb.String()
 }

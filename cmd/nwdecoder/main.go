@@ -8,6 +8,10 @@
 //	nwdecoder [-type tc|gc|bgc|hc|ahc] [-base n] [-length M]
 //	          [-wires N] [-rawbits D] [-sigma V] [-margin F]
 //	          [-optimize area|yield|phi] [-flow] [-matrices]
+//	          [-format text|json|csv|md] [-timeout D]
+//
+// -format selects the rendering of the design summary (text is the full
+// report; the structured forms carry the one-row analysis table).
 package main
 
 import (
@@ -15,8 +19,10 @@ import (
 	"fmt"
 	"os"
 
+	"nwdec/internal/cli"
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/geometry"
 	"nwdec/internal/viz"
 )
@@ -36,7 +42,10 @@ func main() {
 		export   = flag.String("export", "", "dump the doping plan to stdout: json, csv, svg (layout) or masks-svg")
 		showMask = flag.Bool("masks", false, "print the mask-reuse analysis")
 	)
+	c := cli.Register("nwdecoder", "text")
 	flag.Parse()
+	ctx, cancel := c.Context()
+	defer cancel()
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {
@@ -60,13 +69,15 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		design, err = core.Optimize(cfg,
+		design, err = core.Optimize(ctx, cfg,
 			[]code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray, code.TypeHot, code.TypeArrangedHot},
 			[]int{4, 6, 8, 10, 12}, obj)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("optimum over all families and lengths (objective %s):\n\n", *optimize)
+		if c.Format() == dataset.FormatText {
+			fmt.Printf("optimum over all families and lengths (objective %s):\n\n", *optimize)
+		}
 	} else {
 		design, err = core.NewDesign(cfg)
 		if err != nil {
@@ -91,6 +102,12 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown export format %q (want json, csv, svg or masks-svg)", *export))
 		}
+		return
+	}
+	if c.Format() != dataset.FormatText {
+		// Structured output only: the flow/matrix/mask inspections are
+		// text-form diagnostics.
+		c.Emit(design.Dataset())
 		return
 	}
 	fmt.Print(design.Report())

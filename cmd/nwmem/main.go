@@ -8,6 +8,11 @@
 //
 //	nwmem [-code tc|gc|bgc|hc|ahc] [-length M] [-seed S]
 //	      [-data "text to store"] [-faults N] [-dumpmap]
+//	      [-format text|json|csv|md] [-timeout D]
+//
+// Text output prints the recovered payload on stdout (the controller log
+// goes to stderr); the structured formats emit a one-row session summary
+// dataset instead.
 package main
 
 import (
@@ -15,9 +20,11 @@ import (
 	"fmt"
 	"os"
 
+	"nwdec/internal/cli"
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/crossbar"
+	"nwdec/internal/dataset"
 	"nwdec/internal/stats"
 )
 
@@ -30,7 +37,10 @@ func main() {
 		faults   = flag.Int("faults", 8, "soft single-bit faults to inject before readback")
 		dumpMap  = flag.Bool("dumpmap", false, "dump the March-test defect map as JSON and exit")
 	)
+	c := cli.Register("nwmem", "text")
 	flag.Parse()
+	ctx, cancel := c.Context()
+	defer cancel()
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {
@@ -41,7 +51,7 @@ func main() {
 		fail(err)
 	}
 	rng := stats.NewRNG(*seed)
-	mem, err := design.Fabricate(rng)
+	mem, err := design.FabricateWorkers(ctx, rng, c.Workers)
 	if err != nil {
 		fail(err)
 	}
@@ -87,10 +97,50 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "injected %d soft faults, ECC corrected %d\n", *faults, ecc.Corrected())
-	fmt.Printf("%s\n", back)
+	if c.Format() != dataset.FormatText {
+		c.Emit(sessionDataset(design, *seed, mem, len(marchFaults), dm, lm, ecc,
+			*faults, string(back) == string(payload)))
+	} else {
+		fmt.Printf("%s\n", back)
+	}
 	if string(back) != string(payload) {
 		fail(fmt.Errorf("payload corrupted after readback"))
 	}
+}
+
+// sessionDataset summarizes one controller session as a one-row dataset.
+func sessionDataset(design *core.Design, seed uint64, mem *crossbar.Memory,
+	marchFaults int, dm crossbar.DefectMap, lm *crossbar.LogicalMemory,
+	ecc *crossbar.ECCMemory, injected int, payloadOK bool) *dataset.Dataset {
+	ds := dataset.New("nwmem", "Crossbar memory controller session",
+		dataset.Col("code", dataset.String),
+		dataset.Col("M", dataset.Int),
+		dataset.Col("usableFraction", dataset.Float),
+		dataset.Col("marchFaults", dataset.Int),
+		dataset.Col("badRows", dataset.Int),
+		dataset.Col("badCols", dataset.Int),
+		dataset.ColUnit("logicalCapacity", "bits", dataset.Int),
+		dataset.ColUnit("eccCapacity", "bytes", dataset.Int),
+		dataset.Col("injectedFaults", dataset.Int),
+		dataset.Col("corrected", dataset.Int),
+		dataset.Col("payloadOK", dataset.Bool),
+	)
+	ds.AddRow(
+		design.Config.CodeType.String(),
+		design.Config.CodeLength,
+		mem.UsableFraction(),
+		marchFaults,
+		len(dm.BadRows),
+		len(dm.BadCols),
+		lm.Capacity(),
+		ecc.CapacityBytes(),
+		injected,
+		ecc.Corrected(),
+		payloadOK,
+	)
+	ds.Meta.Seed = seed
+	ds.Meta.ConfigHash = design.Config.Fingerprint()
+	return ds
 }
 
 func fail(err error) {

@@ -6,17 +6,19 @@
 //
 //	nwsim [-exp fig5|fig6|fig7|fig8|headline|montecarlo|all]
 //	      [-wires N] [-rawbits D] [-sigma V] [-margin F] [-trials T] [-seed S]
-//	      [-workers W]
+//	      [-workers W] [-format text|json|csv|md] [-timeout D]
 //
 // Parallelized experiments run on W workers (0 = GOMAXPROCS); their output
-// is bit-identical at every worker count.
+// is bit-identical at every worker count. -format selects the rendering of
+// the experiment dataset; -timeout cancels the run's context after the
+// given duration.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"nwdec/internal/cli"
 	"nwdec/internal/experiments"
 	"nwdec/internal/report"
 )
@@ -28,17 +30,19 @@ func main() {
 		rawBits = flag.Int("rawbits", 0, "raw crosspoint count D_RAW (default 16384)")
 		sigma   = flag.Float64("sigma", 0, "per-dose threshold deviation in volts (default 0.05)")
 		margin  = flag.Float64("margin", 0, "margin factor relative to half the level spacing (default 1.0)")
-		trials  = flag.Int("trials", 4, "Monte-Carlo repetitions for the validation experiment")
-		seed    = flag.Uint64("seed", 2009, "Monte-Carlo seed")
-		workers = flag.Int("workers", 0, "worker pool size for parallel experiments (0 = GOMAXPROCS, 1 = serial)")
+		trials  = flag.Int("trials", experiments.DefaultMCTrials, "Monte-Carlo repetitions for the validation experiment")
+		seed    = flag.Uint64("seed", experiments.DefaultSeed, "Monte-Carlo seed")
 		md      = flag.Bool("markdown", false, "emit the full reproduction report as Markdown instead")
 	)
+	c := cli.Register("nwsim", "text")
 	flag.Parse()
+	ctx, cancel := c.Context()
+	defer cancel()
 
 	r := experiments.NewRunner()
 	r.MCTrials = *trials
 	r.Seed = *seed
-	r.Workers = *workers
+	r.Workers = c.Workers
 	if *wires > 0 {
 		if r.Cfg.Spec.RawBits == 0 {
 			r.Cfg = r.Cfg.WithDefaults()
@@ -54,22 +58,30 @@ func main() {
 	r.Cfg.SigmaT = *sigma
 	r.Cfg.MarginFactor = *margin
 
-	var out string
-	var err error
 	if *md {
 		opt := report.DefaultOptions()
 		opt.Cfg = r.Cfg
 		opt.MCTrials = *trials
 		opt.Seed = *seed
-		out, err = report.Generate(opt)
-	} else if *exp == "all" {
-		out, err = r.RunAll()
-	} else {
-		out, err = r.Run(*exp)
+		opt.Workers = c.Workers
+		out, err := report.Generate(ctx, opt)
+		if err != nil {
+			c.Fail(err)
+		}
+		fmt.Print(out)
+		return
 	}
+	if *exp == "all" {
+		dss, err := r.RunAll(ctx)
+		if err != nil {
+			c.Fail(err)
+		}
+		c.EmitAll(dss)
+		return
+	}
+	ds, err := r.Run(ctx, *exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nwsim:", err)
-		os.Exit(1)
+		c.Fail(err)
 	}
-	fmt.Print(out)
+	c.Emit(ds)
 }

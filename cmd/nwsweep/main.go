@@ -1,25 +1,26 @@
 // Command nwsweep evaluates the decoder design space over parameter grids
-// and emits tidy CSV for downstream analysis — the batch scientific-tooling
-// front end of the library.
+// and emits tidy CSV (or JSON/Markdown/text via -format) for downstream
+// analysis — the batch scientific-tooling front end of the library.
 //
 // Usage:
 //
 //	nwsweep [-types tc,gc,bgc,hc,ahc] [-lengths 4,6,8,10]
-//	        [-sigmas 0.05] [-margins 1.0] [-wires 20] [-workers W] > sweep.csv
+//	        [-sigmas 0.05] [-margins 1.0] [-wires 20] [-workers W]
+//	        [-format csv|json|md|text] [-timeout D] > sweep.csv
 //
-// The grid is evaluated on W workers (0 = GOMAXPROCS); the CSV is
-// bit-identical at every worker count.
+// The grid is evaluated on W workers (0 = GOMAXPROCS); the output is
+// bit-identical at every worker count. The design-point count goes to
+// stderr so stdout stays a clean data stream.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"nwdec/internal/code"
+	"nwdec/internal/cli"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/sweep"
 )
 
@@ -30,75 +31,43 @@ func main() {
 		sigmasArg  = flag.String("sigmas", "", "comma-separated per-dose sigmas in volts (default: 0.05)")
 		marginsArg = flag.String("margins", "", "comma-separated margin factors (default: 1.0)")
 		wiresArg   = flag.String("wires", "", "comma-separated half-cave populations (default: 20)")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
+	c := cli.Register("nwsweep", "csv")
 	flag.Parse()
+	ctx, cancel := c.Context()
+	defer cancel()
 
 	grid := sweep.Grid{}
 	var err error
-	if *typesArg != "" {
-		for _, s := range strings.Split(*typesArg, ",") {
-			tp, err := code.ParseType(s)
-			if err != nil {
-				fail(err)
-			}
-			grid.Types = append(grid.Types, tp)
-		}
+	if grid.Types, err = cli.Types(*typesArg); err != nil {
+		c.Usage(err)
 	}
-	if grid.Lengths, err = parseInts(*lengthsArg); err != nil {
-		fail(err)
+	if grid.Lengths, err = cli.Ints(*lengthsArg); err != nil {
+		c.Usage(err)
 	}
-	if grid.HalfCaveWires, err = parseInts(*wiresArg); err != nil {
-		fail(err)
+	if grid.HalfCaveWires, err = cli.Ints(*wiresArg); err != nil {
+		c.Usage(err)
 	}
-	if grid.SigmaTs, err = parseFloats(*sigmasArg); err != nil {
-		fail(err)
+	if grid.SigmaTs, err = cli.Floats(*sigmasArg); err != nil {
+		c.Usage(err)
 	}
-	if grid.MarginFactors, err = parseFloats(*marginsArg); err != nil {
-		fail(err)
+	if grid.MarginFactors, err = cli.Floats(*marginsArg); err != nil {
+		c.Usage(err)
 	}
 
-	rows, err := sweep.RunWorkers(core.Config{}, grid, *workers)
+	rows, err := sweep.RunWorkers(ctx, core.Config{}, grid, c.Workers)
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
-	if err := sweep.WriteCSV(os.Stdout, rows); err != nil {
-		fail(err)
+	// The CSV path keeps the historical fixed-precision writer so existing
+	// pipelines see byte-identical output; the other formats render the
+	// dataset form.
+	if c.Format() == dataset.FormatCSV {
+		if err := sweep.WriteCSV(os.Stdout, rows); err != nil {
+			c.Fail(err)
+		}
+	} else {
+		c.Emit(sweep.Dataset(rows))
 	}
 	fmt.Fprintf(os.Stderr, "nwsweep: %d design points\n", len(rows))
-}
-
-func parseInts(arg string) ([]int, error) {
-	if arg == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, s := range strings.Split(arg, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			return nil, fmt.Errorf("invalid integer %q", s)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFloats(arg string) ([]float64, error) {
-	if arg == "" {
-		return nil, nil
-	}
-	var out []float64
-	for _, s := range strings.Split(arg, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			return nil, fmt.Errorf("invalid number %q", s)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "nwsweep:", err)
-	os.Exit(1)
 }

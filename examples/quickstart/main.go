@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	}
 
 	// 3. Design-space optimization: all five families, lengths 4..12.
-	best, err := core.Optimize(core.Config{},
+	best, err := core.Optimize(context.Background(), core.Config{},
 		code.AllTypes(), []int{4, 6, 8, 10, 12}, core.MinBitArea)
 	if err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@ package nwdec
 // public package APIs, the way the examples and CLIs use them.
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -78,7 +79,7 @@ func TestEndToEndDesignFabricateOperate(t *testing.T) {
 }
 
 func TestEndToEndOptimizerAgreesWithFig8(t *testing.T) {
-	best, err := core.Optimize(core.Config{}, code.AllTypes(), []int{4, 6, 8, 10}, core.MinBitArea)
+	best, err := core.Optimize(context.Background(), core.Config{}, code.AllTypes(), []int{4, 6, 8, 10}, core.MinBitArea)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestEndToEndOptimizerAgreesWithFig8(t *testing.T) {
 func TestEndToEndReportIsSelfConsistent(t *testing.T) {
 	opt := report.DefaultOptions()
 	opt.MCTrials = 1
-	doc, err := report.Generate(opt)
+	doc, err := report.Generate(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,184 @@
+// Package cli unifies the shared surface of the nwdec command-line tools:
+// the -format, -timeout and -workers flags, context construction, list-flag
+// parsing, structured-output emission and the exit-code convention.
+//
+// Exit codes: 0 on success, 1 on a runtime failure (ExitError), 2 on a
+// usage error (ExitUsage — also what the flag package uses for unknown
+// flags). Errors always go to stderr, prefixed with the command name, so
+// stdout stays clean for piping.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nwdec/internal/code"
+	"nwdec/internal/dataset"
+)
+
+// Exit codes shared by every command.
+const (
+	// ExitOK reports success.
+	ExitOK = 0
+	// ExitError reports a runtime failure.
+	ExitError = 1
+	// ExitUsage reports a bad flag value or invocation.
+	ExitUsage = 2
+)
+
+// Common holds the flags every command shares. Register installs them on
+// the default flag set; the fields are valid after flag.Parse.
+type Common struct {
+	// Name prefixes error messages ("nwsim: ...").
+	Name string
+	// FormatName is the raw -format value; Format resolves it.
+	FormatName string
+	// Timeout is the -timeout value; Context applies it (0 = none).
+	Timeout time.Duration
+	// Workers is the -workers value (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+}
+
+// Register installs the shared -format, -timeout and -workers flags on the
+// default flag set. defaultFormat is the command's native output form
+// ("text" for the simulators, "csv" for the sweeper).
+func Register(name, defaultFormat string) *Common {
+	c := &Common{Name: name}
+	flag.StringVar(&c.FormatName, "format", defaultFormat, "output format: "+dataset.Formats())
+	flag.DurationVar(&c.Timeout, "timeout", 0, "abort the run after this duration, e.g. 30s (0 = no timeout)")
+	flag.IntVar(&c.Workers, "workers", 0, "worker pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
+	return c
+}
+
+// Format resolves the -format flag; an unknown value is a usage error.
+func (c *Common) Format() dataset.Format {
+	f, err := dataset.ParseFormat(c.FormatName)
+	if err != nil {
+		c.Usage(err)
+	}
+	return f
+}
+
+// Context returns the command's root context, honoring -timeout. The
+// caller must defer cancel.
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(context.Background(), c.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Fail reports a runtime error to stderr and exits with ExitError.
+func (c *Common) Fail(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+	os.Exit(ExitError)
+}
+
+// Usage reports a usage error to stderr and exits with ExitUsage.
+func (c *Common) Usage(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+	os.Exit(ExitUsage)
+}
+
+// Emit renders one dataset to stdout in the selected format.
+func (c *Common) Emit(ds *dataset.Dataset) {
+	if err := ds.Render(os.Stdout, c.Format()); err != nil {
+		c.Fail(err)
+	}
+}
+
+// EmitAll renders a dataset sequence to stdout. Text output frames each
+// dataset with a "==== name ====" banner (the historical run-all form);
+// JSON emits one array; CSV and Markdown concatenate the per-dataset
+// renderings separated by blank lines.
+func (c *Common) EmitAll(dss []*dataset.Dataset) {
+	if err := RenderAll(os.Stdout, c.Format(), dss); err != nil {
+		c.Fail(err)
+	}
+}
+
+// RenderAll writes a dataset sequence to w in the given format; see
+// EmitAll for the per-format framing.
+func RenderAll(w io.Writer, f dataset.Format, dss []*dataset.Dataset) error {
+	switch f {
+	case dataset.FormatText:
+		for _, ds := range dss {
+			name := ds.Meta.Experiment
+			if name == "" {
+				name = ds.Name
+			}
+			if _, err := fmt.Fprintf(w, "==== %s ====\n%s\n", name, ds.Text()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case dataset.FormatJSON:
+		return dataset.WriteJSONArray(w, dss)
+	default:
+		for i, ds := range dss {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			if err := ds.Render(w, f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Ints parses a comma-separated integer list; empty input is nil.
+func Ints(arg string) ([]int, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(arg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Floats parses a comma-separated number list; empty input is nil.
+func Floats(arg string) ([]float64, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(arg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid number %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Types parses a comma-separated code-family list; empty input is nil.
+func Types(arg string) ([]code.Type, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []code.Type
+	for _, s := range strings.Split(arg, ",") {
+		tp, err := code.ParseType(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}

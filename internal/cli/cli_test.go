@@ -1,0 +1,103 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nwdec/internal/code"
+	"nwdec/internal/dataset"
+)
+
+func twoDatasets() []*dataset.Dataset {
+	a := dataset.New("first", "First", dataset.Col("n", dataset.Int))
+	a.AddRow(1)
+	a.Meta.Experiment = "fig5"
+	a.SetText(func() string { return "figure five\n" })
+	b := dataset.New("second", "Second", dataset.Col("n", dataset.Int))
+	b.AddRow(2)
+	return []*dataset.Dataset{a, b}
+}
+
+func TestRenderAllTextFraming(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderAll(&sb, dataset.FormatText, twoDatasets()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The banner uses Meta.Experiment when set, the dataset name otherwise —
+	// the historical nwsim -exp all framing.
+	if !strings.Contains(out, "==== fig5 ====\nfigure five\n") {
+		t.Errorf("experiment banner wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "==== second ====") {
+		t.Errorf("name fallback banner missing:\n%s", out)
+	}
+}
+
+func TestRenderAllJSONIsOneArray(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderAll(&sb, dataset.FormatJSON, twoDatasets()); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(sb.String())
+	if !strings.HasPrefix(out, "[") || !strings.HasSuffix(out, "]") {
+		t.Errorf("JSON run-all output is not one array:\n%s", out)
+	}
+}
+
+func TestRenderAllCSVSeparatesWithBlankLine(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderAll(&sb, dataset.FormatCSV, twoDatasets()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1\n\nn\n2\n") {
+		t.Errorf("CSV blocks not blank-line separated:\n%s", sb.String())
+	}
+}
+
+func TestIntsFloatsTypes(t *testing.T) {
+	ints, err := Ints(" 4, 6 ,8")
+	if err != nil || len(ints) != 3 || ints[2] != 8 {
+		t.Errorf("Ints = %v, %v", ints, err)
+	}
+	if _, err := Ints("4,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+	if v, err := Ints(""); v != nil || err != nil {
+		t.Error("empty Ints not nil")
+	}
+	floats, err := Floats("0.4,1")
+	if err != nil || len(floats) != 2 || floats[0] != 0.4 {
+		t.Errorf("Floats = %v, %v", floats, err)
+	}
+	if _, err := Floats("0.4,"); err == nil {
+		t.Error("bad float accepted")
+	}
+	types, err := Types("BGC, TC")
+	if err != nil || len(types) != 2 || types[0] != code.TypeBalancedGray {
+		t.Errorf("Types = %v, %v", types, err)
+	}
+	if _, err := Types("XYZ"); err == nil {
+		t.Error("bad code family accepted")
+	}
+}
+
+func TestContextHonorsTimeout(t *testing.T) {
+	c := &Common{Timeout: time.Nanosecond}
+	ctx, cancel := c.Context()
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Error("timeout context never expired")
+	}
+	c = &Common{}
+	ctx2, cancel2 := c.Context()
+	select {
+	case <-ctx2.Done():
+		t.Error("no-timeout context already done")
+	default:
+	}
+	cancel2()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -124,7 +125,7 @@ func TestSweepAllInvalid(t *testing.T) {
 func TestOptimizeMinBitArea(t *testing.T) {
 	types := []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray, code.TypeHot, code.TypeArrangedHot}
 	lengths := []int{4, 6, 8, 10}
-	best, err := Optimize(Config{}, types, lengths, MinBitArea)
+	best, err := Optimize(context.Background(), Config{}, types, lengths, MinBitArea)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestOptimizeMinBitArea(t *testing.T) {
 
 func TestOptimizeMaxYield(t *testing.T) {
 	types := []code.Type{code.TypeTree, code.TypeBalancedGray}
-	best, err := Optimize(Config{}, types, []int{6, 8, 10}, MaxYield)
+	best, err := Optimize(context.Background(), Config{}, types, []int{6, 8, 10}, MaxYield)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestOptimizeMaxYield(t *testing.T) {
 func TestOptimizeMinPhi(t *testing.T) {
 	// Ternary logic: Gray must win the Φ objective against the tree code.
 	cfg := Config{Base: 3}
-	best, err := Optimize(cfg, []code.Type{code.TypeTree, code.TypeGray}, []int{6, 8}, MinPhi)
+	best, err := Optimize(context.Background(), cfg, []code.Type{code.TypeTree, code.TypeGray}, []int{6, 8}, MinPhi)
 	if err != nil {
 		t.Fatal(err)
 	}

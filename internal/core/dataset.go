@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"nwdec/internal/dataset"
+)
+
+// Fingerprint returns a short stable hex hash of the configuration for
+// dataset metadata. The threshold model is represented by its type name:
+// hashing the interface value directly would render a pointer address,
+// which differs between runs.
+func (c Config) Fingerprint() string {
+	view := c
+	view.Model = nil
+	return dataset.Fingerprint(struct {
+		Config Config
+		Model  string
+	}{view, fmt.Sprintf("%T", c.Model)})
+}
+
+// Dataset packages the design's summary analysis as a one-row structured
+// dataset; its text rendering is the full Report.
+func (d *Design) Dataset() *dataset.Dataset {
+	ds := dataset.New("design", "MSPT nanowire decoder design",
+		dataset.Col("code", dataset.String),
+		dataset.Col("base", dataset.Int),
+		dataset.Col("M", dataset.Int),
+		dataset.Col("spaceSize", dataset.Int),
+		dataset.Col("halfCaveWires", dataset.Int),
+		dataset.Col("contactGroups", dataset.Int),
+		dataset.ColUnit("phi", "steps", dataset.Int),
+		dataset.ColUnit("avgVariability", "σ_T²·V²", dataset.Float),
+		dataset.Col("yield", dataset.Float),
+		dataset.Col("effectiveBits", dataset.Float),
+		dataset.ColUnit("bitArea", "nm²", dataset.Float),
+	)
+	ds.AddRow(
+		d.Config.CodeType.String(),
+		d.Config.Base,
+		d.Config.CodeLength,
+		d.Generator.SpaceSize(),
+		d.Config.Spec.HalfCaveWires,
+		d.Layout.Contact.Groups,
+		d.Phi,
+		d.AvgVariability,
+		d.Crossbar.Yield,
+		d.Crossbar.EffectiveBits,
+		d.Crossbar.BitArea,
+	)
+	ds.Meta.ConfigHash = d.Config.Fingerprint()
+	ds.SetText(d.Report)
+	return ds
+}

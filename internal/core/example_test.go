@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/code"
@@ -24,7 +25,7 @@ func ExampleNewDesign() {
 // The optimizer explores every family and length and lands on an optimized
 // code, mirroring the paper's conclusion.
 func ExampleOptimize() {
-	best, _ := core.Optimize(core.Config{}, code.AllTypes(),
+	best, _ := core.Optimize(context.Background(), core.Config{}, code.AllTypes(),
 		[]int{4, 6, 8, 10}, core.MinBitArea)
 	fmt.Printf("%s M=%d\n", best.Config.CodeType, best.Config.CodeLength)
 	// Output:

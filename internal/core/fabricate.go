@@ -19,15 +19,22 @@ func (d *Design) Decoder() (*crossbar.Decoder, error) {
 // memory: both layers are fabricated with the design's variability and the
 // layout's contact partition.
 func (d *Design) Fabricate(rng *stats.RNG) (*crossbar.Memory, error) {
+	return d.FabricateWorkers(context.Background(), rng, 0)
+}
+
+// FabricateWorkers is Fabricate with a cancellation context and an explicit
+// worker count for the layer builds (<= 0 means GOMAXPROCS). The memory is
+// bit-identical at every worker count for the same rng state.
+func (d *Design) FabricateWorkers(ctx context.Context, rng *stats.RNG, workers int) (*crossbar.Memory, error) {
 	dec, err := d.Decoder()
 	if err != nil {
 		return nil, err
 	}
-	rows, err := crossbar.BuildLayer(dec, d.Layout.Contact, d.Layout.WiresPerLayer, d.Config.SigmaT, rng)
+	rows, err := crossbar.BuildLayerWorkers(ctx, dec, d.Layout.Contact, d.Layout.WiresPerLayer, d.Config.SigmaT, rng, workers)
 	if err != nil {
 		return nil, err
 	}
-	cols, err := crossbar.BuildLayer(dec, d.Layout.Contact, d.Layout.WiresPerLayer, d.Config.SigmaT, rng)
+	cols, err := crossbar.BuildLayerWorkers(ctx, dec, d.Layout.Contact, d.Layout.WiresPerLayer, d.Config.SigmaT, rng, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -38,19 +45,20 @@ func (d *Design) Fabricate(rng *stats.RNG) (*crossbar.Memory, error) {
 // independent fabrications — the empirical counterpart of the analytic Y².
 // It runs on the default worker pool.
 func (d *Design) MonteCarloYield(trials int, seed uint64) (float64, error) {
-	return d.MonteCarloYieldWorkers(trials, seed, 0)
+	return d.MonteCarloYieldWorkers(context.Background(), trials, seed, 0)
 }
 
-// MonteCarloYieldWorkers is MonteCarloYield with an explicit worker count
-// (<= 0 means GOMAXPROCS). Each trial fabricates from its own jump
-// substream of the seed and the mean is reduced in trial order, so the
-// result is bit-identical at every worker count.
-func (d *Design) MonteCarloYieldWorkers(trials int, seed uint64, workers int) (float64, error) {
+// MonteCarloYieldWorkers is MonteCarloYield with a cancellation context and
+// an explicit worker count (<= 0 means GOMAXPROCS). Each trial fabricates
+// from its own jump substream of the seed and the mean is reduced in trial
+// order, so the result is bit-identical at every worker count. Cancelling
+// ctx abandons unfinished trials and returns ctx's error.
+func (d *Design) MonteCarloYieldWorkers(ctx context.Context, trials int, seed uint64, workers int) (float64, error) {
 	if trials <= 0 {
 		return 0, fmt.Errorf("core: non-positive trial count %d", trials)
 	}
 	streams := stats.NewRNG(seed).Streams(trials)
-	fracs, err := par.MapN(context.Background(), workers, trials,
+	fracs, err := par.MapN(ctx, workers, trials,
 		func(_ context.Context, t int) (float64, error) {
 			mem, err := d.Fabricate(streams[t])
 			if err != nil {

@@ -22,13 +22,14 @@ type SweepPoint struct {
 // are skipped silently, so callers can pass one shared length grid. It runs
 // on the default worker pool.
 func Sweep(base Config, types []code.Type, lengths []int) ([]SweepPoint, error) {
-	return SweepWorkers(base, types, lengths, 0)
+	return SweepWorkers(context.Background(), base, types, lengths, 0)
 }
 
-// SweepWorkers is Sweep with an explicit worker count (<= 0 means
-// GOMAXPROCS). Every design point is a pure function of the base
-// configuration, so the output is bit-identical at every worker count.
-func SweepWorkers(base Config, types []code.Type, lengths []int, workers int) ([]SweepPoint, error) {
+// SweepWorkers is Sweep with a cancellation context and an explicit worker
+// count (<= 0 means GOMAXPROCS). Every design point is a pure function of
+// the base configuration, so the output is bit-identical at every worker
+// count. Cancelling ctx abandons unfinished points and returns ctx's error.
+func SweepWorkers(ctx context.Context, base Config, types []code.Type, lengths []int, workers int) ([]SweepPoint, error) {
 	type unit struct {
 		tp code.Type
 		m  int
@@ -42,7 +43,7 @@ func SweepWorkers(base Config, types []code.Type, lengths []int, workers int) ([
 			units = append(units, unit{tp: tp, m: m})
 		}
 	}
-	points, err := par.Map(context.Background(), workers, units,
+	points, err := par.Map(ctx, workers, units,
 		func(_ context.Context, _ int, u unit) (SweepPoint, error) {
 			cfg := base
 			cfg.CodeType = u.tp
@@ -93,8 +94,9 @@ const (
 
 // Optimize sweeps the design space and returns the best design under the
 // objective. Ties break deterministically on (type order, shorter length).
-func Optimize(base Config, types []code.Type, lengths []int, obj Objective) (*Design, error) {
-	points, err := Sweep(base, types, lengths)
+// Cancelling ctx aborts the underlying sweep with ctx's error.
+func Optimize(ctx context.Context, base Config, types []code.Type, lengths []int, obj Objective) (*Design, error) {
+	points, err := SweepWorkers(ctx, base, types, lengths, 0)
 	if err != nil {
 		return nil, err
 	}

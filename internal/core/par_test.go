@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -12,12 +13,12 @@ func TestMonteCarloYieldWorkersDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := d.MonteCarloYieldWorkers(6, 2009, 1)
+	serial, err := d.MonteCarloYieldWorkers(context.Background(), 6, 2009, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, runtime.GOMAXPROCS(0), 0} {
-		parallel, err := d.MonteCarloYieldWorkers(6, 2009, w)
+		parallel, err := d.MonteCarloYieldWorkers(context.Background(), 6, 2009, w)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -30,11 +31,11 @@ func TestMonteCarloYieldWorkersDeterministic(t *testing.T) {
 func TestSweepWorkersDeterministic(t *testing.T) {
 	types := []code.Type{code.TypeTree, code.TypeBalancedGray}
 	lengths := []int{6, 8, 10}
-	serial, err := SweepWorkers(Config{}, types, lengths, 1)
+	serial, err := SweepWorkers(context.Background(), Config{}, types, lengths, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := SweepWorkers(Config{}, types, lengths, runtime.GOMAXPROCS(0))
+	parallel, err := SweepWorkers(context.Background(), Config{}, types, lengths, runtime.GOMAXPROCS(0))
 	if err != nil {
 		t.Fatal(err)
 	}

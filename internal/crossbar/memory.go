@@ -43,15 +43,16 @@ type Layer struct {
 // resolved on the default worker pool; the output is bit-identical to the
 // serial path for the same rng state.
 func BuildLayer(d *Decoder, contact geometry.ContactPlan, wires int, sigmaT float64, rng *stats.RNG) (*Layer, error) {
-	return BuildLayerWorkers(d, contact, wires, sigmaT, rng, 0)
+	return BuildLayerWorkers(context.Background(), d, contact, wires, sigmaT, rng, 0)
 }
 
-// BuildLayerWorkers is BuildLayer with an explicit worker count (<= 0 means
-// GOMAXPROCS, 1 is the serial path). Every half cave's generator is forked
-// from rng up front in cave order — exactly the draws the serial loop makes
-// — so the fabricated layer is bit-identical at every worker count, and rng
-// is left in the same state.
-func BuildLayerWorkers(d *Decoder, contact geometry.ContactPlan, wires int, sigmaT float64, rng *stats.RNG, workers int) (*Layer, error) {
+// BuildLayerWorkers is BuildLayer with a cancellation context and an
+// explicit worker count (<= 0 means GOMAXPROCS, 1 is the serial path). Every
+// half cave's generator is forked from rng up front in cave order — exactly
+// the draws the serial loop makes — so the fabricated layer is bit-identical
+// at every worker count, and rng is left in the same state. Cancelling ctx
+// abandons unfinished caves and returns ctx's error.
+func BuildLayerWorkers(ctx context.Context, d *Decoder, contact geometry.ContactPlan, wires int, sigmaT float64, rng *stats.RNG, workers int) (*Layer, error) {
 	if wires <= 0 {
 		return nil, fmt.Errorf("crossbar: non-positive wire count %d", wires)
 	}
@@ -90,7 +91,7 @@ func BuildLayerWorkers(d *Decoder, contact geometry.ContactPlan, wires int, sigm
 	for c := range caveRNGs {
 		caveRNGs[c] = rng.Fork()
 	}
-	caveWires, err := par.Map(context.Background(), workers, caveRNGs,
+	caveWires, err := par.Map(ctx, workers, caveRNGs,
 		func(_ context.Context, cave int, crng *stats.RNG) ([]Wire, error) {
 			vt := d.SampleVT(crng, sigmaT)
 			out := make([]Wire, 0, n)

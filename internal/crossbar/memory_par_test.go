@@ -1,6 +1,7 @@
 package crossbar
 
 import (
+	"context"
 	"testing"
 
 	"nwdec/internal/code"
@@ -17,7 +18,7 @@ func TestBuildLayerWorkersDeterministic(t *testing.T) {
 	}
 	build := func(workers int) (*Layer, *stats.RNG) {
 		rng := stats.NewRNG(3)
-		layer, err := BuildLayerWorkers(d, contact, 128, yield.DefaultSigmaT, rng, workers)
+		layer, err := BuildLayerWorkers(context.Background(), d, contact, 128, yield.DefaultSigmaT, rng, workers)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Dataset {
+	ds := New("demo", "Demo result",
+		Col("code", String),
+		Col("length", Int),
+		ColUnit("area", "nm²", Float),
+		Col("pass", Bool),
+	)
+	ds.AddRow("BGC", 10, 192.0, true)
+	ds.AddRow("TC", 8, 259.5, false)
+	ds.Note("best: %s", "BGC")
+	ds.Meta = Meta{Experiment: "demo", Seed: 7, Trials: 3, ConfigHash: "abc", Workers: 4}
+	return ds
+}
+
+func TestAddRowValidation(t *testing.T) {
+	ds := New("v", "", Col("n", Int), Col("x", Float))
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("arity", func() { ds.AddRow(1) })
+	mustPanic("kind", func() { ds.AddRow(1, "not a float") })
+	mustPanic("int-as-float", func() { ds.AddRow(1, 2) })
+	ds.AddRow(1, 2.0)
+	if len(ds.Rows) != 1 {
+		t.Fatalf("valid row rejected")
+	}
+}
+
+func TestCSVForm(t *testing.T) {
+	got := sample().CSV()
+	want := "code,length,area,pass\nBGC,10,192,true\nTC,8,259.5,false\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestJSONFormRoundTrips(t *testing.T) {
+	raw, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name string `json:"name"`
+		Meta struct {
+			Experiment string `json:"experiment"`
+			Seed       uint64 `json:"seed"`
+			Workers    *int   `json:"workers"`
+		} `json:"meta"`
+		Columns []struct {
+			Name string `json:"name"`
+			Unit string `json:"unit"`
+			Kind string `json:"kind"`
+		} `json:"columns"`
+		Rows  [][]any  `json:"rows"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Name != "demo" || doc.Meta.Experiment != "demo" || doc.Meta.Seed != 7 {
+		t.Errorf("metadata lost: %+v", doc)
+	}
+	if doc.Meta.Workers != nil {
+		t.Error("workers leaked into JSON: serialization must be worker-count independent")
+	}
+	if len(doc.Columns) != 4 || doc.Columns[2].Unit != "nm²" || doc.Columns[2].Kind != "float" {
+		t.Errorf("schema lost: %+v", doc.Columns)
+	}
+	if len(doc.Rows) != 2 || doc.Rows[0][0] != "BGC" {
+		t.Errorf("rows lost: %+v", doc.Rows)
+	}
+	if len(doc.Notes) != 1 || doc.Notes[0] != "best: BGC" {
+		t.Errorf("notes lost: %+v", doc.Notes)
+	}
+}
+
+func TestJSONEmptyRowsIsArray(t *testing.T) {
+	raw, err := New("e", "empty", Col("n", Int)).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"rows": []`) {
+		t.Errorf("nil rows must serialize as [], got %s", raw)
+	}
+}
+
+func TestMarkdownForm(t *testing.T) {
+	md := sample().Markdown()
+	for _, want := range []string{
+		"## Demo result",
+		"| code | length | area [nm²] | pass |",
+		"|---|---|---|---|",
+		"| BGC | 10 | 192 | true |",
+		"best: BGC",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestTextFallbackAndOverride(t *testing.T) {
+	ds := sample()
+	generic := ds.Text()
+	for _, want := range []string{"Demo result", "BGC", "best: BGC"} {
+		if !strings.Contains(generic, want) {
+			t.Errorf("generic text missing %q", want)
+		}
+	}
+	ds.SetText(func() string { return "full-fidelity figure\n" })
+	if ds.Text() != "full-fidelity figure\n" {
+		t.Error("SetText renderer not used")
+	}
+	// The other formats stay columnar regardless of the text override.
+	if !strings.Contains(ds.CSV(), "BGC,10,192,true") {
+		t.Error("CSV affected by SetText")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"text": FormatText, "TXT": FormatText,
+		"json": FormatJSON, " md ": FormatMarkdown,
+		"markdown": FormatMarkdown, "csv": FormatCSV,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	type cfg struct{ A, B int }
+	a := Fingerprint(cfg{1, 2})
+	if a != Fingerprint(cfg{1, 2}) {
+		t.Error("fingerprint not deterministic")
+	}
+	if a == Fingerprint(cfg{1, 3}) {
+		t.Error("fingerprint ignores field changes")
+	}
+	if len(a) != 16 {
+		t.Errorf("fingerprint %q not 16 hex chars", a)
+	}
+}
+
+func TestWriteJSONArray(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSONArray(&sb, []*Dataset{sample(), sample()}); err != nil {
+		t.Fatal(err)
+	}
+	var docs []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &docs); err != nil {
+		t.Fatalf("invalid JSON array: %v", err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("array has %d elements", len(docs))
+	}
+}

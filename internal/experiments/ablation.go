@@ -6,6 +6,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/geometry"
 	"nwdec/internal/mspt"
 	"nwdec/internal/par"
@@ -30,14 +31,14 @@ type ArrangementPoint struct {
 // balanced Gray order. Gray arrangements must dominate every random order
 // in both Φ and ‖Σ‖₁. It runs on the default worker pool.
 func AblationArrangement(seeds []uint64) ([]ArrangementPoint, error) {
-	return AblationArrangementWorkers(seeds, 0)
+	return AblationArrangementWorkers(context.Background(), seeds, 0)
 }
 
-// AblationArrangementWorkers is AblationArrangement with an explicit worker
-// count (<= 0 means GOMAXPROCS). The random orders are drawn serially from
-// their own seeds before the evaluations fan out, so the output is
-// bit-identical at every worker count.
-func AblationArrangementWorkers(seeds []uint64, workers int) ([]ArrangementPoint, error) {
+// AblationArrangementWorkers is AblationArrangement with a cancellation
+// context and an explicit worker count (<= 0 means GOMAXPROCS). The random
+// orders are drawn serially from their own seeds before the evaluations fan
+// out, so the output is bit-identical at every worker count.
+func AblationArrangementWorkers(ctx context.Context, seeds []uint64, workers int) ([]ArrangementPoint, error) {
 	const m, n = 10, 20
 	q, err := physics.NewQuantizer(physics.DefaultPhysicalModel(), 2, 0, 1)
 	if err != nil {
@@ -87,7 +88,7 @@ func AblationArrangementWorkers(seeds []uint64, workers int) ([]ArrangementPoint
 		units = append(units, arrangement{name: fam.String(), words: words})
 	}
 
-	return par.Map(context.Background(), workers, units,
+	return par.Map(ctx, workers, units,
 		func(_ context.Context, _ int, u arrangement) (ArrangementPoint, error) {
 			plan, err := mspt.NewPlan(u.words, 2, doses)
 			if err != nil {
@@ -102,6 +103,26 @@ func AblationArrangementWorkers(seeds []uint64, workers int) ([]ArrangementPoint
 				Yield: hc.Yield,
 			}, nil
 		})
+}
+
+// AblationArrangementDataset packages the arrangement comparison; its text
+// rendering is RenderAblationArrangement.
+func AblationArrangementDataset(points []ArrangementPoint) *dataset.Dataset {
+	ds := dataset.New("arrangement",
+		"Ablation — arrangements of the same binary code space (M=10, N=20)",
+		dataset.Col("arrangement", dataset.String),
+		dataset.ColUnit("phi", "steps", dataset.Int),
+		dataset.ColUnit("nuSum", "σ²", dataset.Int),
+		dataset.Col("maxNu", dataset.Int),
+		dataset.Col("yield", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.Name, p.Phi, p.NuSum, p.MaxNu, p.Yield)
+	}
+	ds.Note("Gray arrangements minimize both cost functions over every sampled order " +
+		"(Propositions 4-5); balance additionally lowers the worst region (max ν).")
+	ds.SetText(func() string { return RenderAblationArrangement(points) })
+	return ds
 }
 
 // RenderAblationArrangement renders the arrangement comparison.
@@ -128,14 +149,14 @@ type MarginPoint struct {
 // constant of the yield model — and shows the BGC advantage over TC is
 // robust across it. It runs on the default worker pool.
 func AblationMargin(factors []float64) ([]MarginPoint, error) {
-	return AblationMarginWorkers(factors, 0)
+	return AblationMarginWorkers(context.Background(), factors, 0)
 }
 
-// AblationMarginWorkers is AblationMargin with an explicit worker count
-// (<= 0 means GOMAXPROCS); the output is bit-identical at every worker
-// count.
-func AblationMarginWorkers(factors []float64, workers int) ([]MarginPoint, error) {
-	return par.Map(context.Background(), workers, factors,
+// AblationMarginWorkers is AblationMargin with a cancellation context and
+// an explicit worker count (<= 0 means GOMAXPROCS); the output is
+// bit-identical at every worker count.
+func AblationMarginWorkers(ctx context.Context, factors []float64, workers int) ([]MarginPoint, error) {
+	return par.Map(ctx, workers, factors,
 		func(_ context.Context, _ int, f float64) (MarginPoint, error) {
 			row := MarginPoint{Factor: f}
 			for _, tp := range []code.Type{code.TypeTree, code.TypeBalancedGray} {
@@ -151,6 +172,27 @@ func AblationMarginWorkers(factors []float64, workers int) ([]MarginPoint, error
 			}
 			return row, nil
 		})
+}
+
+// AblationMarginDataset packages the margin sweep; its text rendering is
+// RenderAblationMargin.
+func AblationMarginDataset(points []MarginPoint) *dataset.Dataset {
+	ds := dataset.New("margin",
+		"Ablation — sensing-margin factor (fraction of half the level spacing)",
+		dataset.Col("factor", dataset.Float),
+		dataset.Col("yieldTC", dataset.Float),
+		dataset.Col("yieldBGC", dataset.Float),
+		dataset.Col("bgcGain", dataset.Float),
+	)
+	for _, p := range points {
+		gain := 0.0
+		if p.YieldTC > 0 {
+			gain = (p.YieldBG - p.YieldTC) / p.YieldTC
+		}
+		ds.AddRow(p.Factor, p.YieldTC, p.YieldBG, gain)
+	}
+	ds.SetText(func() string { return RenderAblationMargin(points) })
+	return ds
 }
 
 // RenderAblationMargin renders the margin sweep.
@@ -189,16 +231,16 @@ type ModelInvariance struct {
 // code on a ternary decoder (where dose magnitudes differ most between
 // models). It runs on the default worker pool.
 func AblationModel() ([]ModelInvariance, error) {
-	return AblationModelWorkers(0)
+	return AblationModelWorkers(context.Background(), 0)
 }
 
-// AblationModelWorkers is AblationModel with an explicit worker count
-// (<= 0 means GOMAXPROCS); the output is bit-identical at every worker
-// count.
-func AblationModelWorkers(workers int) ([]ModelInvariance, error) {
+// AblationModelWorkers is AblationModel with a cancellation context and an
+// explicit worker count (<= 0 means GOMAXPROCS); the output is
+// bit-identical at every worker count.
+func AblationModelWorkers(ctx context.Context, workers int) ([]ModelInvariance, error) {
 	const m, n = 6, 10
 	types := []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray}
-	return par.Map(context.Background(), workers, types,
+	return par.Map(ctx, workers, types,
 		func(_ context.Context, _ int, tp code.Type) (ModelInvariance, error) {
 			g, err := code.Cached(tp, 3, m)
 			if err != nil {
@@ -229,6 +271,36 @@ func AblationModelWorkers(workers int) ([]ModelInvariance, error) {
 		})
 }
 
+// AblationModelDataset packages the invariance check; its text rendering is
+// RenderAblationModel.
+func AblationModelDataset(rows []ModelInvariance) *dataset.Dataset {
+	ds := dataset.New("model",
+		"Ablation — V_T<->N_D model invariance (ternary, M=6, N=10)",
+		dataset.Col("code", dataset.String),
+		dataset.Col("phiPhysical", dataset.Int),
+		dataset.Col("phiTable", dataset.Int),
+		dataset.Col("nuSumPhysical", dataset.Int),
+		dataset.Col("nuSumTable", dataset.Int),
+		dataset.Col("invariant", dataset.Bool),
+	)
+	allInvariant := true
+	for _, r := range rows {
+		ds.AddRow(r.CodeType.String(), r.PhiPhysical, r.PhiTable,
+			r.NuSumPhysical, r.NuSumTable, r.Invariant)
+		if !r.Invariant {
+			allInvariant = false
+		}
+	}
+	if allInvariant {
+		ds.Note("Φ and ‖Σ‖₁ are identical under the physical and the " +
+			"table-calibrated V_T↔N_D models for every tree-family code.")
+	} else {
+		ds.Note("WARNING: fabrication metrics depend on the threshold model.")
+	}
+	ds.SetText(func() string { return RenderAblationModel(rows) })
+	return ds
+}
+
 // RenderAblationModel renders the invariance table.
 func RenderAblationModel(rows []ModelInvariance) string {
 	tb := textplot.NewTable(
@@ -255,14 +327,14 @@ type BoundaryPoint struct {
 // calibration constant — on a short-code design (TC M=6) where contact
 // groups dominate. It runs on the default worker pool.
 func AblationBoundary(losses []int) ([]BoundaryPoint, error) {
-	return AblationBoundaryWorkers(losses, 0)
+	return AblationBoundaryWorkers(context.Background(), losses, 0)
 }
 
-// AblationBoundaryWorkers is AblationBoundary with an explicit worker count
-// (<= 0 means GOMAXPROCS); the output is bit-identical at every worker
-// count.
-func AblationBoundaryWorkers(losses []int, workers int) ([]BoundaryPoint, error) {
-	return par.Map(context.Background(), workers, losses,
+// AblationBoundaryWorkers is AblationBoundary with a cancellation context
+// and an explicit worker count (<= 0 means GOMAXPROCS); the output is
+// bit-identical at every worker count.
+func AblationBoundaryWorkers(ctx context.Context, losses []int, workers int) ([]BoundaryPoint, error) {
+	return par.Map(ctx, workers, losses,
 		func(_ context.Context, _ int, loss int) (BoundaryPoint, error) {
 			cfg := core.Config{CodeType: code.TypeTree, CodeLength: 6}
 			cfg.Spec = geometry.DefaultCrossbarSpec()
@@ -273,6 +345,22 @@ func AblationBoundaryWorkers(losses []int, workers int) ([]BoundaryPoint, error)
 			}
 			return BoundaryPoint{LossWires: loss, Yield: d.Yield(), BitArea: d.BitArea()}, nil
 		})
+}
+
+// AblationBoundaryDataset packages the boundary-loss sweep; its text
+// rendering is RenderAblationBoundary.
+func AblationBoundaryDataset(points []BoundaryPoint) *dataset.Dataset {
+	ds := dataset.New("boundary",
+		"Ablation — wires lost per contact-group boundary (TC, M=6)",
+		dataset.Col("lossPerBoundary", dataset.Int),
+		dataset.Col("yield", dataset.Float),
+		dataset.ColUnit("bitArea", "nm²", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.LossWires, p.Yield, p.BitArea)
+	}
+	ds.SetText(func() string { return RenderAblationBoundary(points) })
+	return ds
 }
 
 // RenderAblationBoundary renders the boundary-loss sweep.

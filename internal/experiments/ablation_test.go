@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -171,13 +172,14 @@ func TestScalingTradeoff(t *testing.T) {
 }
 
 func TestRunnerIncludesAblations(t *testing.T) {
+	ctx := context.Background()
 	r := NewRunner()
 	for _, name := range []string{"arrangement", "margin", "model", "boundary", "multivalued", "scaling", "noise", "readout", "temperature", "optarrange", "masks", "spares", "sneak"} {
-		out, err := r.Run(name)
+		ds, err := r.Run(ctx, name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if len(out) == 0 {
+		if len(ds.Text()) == 0 {
 			t.Errorf("%s: empty output", name)
 		}
 	}
@@ -185,7 +187,7 @@ func TestRunnerIncludesAblations(t *testing.T) {
 
 func TestSweepFamilyErrorPropagation(t *testing.T) {
 	units := familyGrid([]familyPanel{{tp: code.TypeGray, lengths: []int{7}}})
-	if _, err := evalYieldPoints(core.Config{}, units, 1); err == nil {
+	if _, err := evalYieldPoints(context.Background(), core.Config{}, units, 1); err == nil {
 		t.Error("invalid length not propagated")
 	}
 }

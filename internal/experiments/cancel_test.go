@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRunCancellation pins the context contract of the pipeline: a
+// cancelled context aborts the run promptly, the error unwraps to
+// context.Canceled, and no worker goroutines are left behind.
+func TestRunCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Already-cancelled context: every experiment must refuse to run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner()
+	r.MCTrials = 50
+	for _, name := range []string{"fig7", "montecarlo", "noise", "readout"} {
+		start := time.Now()
+		_, err := r.Run(ctx, name)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("%s: cancelled run took %v", name, d)
+		}
+	}
+
+	// Cancellation mid-run: start an expensive Monte-Carlo run, cancel
+	// shortly after, and require a prompt error return.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		heavy := NewRunner()
+		heavy.MCTrials = 10000
+		_, err := heavy.Run(ctx2, "montecarlo")
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("mid-run cancel: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled Monte-Carlo run did not return")
+	}
+
+	// The worker pools must have drained: allow scheduler noise but no
+	// proportional leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -264,32 +265,108 @@ func TestMonteCarloTracksAnalytic(t *testing.T) {
 }
 
 func TestRunnerAllNames(t *testing.T) {
+	ctx := context.Background()
 	r := NewRunner()
 	r.MCTrials = 1
 	for _, name := range r.Names() {
-		out, err := r.Run(name)
+		ds, err := r.Run(ctx, name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if len(out) == 0 {
+		if len(ds.Text()) == 0 {
 			t.Errorf("%s produced empty output", name)
 		}
+		if ds.Meta.Experiment != name {
+			t.Errorf("%s: dataset records experiment %q", name, ds.Meta.Experiment)
+		}
+		if ds.Meta.ConfigHash == "" {
+			t.Errorf("%s: dataset missing config hash", name)
+		}
 	}
-	if _, err := r.Run("nope"); err == nil {
+	if _, err := r.Run(ctx, "nope"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
-func TestRunnerRunAll(t *testing.T) {
+// TestRunnerRegistryComplete pins the registry contract: Names and Run
+// derive from the same table, every name is unique, and the mc alias
+// resolves to the montecarlo entry.
+func TestRunnerRegistryComplete(t *testing.T) {
 	r := NewRunner()
+	names := r.Names()
+	if len(names) != len(registry) {
+		t.Fatalf("Names lists %d experiments, registry has %d", len(names), len(registry))
+	}
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		if name != registry[i].name {
+			t.Errorf("Names[%d] = %q, registry[%d] = %q", i, name, i, registry[i].name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate experiment name %q", name)
+		}
+		seen[name] = true
+	}
+	for alias, canon := range aliases {
+		if seen[alias] {
+			t.Errorf("alias %q shadows a registry name", alias)
+		}
+		if !seen[canon] {
+			t.Errorf("alias %q points at unknown experiment %q", alias, canon)
+		}
+	}
 	r.MCTrials = 1
-	out, err := r.RunAll()
+	ds, err := r.Run(context.Background(), "mc")
+	if err != nil {
+		t.Fatalf("mc alias: %v", err)
+	}
+	if ds.Meta.Experiment != "montecarlo" {
+		t.Errorf("mc alias resolved to %q", ds.Meta.Experiment)
+	}
+}
+
+// TestZeroValueRunner pins the zero-value contract: &Runner{} works and is
+// equivalent to NewRunner(), with the documented defaults applied.
+func TestZeroValueRunner(t *testing.T) {
+	var zero Runner
+	eff := zero.effective()
+	if eff.MCTrials != DefaultMCTrials {
+		t.Errorf("zero MCTrials -> %d, want %d", eff.MCTrials, DefaultMCTrials)
+	}
+	if eff.Seed != DefaultSeed {
+		t.Errorf("zero Seed -> %d, want %d", eff.Seed, DefaultSeed)
+	}
+	if eff.Workers != 0 {
+		t.Errorf("zero Workers -> %d, want 0 (GOMAXPROCS)", eff.Workers)
+	}
+	ds, err := zero.Run(context.Background(), "fig5")
+	if err != nil {
+		t.Fatalf("zero-value Runner: %v", err)
+	}
+	fromNew, err := NewRunner().Run(context.Background(), "fig5")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range r.Names() {
-		if !strings.Contains(out, "==== "+name+" ====") {
-			t.Errorf("RunAll missing section %s", name)
+	if ds.Text() != fromNew.Text() {
+		t.Error("zero-value Runner differs from NewRunner()")
+	}
+}
+
+func TestRunnerRunAll(t *testing.T) {
+	ctx := context.Background()
+	r := NewRunner()
+	r.MCTrials = 1
+	dss, err := r.RunAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(dss) != len(names) {
+		t.Fatalf("RunAll returned %d datasets for %d experiments", len(dss), len(names))
+	}
+	for i, ds := range dss {
+		if ds.Meta.Experiment != names[i] {
+			t.Errorf("dataset %d is %q, want %q", i, ds.Meta.Experiment, names[i])
 		}
 	}
 }

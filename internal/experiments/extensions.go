@@ -5,6 +5,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/geometry"
 	"nwdec/internal/textplot"
 )
@@ -63,6 +64,27 @@ func MultiValued(cfg core.Config) ([]MultiValuedPoint, error) {
 	return out, nil
 }
 
+// MultiValuedDataset packages the multi-valued extension; its text
+// rendering is RenderMultiValued.
+func MultiValuedDataset(points []MultiValuedPoint) *dataset.Dataset {
+	ds := dataset.New("multivalued",
+		"Extension — multi-valued decoders on the 16 kbit platform",
+		dataset.Col("base", dataset.Int),
+		dataset.Col("code", dataset.String),
+		dataset.Col("M", dataset.Int),
+		dataset.ColUnit("phi", "steps", dataset.Int),
+		dataset.Col("yield", dataset.Float),
+		dataset.ColUnit("bitArea", "nm²", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.Base, p.Type.String(), p.Length, p.Phi, p.Yield, p.BitArea)
+	}
+	ds.Note("Gray arrangements keep their Φ and yield advantage at every logic " +
+		"valency; higher valencies shorten the code but tighten the V_T margin.")
+	ds.SetText(func() string { return RenderMultiValued(points) })
+	return ds
+}
+
 // RenderMultiValued renders the multi-valued extension table.
 func RenderMultiValued(points []MultiValuedPoint) string {
 	tb := textplot.NewTable(
@@ -111,6 +133,23 @@ func Scaling(cfg core.Config, wireCounts []int) ([]ScalingPoint, error) {
 		})
 	}
 	return out, nil
+}
+
+// ScalingDataset packages the cave-depth sweep; its text rendering is
+// RenderScaling.
+func ScalingDataset(points []ScalingPoint) *dataset.Dataset {
+	ds := dataset.New("scaling",
+		"Extension — half-cave population sweep (BGC, M=10)",
+		dataset.Col("halfCaveWires", dataset.Int),
+		dataset.ColUnit("phi", "steps", dataset.Int),
+		dataset.Col("yield", dataset.Float),
+		dataset.ColUnit("bitArea", "nm²", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.HalfCaveWires, p.Phi, p.Yield, p.BitArea)
+	}
+	ds.SetText(func() string { return RenderScaling(points) })
+	return ds
 }
 
 // RenderScaling renders the cave-depth sweep.

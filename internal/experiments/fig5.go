@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"nwdec/internal/code"
+	"nwdec/internal/dataset"
 	"nwdec/internal/mspt"
 	"nwdec/internal/physics"
 	"nwdec/internal/textplot"
@@ -97,6 +98,27 @@ func Fig5GraySaving(rows []Fig5Row) float64 {
 		return 0
 	}
 	return sum / float64(count)
+}
+
+// Fig5Dataset packages the figure as a structured dataset; its text
+// rendering is RenderFig5.
+func Fig5Dataset(rows []Fig5Row) *dataset.Dataset {
+	ds := dataset.New("fig5",
+		fmt.Sprintf("Fig. 5 — fabrication complexity Φ (additional litho/doping steps), N=%d", Fig5N),
+		dataset.Col("logic", dataset.String),
+		dataset.Col("base", dataset.Int),
+		dataset.Col("M", dataset.Int),
+		dataset.ColUnit("phiTC", "steps", dataset.Int),
+		dataset.ColUnit("phiGC", "steps", dataset.Int),
+		dataset.Col("gcSaving", dataset.Float),
+	)
+	for _, r := range rows {
+		saving := float64(r.PhiTC-r.PhiGC) / float64(r.PhiTC)
+		ds.AddRow(r.Logic, r.Base, r.Length, r.PhiTC, r.PhiGC, saving)
+	}
+	ds.Note("average multi-valued GC saving: %.0f%% (paper: 17%%)", 100*Fig5GraySaving(rows))
+	ds.SetText(func() string { return RenderFig5(rows) })
+	return ds
 }
 
 // RenderFig5 renders the figure as a grouped bar chart plus a table.

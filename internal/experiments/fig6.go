@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nwdec/internal/code"
+	"nwdec/internal/dataset"
 	"nwdec/internal/mspt"
 	"nwdec/internal/par"
 	"nwdec/internal/physics"
@@ -30,8 +31,8 @@ type Fig6Surface struct {
 
 // fig6Surfaces evaluates the variability surface of every (family, length)
 // unit on the worker pool; each unit is pure, so the result is independent
-// of the worker count.
-func fig6Surfaces(n int, types []code.Type, lengths []int, workers int) ([]Fig6Surface, error) {
+// of the worker count. Cancelling ctx stops the evaluation.
+func fig6Surfaces(ctx context.Context, n int, types []code.Type, lengths []int, workers int) ([]Fig6Surface, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive N %d", n)
 	}
@@ -45,7 +46,7 @@ func fig6Surfaces(n int, types []code.Type, lengths []int, workers int) ([]Fig6S
 			units = append(units, familyPoint{tp: tp, m: m})
 		}
 	}
-	return par.Map(context.Background(), workers, units,
+	return par.Map(ctx, workers, units,
 		func(_ context.Context, _ int, u familyPoint) (Fig6Surface, error) {
 			g, err := code.Cached(u.tp, 2, u.m)
 			if err != nil {
@@ -69,13 +70,54 @@ func fig6Surfaces(n int, types []code.Type, lengths []int, workers int) ([]Fig6S
 // given code lengths (the paper uses 8 and 10) with n nanowires per half
 // cave. It runs on the default worker pool.
 func Fig6(n int, lengths []int) ([]Fig6Surface, error) {
-	return Fig6Workers(n, lengths, 0)
+	return Fig6Workers(context.Background(), n, lengths, 0)
 }
 
-// Fig6Workers is Fig6 with an explicit worker count (<= 0 means GOMAXPROCS);
-// the output is bit-identical at every worker count.
-func Fig6Workers(n int, lengths []int, workers int) ([]Fig6Surface, error) {
-	return fig6Surfaces(n, []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray}, lengths, workers)
+// Fig6Workers is Fig6 with a cancellation context and an explicit worker
+// count (<= 0 means GOMAXPROCS); the output is bit-identical at every
+// worker count.
+func Fig6Workers(ctx context.Context, n int, lengths []int, workers int) ([]Fig6Surface, error) {
+	return fig6Surfaces(ctx, n, []code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray}, lengths, workers)
+}
+
+// fig6Dataset packages variability surfaces as a structured dataset: the
+// columnar part carries the per-panel summary metrics (the full surface
+// lives in the text rendering, which the caller supplies).
+func fig6Dataset(name, title string, surfaces []Fig6Surface, text func() string) *dataset.Dataset {
+	ds := dataset.New(name, title,
+		dataset.Col("code", dataset.String),
+		dataset.Col("M", dataset.Int),
+		dataset.ColUnit("avgVariability", "σ_T²", dataset.Float),
+		dataset.Col("maxNu", dataset.Int),
+	)
+	for _, s := range surfaces {
+		ds.AddRow(s.Type.String(), s.Length, s.AvgVariability, s.MaxNu)
+	}
+	ds.SetText(text)
+	return ds
+}
+
+// Fig6Dataset packages the variability figure; its text rendering is
+// RenderFig6.
+func Fig6Dataset(surfaces []Fig6Surface) *dataset.Dataset {
+	ds := fig6Dataset("fig6",
+		fmt.Sprintf("Fig. 6 — normalized variability sqrt(Σ)/σ_T per (nanowire, digit), N=%d", Fig6N),
+		surfaces, func() string { return RenderFig6(surfaces) })
+	ds.Note("average GC/BGC variability saving vs TC: %.0f%% (paper: 18%%)",
+		100*Fig6VariabilitySaving(surfaces))
+	return ds
+}
+
+// Fig6HotDataset packages the hot-code companion; its text rendering is
+// RenderFig6Hot.
+func Fig6HotDataset(surfaces []Fig6Surface) *dataset.Dataset {
+	ds := fig6Dataset("fig6hot",
+		fmt.Sprintf("Fig. 6 companion — hot-code variability maps, N=%d", Fig6N),
+		surfaces, func() string { return RenderFig6Hot(surfaces) })
+	ds.Note("The arranged hot code reduces and flattens the variability exactly " +
+		"as the Gray arrangement does for tree codes — the paper's \"similar " +
+		"results were obtained\" claim, made concrete.")
+	return ds
 }
 
 // Fig6VariabilitySaving returns the average-variability saving of the Gray
@@ -126,13 +168,14 @@ func RenderFig6(surfaces []Fig6Surface) string {
 // plotting them; this experiment makes the claim concrete. It runs on the
 // default worker pool.
 func Fig6Hot(n int, lengths []int) ([]Fig6Surface, error) {
-	return Fig6HotWorkers(n, lengths, 0)
+	return Fig6HotWorkers(context.Background(), n, lengths, 0)
 }
 
-// Fig6HotWorkers is Fig6Hot with an explicit worker count (<= 0 means
-// GOMAXPROCS); the output is bit-identical at every worker count.
-func Fig6HotWorkers(n int, lengths []int, workers int) ([]Fig6Surface, error) {
-	return fig6Surfaces(n, []code.Type{code.TypeHot, code.TypeArrangedHot}, lengths, workers)
+// Fig6HotWorkers is Fig6Hot with a cancellation context and an explicit
+// worker count (<= 0 means GOMAXPROCS); the output is bit-identical at
+// every worker count.
+func Fig6HotWorkers(ctx context.Context, n int, lengths []int, workers int) ([]Fig6Surface, error) {
+	return fig6Surfaces(ctx, n, []code.Type{code.TypeHot, code.TypeArrangedHot}, lengths, workers)
 }
 
 // RenderFig6Hot renders the hot-code variability surfaces.

@@ -6,6 +6,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/par"
 	"nwdec/internal/textplot"
 )
@@ -57,9 +58,10 @@ func familyGrid(panels []familyPanel) []familyPoint {
 
 // evalYieldPoints evaluates the design points of a panel grid on the worker
 // pool. Each unit is a pure function of cfg, so the output order (and every
-// value in it) is independent of the worker count.
-func evalYieldPoints(cfg core.Config, units []familyPoint, workers int) ([]YieldPoint, error) {
-	return par.Map(context.Background(), workers, units,
+// value in it) is independent of the worker count. Cancelling ctx stops the
+// evaluation and returns ctx's error.
+func evalYieldPoints(ctx context.Context, cfg core.Config, units []familyPoint, workers int) ([]YieldPoint, error) {
+	return par.Map(ctx, workers, units,
 		func(_ context.Context, _ int, u familyPoint) (YieldPoint, error) {
 			c := cfg
 			c.CodeType = u.tp
@@ -83,19 +85,61 @@ func evalYieldPoints(cfg core.Config, units []familyPoint, workers int) ([]Yield
 // panels: TC vs BGC over lengths 6/8/10 and HC vs AHC over lengths 4/6/8.
 // It runs on the default worker pool.
 func Fig7(cfg core.Config) ([]YieldPoint, error) {
-	return Fig7Workers(cfg, 0)
+	return Fig7Workers(context.Background(), cfg, 0)
 }
 
-// Fig7Workers is Fig7 with an explicit worker count (<= 0 means GOMAXPROCS);
-// the output is bit-identical at every worker count.
-func Fig7Workers(cfg core.Config, workers int) ([]YieldPoint, error) {
+// Fig7Workers is Fig7 with a cancellation context and an explicit worker
+// count (<= 0 means GOMAXPROCS); the output is bit-identical at every
+// worker count.
+func Fig7Workers(ctx context.Context, cfg core.Config, workers int) ([]YieldPoint, error) {
 	units := familyGrid([]familyPanel{
 		{code.TypeTree, TreeFamilyLengths},
 		{code.TypeBalancedGray, TreeFamilyLengths},
 		{code.TypeHot, HotFamilyLengths},
 		{code.TypeArrangedHot, HotFamilyLengths},
 	})
-	return evalYieldPoints(cfg, units, workers)
+	return evalYieldPoints(ctx, cfg, units, workers)
+}
+
+// yieldColumns is the shared schema of the Fig. 7/8 yield datasets.
+func yieldColumns() []dataset.Column {
+	return []dataset.Column{
+		dataset.Col("code", dataset.String),
+		dataset.Col("M", dataset.Int),
+		dataset.Col("yield", dataset.Float),
+		dataset.ColUnit("phi", "steps", dataset.Int),
+		dataset.ColUnit("avgVariability", "σ_T²·V²", dataset.Float),
+		dataset.ColUnit("bitArea", "nm²", dataset.Float),
+	}
+}
+
+func addYieldRows(ds *dataset.Dataset, points []YieldPoint) {
+	for _, p := range points {
+		ds.AddRow(p.Type.String(), p.Length, p.Yield, p.Phi, p.AvgVariability, p.BitArea)
+	}
+}
+
+// Fig7Dataset packages the yield figure as a structured dataset; its text
+// rendering is RenderFig7.
+func Fig7Dataset(points []YieldPoint) *dataset.Dataset {
+	ds := dataset.New("fig7",
+		"Fig. 7 — crossbar yield (addressable crosspoint fraction)",
+		yieldColumns()...)
+	addYieldRows(ds, points)
+	if tc6, tc10 := find(points, code.TypeTree, 6), find(points, code.TypeTree, 10); tc6 != nil && tc10 != nil {
+		ds.Note("TC yield gain M 6->10: %+.0f%% (paper: ~40%%)", 100*(tc10.Yield-tc6.Yield)/tc6.Yield)
+	}
+	if hc4, hc8 := find(points, code.TypeHot, 4), find(points, code.TypeHot, 8); hc4 != nil && hc8 != nil {
+		ds.Note("HC yield gain M 4->8:  %+.0f%% (paper: ~40%%)", 100*(hc8.Yield-hc4.Yield)/hc4.Yield)
+	}
+	if tc, bgc := find(points, code.TypeTree, 8), find(points, code.TypeBalancedGray, 8); tc != nil && bgc != nil {
+		ds.Note("BGC vs TC at M=8:      %+.0f%% (paper: +42%%)", 100*(bgc.Yield-tc.Yield)/tc.Yield)
+	}
+	if hc, ahc := find(points, code.TypeHot, 8), find(points, code.TypeArrangedHot, 8); hc != nil && ahc != nil {
+		ds.Note("AHC vs HC at M=8:      %+.0f%% (paper: +19%%)", 100*(ahc.Yield-hc.Yield)/hc.Yield)
+	}
+	ds.SetText(func() string { return RenderFig7(points) })
+	return ds
 }
 
 // find returns the point for (tp, length), or nil.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/textplot"
 )
 
@@ -13,12 +15,13 @@ import (
 // families over their length grids (tree family 6/8/10, hot family 4/6/8) —
 // the paper's Fig. 8. It runs on the default worker pool.
 func Fig8(cfg core.Config) ([]YieldPoint, error) {
-	return Fig8Workers(cfg, 0)
+	return Fig8Workers(context.Background(), cfg, 0)
 }
 
-// Fig8Workers is Fig8 with an explicit worker count (<= 0 means GOMAXPROCS);
-// the output is bit-identical at every worker count.
-func Fig8Workers(cfg core.Config, workers int) ([]YieldPoint, error) {
+// Fig8Workers is Fig8 with a cancellation context and an explicit worker
+// count (<= 0 means GOMAXPROCS); the output is bit-identical at every
+// worker count.
+func Fig8Workers(ctx context.Context, cfg core.Config, workers int) ([]YieldPoint, error) {
 	units := familyGrid([]familyPanel{
 		{code.TypeTree, TreeFamilyLengths},
 		{code.TypeGray, TreeFamilyLengths},
@@ -26,7 +29,32 @@ func Fig8Workers(cfg core.Config, workers int) ([]YieldPoint, error) {
 		{code.TypeHot, HotFamilyLengths},
 		{code.TypeArrangedHot, HotFamilyLengths},
 	})
-	return evalYieldPoints(cfg, units, workers)
+	return evalYieldPoints(ctx, cfg, units, workers)
+}
+
+// Fig8Dataset packages the bit-area figure as a structured dataset; its
+// text rendering is RenderFig8.
+func Fig8Dataset(points []YieldPoint) *dataset.Dataset {
+	ds := dataset.New("fig8", "Fig. 8 — average area per functional bit",
+		yieldColumns()...)
+	addYieldRows(ds, points)
+	if tc6, tc10 := find(points, code.TypeTree, 6), find(points, code.TypeTree, 10); tc6 != nil && tc10 != nil {
+		ds.Note("TC area saving M 6->10:   %.0f%% (paper: 51%%)",
+			100*(tc6.BitArea-tc10.BitArea)/tc6.BitArea)
+	}
+	if tc, bgc := find(points, code.TypeTree, 8), find(points, code.TypeBalancedGray, 8); tc != nil && bgc != nil {
+		ds.Note("BGC density vs TC at M=8: %.0f%% denser (paper: 30%%)",
+			100*(tc.BitArea-bgc.BitArea)/tc.BitArea)
+	}
+	if hc, ahc := find(points, code.TypeHot, 6), find(points, code.TypeArrangedHot, 6); hc != nil && ahc != nil {
+		ds.Note("AHC area vs HC at M=6:    %.0f%% smaller (paper: 13%%)",
+			100*(hc.BitArea-ahc.BitArea)/hc.BitArea)
+	}
+	min := Fig8MinBitArea(points)
+	ds.Note("smallest bit area: %.0f nm² with %s M=%d (paper: 169 nm² BGC, 175 nm² AHC)",
+		min.BitArea, min.Type, min.Length)
+	ds.SetText(func() string { return RenderFig8(points) })
+	return ds
 }
 
 // Fig8Best returns the smallest bit area per code family.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/textplot"
 )
 
@@ -19,8 +21,16 @@ type Claim struct {
 }
 
 // Headline evaluates the summary claims of the paper's abstract and
-// conclusion against the reproduction and returns one Claim per number.
+// conclusion against the reproduction and returns one Claim per number. It
+// runs on the default worker pool.
 func Headline(cfg core.Config) ([]Claim, error) {
+	return HeadlineWorkers(context.Background(), cfg, 0)
+}
+
+// HeadlineWorkers is Headline with a cancellation context and an explicit
+// worker count for the underlying figure evaluations (<= 0 means
+// GOMAXPROCS); the output is bit-identical at every worker count.
+func HeadlineWorkers(ctx context.Context, cfg core.Config, workers int) ([]Claim, error) {
 	var claims []Claim
 
 	// 1. Gray arrangement reduces fabrication complexity by 17% on average
@@ -38,7 +48,7 @@ func Headline(cfg core.Config) ([]Claim, error) {
 	})
 
 	// 2. Gray codes reduce the average variability by 18% (Fig. 6).
-	f6, err := Fig6(Fig6N, []int{8, 10})
+	f6, err := Fig6Workers(ctx, Fig6N, []int{8, 10}, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +61,7 @@ func Headline(cfg core.Config) ([]Claim, error) {
 	})
 
 	// 3. Yield improves ~40% by adding code-length redundancy (Fig. 7).
-	f7, err := Fig7(cfg)
+	f7, err := Fig7Workers(ctx, cfg, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +94,7 @@ func Headline(cfg core.Config) ([]Claim, error) {
 
 	// 5. Bit-area saving of 51% from lengthening the tree code 6->10, and
 	//    the minimum effective bit area around 169-175 nm² (Fig. 8).
-	f8, err := Fig8(cfg)
+	f8, err := Fig8Workers(ctx, cfg, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +117,22 @@ func Headline(cfg core.Config) ([]Claim, error) {
 			(min.Type == code.TypeBalancedGray || min.Type == code.TypeArrangedHot),
 	})
 	return claims, nil
+}
+
+// HeadlineDataset packages the paper-vs-measured table as a structured
+// dataset; its text rendering is RenderHeadline.
+func HeadlineDataset(claims []Claim) *dataset.Dataset {
+	ds := dataset.New("headline", "Headline claims — paper vs reproduction",
+		dataset.Col("claim", dataset.String),
+		dataset.Col("paper", dataset.String),
+		dataset.Col("measured", dataset.String),
+		dataset.Col("holds", dataset.Bool),
+	)
+	for _, c := range claims {
+		ds.AddRow(c.Name, c.Paper, c.Measured, c.Holds)
+	}
+	ds.SetText(func() string { return RenderHeadline(claims) })
+	return ds
 }
 
 // RenderHeadline renders the paper-vs-measured table.

@@ -5,6 +5,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/textplot"
 )
 
@@ -49,6 +50,26 @@ func Masks(cfg core.Config) ([]MaskPoint, error) {
 		})
 	}
 	return out, nil
+}
+
+// MasksDataset packages the mask-economics study as a structured dataset;
+// its text rendering is RenderMasks.
+func MasksDataset(points []MaskPoint) *dataset.Dataset {
+	ds := dataset.New("masks",
+		"Extension — photolithography mask-set economics (default platform)",
+		dataset.Col("code", dataset.String),
+		dataset.Col("M", dataset.Int),
+		dataset.ColUnit("passes", "steps", dataset.Int),
+		dataset.Col("distinctMasks", dataset.Int),
+		dataset.Col("reuseFactor", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.Type.String(), p.Length, p.Passes, p.DistinctMasks, p.ReuseFactor)
+	}
+	ds.Note("Masks define geometry only and are reused across implant passes; " +
+		"the mask-set NRE shrinks together with Φ.")
+	ds.SetText(func() string { return RenderMasks(points) })
+	return ds
 }
 
 // RenderMasks renders the mask-economics table.

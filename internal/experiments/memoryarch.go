@@ -6,6 +6,7 @@ import (
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/crossbar"
+	"nwdec/internal/dataset"
 	"nwdec/internal/textplot"
 )
 
@@ -57,6 +58,26 @@ func Spares(cfg core.Config) ([]SparePoint, error) {
 	return out, nil
 }
 
+// SparesDataset packages the provisioning study as a structured dataset;
+// its text rendering is RenderSpares.
+func SparesDataset(points []SparePoint) *dataset.Dataset {
+	ds := dataset.New("spares",
+		"Extension — spare-wire provisioning for 128 logical rows at 99% confidence",
+		dataset.Col("code", dataset.String),
+		dataset.Col("wireFailProb", dataset.Float),
+		dataset.Col("spares", dataset.Int),
+		dataset.Col("overhead", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.Type.String(), p.WireFailProb, p.Spares, p.Overhead)
+	}
+	ds.Note("Better codes buy capacity directly: every point of decoder yield " +
+		"saved by the Gray arrangements is spare wires the memory does not " +
+		"have to fabricate.")
+	ds.SetText(func() string { return RenderSpares(points) })
+	return ds
+}
+
 // RenderSpares renders the provisioning table.
 func RenderSpares(points []SparePoint) string {
 	tb := textplot.NewTable(
@@ -104,6 +125,31 @@ func Sneak(sizes []int) ([]SneakPoint, error) {
 		})
 	}
 	return out, nil
+}
+
+// SneakDataset packages the sensing analysis as a structured dataset; its
+// text rendering is RenderSneak.
+func SneakDataset(points []SneakPoint) *dataset.Dataset {
+	ds := dataset.New("sneak",
+		"Extension — crosspoint sensing: worst-case off/on read ratio",
+		dataset.Col("arraySize", dataset.Int),
+		dataset.Col("passiveRatio", dataset.Float),
+		dataset.Col("diodeRatio", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.ArraySize, p.PassiveRatio, p.DiodeRatio)
+	}
+	diode := crossbar.DiodeCellModel()
+	ds.Note("max diode-isolated array at sensing ratio 1.5: %d wires/side",
+		diode.MaxReadableArray(1.5))
+	half, err := diode.DisturbMargin(1.2, crossbar.BiasHalf)
+	third, err2 := diode.DisturbMargin(1.2, crossbar.BiasThird)
+	if err == nil && err2 == nil {
+		ds.Note("write-disturb margin at 1.2 V: V/2 scheme %.2f, V/3 scheme %.2f",
+			half, third)
+	}
+	ds.SetText(func() string { return RenderSneak(points) })
+	return ds
 }
 
 // RenderSneak renders the sensing table and bias-scheme margins.

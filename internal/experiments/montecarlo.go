@@ -7,6 +7,7 @@ import (
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/crossbar"
+	"nwdec/internal/dataset"
 	"nwdec/internal/par"
 	"nwdec/internal/stats"
 	"nwdec/internal/textplot"
@@ -42,18 +43,18 @@ var mcDesignPoints = []mcDesign{
 // statistical platform (it has no direct counterpart figure in the paper,
 // which used the analytic model only). It runs on the default worker pool.
 func MonteCarlo(cfg core.Config, trials int, seed uint64) ([]MCPoint, error) {
-	return MonteCarloWorkers(cfg, trials, seed, 0)
+	return MonteCarloWorkers(context.Background(), cfg, trials, seed, 0)
 }
 
-// MonteCarloWorkers is MonteCarlo with an explicit worker count (<= 0 means
-// GOMAXPROCS). Every (design point, trial) unit draws from its own jump
-// substream of the seed and the per-point averages are reduced in trial
-// order, so the output is bit-identical at every worker count.
-func MonteCarloWorkers(cfg core.Config, trials int, seed uint64, workers int) ([]MCPoint, error) {
+// MonteCarloWorkers is MonteCarlo with a cancellation context and an
+// explicit worker count (<= 0 means GOMAXPROCS). Every (design point,
+// trial) unit draws from its own jump substream of the seed and the
+// per-point averages are reduced in trial order, so the output is
+// bit-identical at every worker count.
+func MonteCarloWorkers(ctx context.Context, cfg core.Config, trials int, seed uint64, workers int) ([]MCPoint, error) {
 	if trials <= 0 {
 		trials = 4
 	}
-	ctx := context.Background()
 
 	type bundle struct {
 		d   *core.Design
@@ -82,16 +83,16 @@ func MonteCarloWorkers(cfg core.Config, trials int, seed uint64, workers int) ([
 	// state, so execution order cannot influence the samples.
 	streams := stats.NewRNG(seed).Streams(len(mcDesignPoints) * trials)
 	fracs, err := par.MapN(ctx, workers, len(mcDesignPoints)*trials,
-		func(_ context.Context, u int) (float64, error) {
+		func(uctx context.Context, u int) (float64, error) {
 			b := bundles[u/trials]
 			rng := streams[u]
 			// Caves stay serial here: the (point, trial) fan-out above
 			// already saturates the pool.
-			rows, err := crossbar.BuildLayerWorkers(b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
+			rows, err := crossbar.BuildLayerWorkers(uctx, b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
 			if err != nil {
 				return 0, err
 			}
-			cols, err := crossbar.BuildLayerWorkers(b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
+			cols, err := crossbar.BuildLayerWorkers(uctx, b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
 			if err != nil {
 				return 0, err
 			}
@@ -116,6 +117,28 @@ func MonteCarloWorkers(cfg core.Config, trials int, seed uint64, workers int) ([
 		}
 	}
 	return out, nil
+}
+
+// MonteCarloDataset packages the validation experiment as a structured
+// dataset; its text rendering is RenderMonteCarlo.
+func MonteCarloDataset(points []MCPoint, seed uint64) *dataset.Dataset {
+	ds := dataset.New("montecarlo",
+		"Monte-Carlo validation — functional crossbar memory vs analytic model",
+		dataset.Col("code", dataset.String),
+		dataset.Col("M", dataset.Int),
+		dataset.Col("analyticY2", dataset.Float),
+		dataset.Col("mcUsableFraction", dataset.Float),
+		dataset.Col("trials", dataset.Int),
+	)
+	for _, p := range points {
+		ds.AddRow(p.Type.String(), p.Length, p.Analytic, p.MC, p.Trials)
+	}
+	ds.Meta.Seed = seed
+	if len(points) > 0 {
+		ds.Meta.Trials = points[0].Trials
+	}
+	ds.SetText(func() string { return RenderMonteCarlo(points) })
+	return ds
 }
 
 // RenderMonteCarlo renders the validation table.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestNoiseStudy(t *testing.T) {
-	res, err := NoiseStudy(core.Config{}, 150, 9)
+	res, err := NoiseStudy(context.Background(), core.Config{}, 150, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestNoiseStudy(t *testing.T) {
 }
 
 func TestNoiseStudyDefaults(t *testing.T) {
-	res, err := NoiseStudy(core.Config{}, 0, 1) // trials default
+	res, err := NoiseStudy(context.Background(), core.Config{}, 0, 1) // trials default
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +52,11 @@ func TestNoiseStudyDefaults(t *testing.T) {
 }
 
 func TestNoiseStudyDeterministic(t *testing.T) {
-	a, err := NoiseStudy(core.Config{}, 50, 77)
+	a, err := NoiseStudy(context.Background(), core.Config{}, 50, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NoiseStudy(core.Config{}, 50, 77)
+	b, err := NoiseStudy(context.Background(), core.Config{}, 50, 77)
 	if err != nil {
 		t.Fatal(err)
 	}

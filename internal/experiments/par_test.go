@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -12,12 +13,13 @@ import (
 // path (workers = 1) against the saturated pool (GOMAXPROCS).
 
 func TestMonteCarloSerialParallelIdentical(t *testing.T) {
+	ctx := context.Background()
 	for _, seed := range []uint64{1, 2009, 0xDEADBEEF} {
-		serial, err := MonteCarloWorkers(core.Config{}, 3, seed, 1)
+		serial, err := MonteCarloWorkers(ctx, core.Config{}, 3, seed, 1)
 		if err != nil {
 			t.Fatalf("seed %d serial: %v", seed, err)
 		}
-		parallel, err := MonteCarloWorkers(core.Config{}, 3, seed, runtime.GOMAXPROCS(0))
+		parallel, err := MonteCarloWorkers(ctx, core.Config{}, 3, seed, runtime.GOMAXPROCS(0))
 		if err != nil {
 			t.Fatalf("seed %d parallel: %v", seed, err)
 		}
@@ -34,11 +36,12 @@ func TestMonteCarloSerialParallelIdentical(t *testing.T) {
 }
 
 func TestFig7SerialParallelIdentical(t *testing.T) {
-	serial, err := Fig7Workers(core.Config{}, 1)
+	ctx := context.Background()
+	serial, err := Fig7Workers(ctx, core.Config{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Fig7Workers(core.Config{}, runtime.GOMAXPROCS(0))
+	parallel, err := Fig7Workers(ctx, core.Config{}, runtime.GOMAXPROCS(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +56,12 @@ func TestFig7SerialParallelIdentical(t *testing.T) {
 }
 
 func TestFig8SerialParallelIdentical(t *testing.T) {
-	serial, err := Fig8Workers(core.Config{}, 1)
+	ctx := context.Background()
+	serial, err := Fig8Workers(ctx, core.Config{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Fig8Workers(core.Config{}, runtime.GOMAXPROCS(0))
+	parallel, err := Fig8Workers(ctx, core.Config{}, runtime.GOMAXPROCS(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,23 +76,38 @@ func TestFig8SerialParallelIdentical(t *testing.T) {
 }
 
 func TestRunnerWorkerCountInvisible(t *testing.T) {
-	// The same experiment through the Runner must render identically at
-	// every worker count.
+	// The same experiment through the Runner must serialize identically at
+	// every worker count, in every format.
+	ctx := context.Background()
 	for _, name := range []string{"fig7", "montecarlo", "margin"} {
 		serial := NewRunner()
 		serial.Workers = 1
 		parallel := NewRunner()
 		parallel.Workers = runtime.GOMAXPROCS(0)
-		a, err := serial.Run(name)
+		a, err := serial.Run(ctx, name)
 		if err != nil {
 			t.Fatalf("%s serial: %v", name, err)
 		}
-		b, err := parallel.Run(name)
+		b, err := parallel.Run(ctx, name)
 		if err != nil {
 			t.Fatalf("%s parallel: %v", name, err)
 		}
-		if a != b {
-			t.Errorf("%s: report differs between worker counts", name)
+		if a.Text() != b.Text() {
+			t.Errorf("%s: text rendering differs between worker counts", name)
+		}
+		if a.CSV() != b.CSV() {
+			t.Errorf("%s: CSV differs between worker counts", name)
+		}
+		aj, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(aj) != string(bj) {
+			t.Errorf("%s: JSON differs between worker counts", name)
 		}
 	}
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/readout"
 	"nwdec/internal/stats"
 	"nwdec/internal/textplot"
@@ -29,8 +31,9 @@ type ReadoutPoint struct {
 
 // Readout runs the analog sensing extension: the same designs as Fig. 7,
 // scored by the on/off current-ratio criterion of a series-transistor
-// readout path instead of the digital threshold margin.
-func Readout(cfg core.Config, trials int, seed uint64) ([]ReadoutPoint, error) {
+// readout path instead of the digital threshold margin. The per-design loop
+// polls ctx, so cancelling it mid-run returns promptly with ctx's error.
+func Readout(ctx context.Context, cfg core.Config, trials int, seed uint64) ([]ReadoutPoint, error) {
 	if trials <= 0 {
 		trials = 60
 	}
@@ -46,6 +49,9 @@ func Readout(cfg core.Config, trials int, seed uint64) ([]ReadoutPoint, error) {
 		{code.TypeBalancedGray, 10},
 		{code.TypeArrangedHot, 6},
 	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := cfg
 		c.CodeType = pt.tp
 		c.CodeLength = pt.m
@@ -84,6 +90,32 @@ func Readout(cfg core.Config, trials int, seed uint64) ([]ReadoutPoint, error) {
 		}
 	}
 	return out, nil
+}
+
+// ReadoutDataset packages the analog sensing extension as a structured
+// dataset; its text rendering is RenderReadout.
+func ReadoutDataset(points []ReadoutPoint, trials int, seed uint64) *dataset.Dataset {
+	ds := dataset.New("readout",
+		"Extension — analog readout (series-FET on/off current ratio >= 10)",
+		dataset.Col("code", dataset.String),
+		dataset.Col("M", dataset.Int),
+		dataset.Col("dualRail", dataset.Bool),
+		dataset.Col("sensableFraction", dataset.Float),
+		dataset.Col("medianRatio", dataset.Float),
+		dataset.Col("digitalYield", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.Type.String(), p.Length, p.DualRail,
+			p.SensableFraction, p.MedianRatio, p.DigitalYield)
+	}
+	ds.Meta.Seed = seed
+	ds.Meta.Trials = trials
+	ds.Note("Within the tree family the analog criterion preserves the paper's " +
+		"ordering (BGC >= GC > TC); hot codes need the dual-rail " +
+		"complementary-pair drive to restore their sensing margin to the " +
+		"digital-model level.")
+	ds.SetText(func() string { return RenderReadout(points) })
+	return ds
 }
 
 // RenderReadout renders the sensing extension table.

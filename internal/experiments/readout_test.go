@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func TestReadoutOrderingWithinTreeFamily(t *testing.T) {
-	points, err := Readout(core.Config{}, 30, 11)
+	points, err := Readout(context.Background(), core.Config{}, 30, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestReadoutOrderingWithinTreeFamily(t *testing.T) {
 }
 
 func TestReadoutDefaultsAndRender(t *testing.T) {
-	points, err := Readout(core.Config{}, 0, 1) // default trials
+	points, err := Readout(context.Background(), core.Config{}, 0, 1) // default trials
 	if err != nil {
 		t.Fatal(err)
 	}

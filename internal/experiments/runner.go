@@ -1,21 +1,36 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 )
 
-// Runner executes named experiments and returns their text reports.
+// Zero-value Runner defaults. A zero Runner is ready to use: Run applies
+// these whenever the corresponding field is zero.
+const (
+	// DefaultMCTrials is the Monte-Carlo repetition count of the validation
+	// experiment (the noise and readout studies scale it up).
+	DefaultMCTrials = 4
+	// DefaultSeed drives every stochastic experiment.
+	DefaultSeed uint64 = 2009
+)
+
+// Runner executes named experiments and returns their structured datasets.
+// The zero value is ready to use: a zero Cfg selects the paper's default
+// platform, zero MCTrials and Seed select DefaultMCTrials and DefaultSeed,
+// and zero Workers selects GOMAXPROCS.
 type Runner struct {
 	// Cfg is the base platform configuration shared by all experiments.
 	Cfg core.Config
 	// MCTrials is the Monte-Carlo repetition count for the validation
-	// experiment.
+	// experiment (0 = DefaultMCTrials).
 	MCTrials int
-	// Seed drives the Monte-Carlo experiment.
+	// Seed drives the stochastic experiments (0 = DefaultSeed).
 	Seed uint64
 	// Workers bounds the worker pool of every parallelized experiment
 	// (0 = GOMAXPROCS, 1 = serial). Experiment output is bit-identical at
@@ -23,159 +38,229 @@ type Runner struct {
 	Workers int
 }
 
-// NewRunner returns a Runner on the paper's default platform.
+// NewRunner returns a Runner on the paper's default platform. It is
+// equivalent to &Runner{}: every field keeps its zero value and Run applies
+// the documented defaults.
 func NewRunner() *Runner {
-	return &Runner{Cfg: core.Config{}, MCTrials: 4, Seed: 2009}
+	return &Runner{}
 }
 
-// Names lists the available experiment names in presentation order: first
-// the paper's figures, then the reproduction's ablations and extensions.
-func (r *Runner) Names() []string {
-	return []string{
-		"fig5", "fig6", "fig6hot", "fig7", "fig8", "headline", "montecarlo",
-		"arrangement", "margin", "model", "boundary", "multivalued", "scaling", "noise", "readout", "temperature", "optarrange", "masks", "spares", "sneak",
+// effective returns a copy of the Runner with the zero-value defaults
+// applied, so the registry entries never re-implement them.
+func (r *Runner) effective() Runner {
+	e := *r
+	if e.MCTrials <= 0 {
+		e.MCTrials = DefaultMCTrials
 	}
+	if e.Seed == 0 {
+		e.Seed = DefaultSeed
+	}
+	return e
 }
 
-// Run executes one experiment by name and returns its rendered report.
-func (r *Runner) Run(name string) (string, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "fig5":
+// experimentSpec is one registry entry: the canonical experiment name and
+// the function producing its dataset. Names() and Run() both derive from
+// the registry, so they cannot drift apart.
+type experimentSpec struct {
+	name string
+	run  func(ctx context.Context, r Runner) (*dataset.Dataset, error)
+}
+
+// registry lists every experiment in presentation order: first the paper's
+// figures, then the reproduction's ablations and extensions.
+var registry = []experimentSpec{
+	{"fig5", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
 		rows, err := Fig5(Fig5N)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig5(rows), nil
-	case "fig6":
-		surfaces, err := Fig6Workers(Fig6N, []int{8, 10}, r.Workers)
+		return Fig5Dataset(rows), nil
+	}},
+	{"fig6", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		surfaces, err := Fig6Workers(ctx, Fig6N, []int{8, 10}, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig6(surfaces), nil
-	case "fig6hot":
-		surfaces, err := Fig6HotWorkers(Fig6N, []int{6, 8}, r.Workers)
+		return Fig6Dataset(surfaces), nil
+	}},
+	{"fig6hot", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		surfaces, err := Fig6HotWorkers(ctx, Fig6N, []int{6, 8}, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig6Hot(surfaces), nil
-	case "fig7":
-		points, err := Fig7Workers(r.Cfg, r.Workers)
+		return Fig6HotDataset(surfaces), nil
+	}},
+	{"fig7", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := Fig7Workers(ctx, r.Cfg, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig7(points), nil
-	case "fig8":
-		points, err := Fig8Workers(r.Cfg, r.Workers)
+		return Fig7Dataset(points), nil
+	}},
+	{"fig8", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := Fig8Workers(ctx, r.Cfg, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig8(points), nil
-	case "headline":
-		claims, err := Headline(r.Cfg)
+		return Fig8Dataset(points), nil
+	}},
+	{"headline", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		claims, err := HeadlineWorkers(ctx, r.Cfg, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderHeadline(claims), nil
-	case "montecarlo", "mc":
-		points, err := MonteCarloWorkers(r.Cfg, r.MCTrials, r.Seed, r.Workers)
+		return HeadlineDataset(claims), nil
+	}},
+	{"montecarlo", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := MonteCarloWorkers(ctx, r.Cfg, r.MCTrials, r.Seed, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderMonteCarlo(points), nil
-	case "arrangement":
-		points, err := AblationArrangementWorkers([]uint64{1, 2, 3}, r.Workers)
+		return MonteCarloDataset(points, r.Seed), nil
+	}},
+	{"arrangement", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := AblationArrangementWorkers(ctx, []uint64{1, 2, 3}, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderAblationArrangement(points), nil
-	case "margin":
-		points, err := AblationMarginWorkers([]float64{0.4, 0.6, 0.8, 1.0}, r.Workers)
+		return AblationArrangementDataset(points), nil
+	}},
+	{"margin", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := AblationMarginWorkers(ctx, []float64{0.4, 0.6, 0.8, 1.0}, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderAblationMargin(points), nil
-	case "model":
-		rows, err := AblationModelWorkers(r.Workers)
+		return AblationMarginDataset(points), nil
+	}},
+	{"model", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		rows, err := AblationModelWorkers(ctx, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderAblationModel(rows), nil
-	case "boundary":
-		points, err := AblationBoundaryWorkers([]int{0, 1, 2, 4}, r.Workers)
+		return AblationModelDataset(rows), nil
+	}},
+	{"boundary", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := AblationBoundaryWorkers(ctx, []int{0, 1, 2, 4}, r.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderAblationBoundary(points), nil
-	case "multivalued":
+		return AblationBoundaryDataset(points), nil
+	}},
+	{"multivalued", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
 		points, err := MultiValued(r.Cfg)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderMultiValued(points), nil
-	case "noise":
-		res, err := NoiseStudy(r.Cfg, r.MCTrials*50, r.Seed)
-		if err != nil {
-			return "", err
-		}
-		return RenderNoiseStudy(res), nil
-	case "readout":
-		points, err := Readout(r.Cfg, r.MCTrials*15, r.Seed)
-		if err != nil {
-			return "", err
-		}
-		return RenderReadout(points), nil
-	case "temperature":
-		points, err := Temperature(r.Cfg, nil)
-		if err != nil {
-			return "", err
-		}
-		return RenderTemperature(points), nil
-	case "optarrange":
-		points, err := OptArrange(nil, 20000)
-		if err != nil {
-			return "", err
-		}
-		return RenderOptArrange(points), nil
-	case "masks":
-		points, err := Masks(r.Cfg)
-		if err != nil {
-			return "", err
-		}
-		return RenderMasks(points), nil
-	case "spares":
-		points, err := Spares(r.Cfg)
-		if err != nil {
-			return "", err
-		}
-		return RenderSpares(points), nil
-	case "sneak":
-		points, err := Sneak(nil)
-		if err != nil {
-			return "", err
-		}
-		return RenderSneak(points), nil
-	case "scaling":
+		return MultiValuedDataset(points), nil
+	}},
+	{"scaling", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
 		points, err := Scaling(r.Cfg, []int{10, 16, 20, 26, 32})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderScaling(points), nil
-	default:
-		known := r.Names()
-		sort.Strings(known)
-		return "", fmt.Errorf("experiments: unknown experiment %q (known: %s, all)", name, strings.Join(known, ", "))
-	}
+		return ScalingDataset(points), nil
+	}},
+	{"noise", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		res, err := NoiseStudy(ctx, r.Cfg, r.MCTrials*50, r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return NoiseStudyDataset(res, r.Seed), nil
+	}},
+	{"readout", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := Readout(ctx, r.Cfg, r.MCTrials*15, r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return ReadoutDataset(points, r.MCTrials*15, r.Seed), nil
+	}},
+	{"temperature", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := Temperature(r.Cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return TemperatureDataset(points), nil
+	}},
+	{"optarrange", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := OptArrange(nil, 20000)
+		if err != nil {
+			return nil, err
+		}
+		return OptArrangeDataset(points), nil
+	}},
+	{"masks", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := Masks(r.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		return MasksDataset(points), nil
+	}},
+	{"spares", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := Spares(r.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		return SparesDataset(points), nil
+	}},
+	{"sneak", func(ctx context.Context, r Runner) (*dataset.Dataset, error) {
+		points, err := Sneak(nil)
+		if err != nil {
+			return nil, err
+		}
+		return SneakDataset(points), nil
+	}},
 }
 
-// RunAll executes every experiment and concatenates the reports.
-func (r *Runner) RunAll() (string, error) {
-	var sb strings.Builder
-	for _, name := range r.Names() {
-		report, err := r.Run(name)
-		if err != nil {
-			return "", fmt.Errorf("experiments: %s: %w", name, err)
-		}
-		fmt.Fprintf(&sb, "==== %s ====\n%s\n", name, report)
+// aliases maps alternative spellings to canonical registry names.
+var aliases = map[string]string{"mc": "montecarlo"}
+
+// Names lists the available experiment names in presentation order.
+func (r *Runner) Names() []string {
+	names := make([]string, len(registry))
+	for i, spec := range registry {
+		names[i] = spec.name
 	}
-	return sb.String(), nil
+	return names
+}
+
+// Run executes one experiment by name and returns its structured dataset.
+// The dataset's metadata records the canonical experiment name, the
+// effective seed/worker settings and a fingerprint of the platform
+// configuration. Cancelling ctx aborts the experiment with ctx's error.
+func (r *Runner) Run(ctx context.Context, name string) (*dataset.Dataset, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := aliases[key]; ok {
+		key = canon
+	}
+	eff := r.effective()
+	for _, spec := range registry {
+		if spec.name != key {
+			continue
+		}
+		ds, err := spec.run(ctx, eff)
+		if err != nil {
+			return nil, err
+		}
+		ds.Meta.Experiment = spec.name
+		ds.Meta.Workers = eff.Workers
+		ds.Meta.ConfigHash = eff.Cfg.Fingerprint()
+		return ds, nil
+	}
+	known := r.Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s, all)", name, strings.Join(known, ", "))
+}
+
+// RunAll executes every experiment in presentation order and returns the
+// datasets. The first failure aborts the run.
+func (r *Runner) RunAll(ctx context.Context) ([]*dataset.Dataset, error) {
+	out := make([]*dataset.Dataset, 0, len(registry))
+	for _, spec := range registry {
+		ds, err := r.Run(ctx, spec.name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.name, err)
+		}
+		out = append(out, ds)
+	}
+	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/physics"
 	"nwdec/internal/textplot"
 	"nwdec/internal/yield"
@@ -66,6 +67,25 @@ func Temperature(cfg core.Config, temps []float64) ([]TemperaturePoint, error) {
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// TemperatureDataset packages the thermal robustness study as a structured
+// dataset; its text rendering is RenderTemperature.
+func TemperatureDataset(points []TemperaturePoint) *dataset.Dataset {
+	ds := dataset.New("temperature",
+		"Extension — thermal robustness of the 300 K design (BGC, M=10)",
+		dataset.ColUnit("tempK", "K", dataset.Float),
+		dataset.ColUnit("worstDrift", "V", dataset.Float),
+		dataset.Col("yield", dataset.Float),
+	)
+	for _, p := range points {
+		ds.AddRow(p.TempK, p.WorstDrift, p.Yield)
+	}
+	ds.Note("Threshold drift with temperature consumes addressing margin as a " +
+		"systematic error; the decoder tolerates moderate excursions around " +
+		"the design point.")
+	ds.SetText(func() string { return RenderTemperature(points) })
+	return ds
 }
 
 // RenderTemperature renders the thermal robustness table.

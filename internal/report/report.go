@@ -1,15 +1,17 @@
 // Package report renders the complete reproduction record — every figure of
 // the paper plus the ablations — as a single Markdown document with
-// paper-vs-measured commentary, machine-generated from the experiment
-// results so the documentation can never drift from the code.
+// paper-vs-measured commentary. The sections are assembled from the same
+// structured datasets the CLIs serialize, so the documentation can never
+// drift from the experiment results.
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/experiments"
 )
 
@@ -24,6 +26,9 @@ type Options struct {
 	// MCTrials and Seed drive the Monte-Carlo validation section.
 	MCTrials int
 	Seed     uint64
+	// Workers bounds the worker pool of the underlying experiments
+	// (0 = GOMAXPROCS). The document is bit-identical at every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the standard full report configuration.
@@ -31,216 +36,82 @@ func DefaultOptions() Options {
 	return Options{
 		Title:            "MSPT nanowire decoder — reproduction report",
 		IncludeAblations: true,
-		MCTrials:         4,
-		Seed:             2009,
+		MCTrials:         experiments.DefaultMCTrials,
+		Seed:             experiments.DefaultSeed,
 	}
 }
 
-// Generate runs every experiment and assembles the Markdown document.
-func Generate(opt Options) (string, error) {
+// sections maps document headings to the registry experiments that fill
+// them, in presentation order. The ablation subsections are only included
+// when Options.IncludeAblations is set.
+var sections = []struct {
+	heading    string
+	experiment string
+	ablation   bool
+}{
+	{"## Fig. 5 — fabrication complexity", "fig5", false},
+	{"## Fig. 6 — decoder variability", "fig6", false},
+	{"## Fig. 7 — crossbar yield vs code length", "fig7", false},
+	{"## Fig. 8 — effective bit area", "fig8", false},
+	{"## Headline claims", "headline", false},
+	{"### Arrangement (Propositions 4-5)", "arrangement", true},
+	{"### Threshold-model invariance", "model", true},
+	{"### Multi-valued decoders", "multivalued", true},
+	{"### Mask-set economics", "masks", true},
+	{"### Thermal robustness (300 K design)", "temperature", true},
+	{"### Cave-depth scaling (BGC, M=10)", "scaling", true},
+	{"### Monte-Carlo validation", "montecarlo", true},
+}
+
+// Generate runs every experiment and assembles the Markdown document from
+// the resulting datasets. Cancelling ctx aborts generation with ctx's error.
+func Generate(ctx context.Context, opt Options) (string, error) {
+	r := &experiments.Runner{
+		Cfg:      opt.Cfg,
+		MCTrials: opt.MCTrials,
+		Seed:     opt.Seed,
+		Workers:  opt.Workers,
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "# %s\n\n", opt.Title)
-
-	if err := fig5Section(&sb); err != nil {
-		return "", err
-	}
-	if err := fig6Section(&sb); err != nil {
-		return "", err
-	}
-	if err := fig7Section(&sb, opt.Cfg); err != nil {
-		return "", err
-	}
-	if err := fig8Section(&sb, opt.Cfg); err != nil {
-		return "", err
-	}
-	if err := headlineSection(&sb, opt.Cfg); err != nil {
-		return "", err
-	}
-	if opt.IncludeAblations {
-		if err := ablationSection(&sb, opt); err != nil {
-			return "", err
+	wroteAblationHeader := false
+	for _, sec := range sections {
+		if sec.ablation {
+			if !opt.IncludeAblations {
+				continue
+			}
+			if !wroteAblationHeader {
+				sb.WriteString("## Ablations and extensions\n\n")
+				wroteAblationHeader = true
+			}
 		}
+		ds, err := r.Run(ctx, sec.experiment)
+		if err != nil {
+			return "", fmt.Errorf("report: %s: %w", sec.experiment, err)
+		}
+		writeSection(&sb, sec.heading, ds)
 	}
 	return sb.String(), nil
 }
 
-func fig5Section(sb *strings.Builder) error {
-	rows, err := experiments.Fig5(experiments.Fig5N)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Fig. 5 — fabrication complexity\n\n")
-	sb.WriteString("| logic | base | M | Φ(TC) | Φ(GC) |\n|---|---|---|---|---|\n")
-	for _, r := range rows {
-		fmt.Fprintf(sb, "| %s | %d | %d | %d | %d |\n", r.Logic, r.Base, r.Length, r.PhiTC, r.PhiGC)
-	}
-	fmt.Fprintf(sb, "\nAverage multi-valued Gray saving: **%.0f%%** (paper: 17%%).\n\n",
-		100*experiments.Fig5GraySaving(rows))
-	return nil
-}
-
-func fig6Section(sb *strings.Builder) error {
-	surfaces, err := experiments.Fig6(experiments.Fig6N, []int{8, 10})
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Fig. 6 — decoder variability\n\n")
-	sb.WriteString("| code | M | avg ‖Σ‖₁/(N·M) [σ_T²] | max ν |\n|---|---|---|---|\n")
-	for _, s := range surfaces {
-		fmt.Fprintf(sb, "| %s | %d | %.3g | %d |\n", s.Type, s.Length, s.AvgVariability, s.MaxNu)
-	}
-	fmt.Fprintf(sb, "\nAverage GC/BGC variability saving vs TC: **%.0f%%** (paper: 18%%).\n\n",
-		100*experiments.Fig6VariabilitySaving(surfaces))
-	return nil
-}
-
-func fig7Section(sb *strings.Builder, cfg core.Config) error {
-	points, err := experiments.Fig7(cfg)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Fig. 7 — crossbar yield vs code length\n\n")
-	writeYieldTable(sb, points, false)
-	return nil
-}
-
-func fig8Section(sb *strings.Builder, cfg core.Config) error {
-	points, err := experiments.Fig8(cfg)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Fig. 8 — effective bit area\n\n")
-	writeYieldTable(sb, points, true)
-	min := experiments.Fig8MinBitArea(points)
-	fmt.Fprintf(sb, "\nSmallest bit area: **%.0f nm²** (%s, M=%d); paper: 169 nm² (BGC) / 175 nm² (AHC).\n\n",
-		min.BitArea, min.Type, min.Length)
-	return nil
-}
-
-func writeYieldTable(sb *strings.Builder, points []experiments.YieldPoint, withArea bool) {
-	if withArea {
-		sb.WriteString("| code | M | yield | bit area [nm²] |\n|---|---|---|---|\n")
-	} else {
-		sb.WriteString("| code | M | yield | Φ |\n|---|---|---|---|\n")
-	}
-	for _, p := range points {
-		if withArea {
-			fmt.Fprintf(sb, "| %s | %d | %.1f%% | %.0f |\n", p.Type, p.Length, 100*p.Yield, p.BitArea)
-		} else {
-			fmt.Fprintf(sb, "| %s | %d | %.1f%% | %d |\n", p.Type, p.Length, 100*p.Yield, p.Phi)
+// writeSection embeds one dataset under a caller-supplied heading: the pipe
+// table, then the notes as a paragraph.
+func writeSection(sb *strings.Builder, heading string, ds *dataset.Dataset) {
+	sb.WriteString(heading + "\n\n")
+	sb.WriteString(ds.MarkdownTable())
+	if len(ds.Notes) > 0 {
+		sb.WriteString("\n")
+		for _, n := range ds.Notes {
+			sb.WriteString(n + "\n")
 		}
-	}
-}
-
-func headlineSection(sb *strings.Builder, cfg core.Config) error {
-	claims, err := experiments.Headline(cfg)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Headline claims\n\n")
-	sb.WriteString("| claim | paper | measured | holds |\n|---|---|---|---|\n")
-	for _, c := range claims {
-		holds := "✔"
-		if !c.Holds {
-			holds = "✘"
-		}
-		fmt.Fprintf(sb, "| %s | %s | %s | %s |\n", c.Name, c.Paper, c.Measured, holds)
 	}
 	sb.WriteString("\n")
-	return nil
-}
-
-func ablationSection(sb *strings.Builder, opt Options) error {
-	sb.WriteString("## Ablations and extensions\n\n")
-
-	arr, err := experiments.AblationArrangement([]uint64{1, 2, 3})
-	if err != nil {
-		return err
-	}
-	sb.WriteString("### Arrangement (Propositions 4-5)\n\n")
-	sb.WriteString("| arrangement | Φ | ‖Σ‖₁ [σ²] | max ν | yield |\n|---|---|---|---|---|\n")
-	for _, p := range arr {
-		fmt.Fprintf(sb, "| %s | %d | %d | %d | %.1f%% |\n", p.Name, p.Phi, p.NuSum, p.MaxNu, 100*p.Yield)
-	}
-
-	inv, err := experiments.AblationModel()
-	if err != nil {
-		return err
-	}
-	sb.WriteString("\n### Threshold-model invariance\n\n")
-	allInvariant := true
-	for _, r := range inv {
-		if !r.Invariant {
-			allInvariant = false
-		}
-	}
-	if allInvariant {
-		sb.WriteString("Φ and ‖Σ‖₁ are identical under the physical and the " +
-			"table-calibrated V_T↔N_D models for every tree-family code.\n")
-	} else {
-		sb.WriteString("WARNING: fabrication metrics depend on the threshold model.\n")
-	}
-
-	mv, err := experiments.MultiValued(opt.Cfg)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("\n### Multi-valued decoders\n\n")
-	sb.WriteString("| base | code | M | Φ | yield | bit area [nm²] |\n|---|---|---|---|---|---|\n")
-	for _, p := range mv {
-		fmt.Fprintf(sb, "| %d | %s | %d | %d | %.1f%% | %.0f |\n",
-			p.Base, p.Type, p.Length, p.Phi, 100*p.Yield, p.BitArea)
-	}
-
-	masks, err := experiments.Masks(opt.Cfg)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("\n### Mask-set economics\n\n")
-	sb.WriteString("| code | M | passes (Φ) | distinct masks | reuse |\n|---|---|---|---|---|\n")
-	for _, p := range masks {
-		fmt.Fprintf(sb, "| %s | %d | %d | %d | %.1fx |\n",
-			p.Type, p.Length, p.Passes, p.DistinctMasks, p.ReuseFactor)
-	}
-
-	temps, err := experiments.Temperature(opt.Cfg, nil)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("\n### Thermal robustness (300 K design)\n\n")
-	sb.WriteString("| T [K] | worst V_T drift [mV] | yield |\n|---|---|---|\n")
-	for _, p := range temps {
-		fmt.Fprintf(sb, "| %.0f | %.0f | %.1f%% |\n", p.TempK, 1000*p.WorstDrift, 100*p.Yield)
-	}
-
-	scalingPts, err := experiments.Scaling(opt.Cfg, []int{10, 16, 20, 26, 32})
-	if err != nil {
-		return err
-	}
-	sb.WriteString("\n### Cave-depth scaling (BGC, M=10)\n\n")
-	sb.WriteString("| N wires | Φ | yield | bit area [nm²] |\n|---|---|---|---|\n")
-	for _, p := range scalingPts {
-		fmt.Fprintf(sb, "| %d | %d | %.1f%% | %.0f |\n",
-			p.HalfCaveWires, p.Phi, 100*p.Yield, p.BitArea)
-	}
-
-	mc, err := experiments.MonteCarlo(opt.Cfg, opt.MCTrials, opt.Seed)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("\n### Monte-Carlo validation\n\n")
-	sb.WriteString("| code | M | analytic Y² | MC usable fraction |\n|---|---|---|---|\n")
-	for _, p := range mc {
-		fmt.Fprintf(sb, "| %s | %d | %.1f%% | %.1f%% |\n", p.Type, p.Length, 100*p.Analytic, 100*p.MC)
-	}
-	sb.WriteString("\n")
-	return nil
 }
 
 // Summary returns a compact one-paragraph textual summary of the
 // reproduction status, suitable for CLI footers.
-func Summary(cfg core.Config) (string, error) {
-	claims, err := experiments.Headline(cfg)
+func Summary(ctx context.Context, cfg core.Config) (string, error) {
+	claims, err := experiments.HeadlineWorkers(ctx, cfg, 0)
 	if err != nil {
 		return "", err
 	}
@@ -250,13 +121,12 @@ func Summary(cfg core.Config) (string, error) {
 			held++
 		}
 	}
-	points, err := experiments.Fig8(cfg)
+	points, err := experiments.Fig8Workers(ctx, cfg, 0)
 	if err != nil {
 		return "", err
 	}
 	min := experiments.Fig8MinBitArea(points)
-	var winner code.Type = min.Type
 	return fmt.Sprintf(
 		"%d of %d headline claims hold; best decoder: %s M=%d at %.0f nm²/bit, %.1f%% yield",
-		held, len(claims), winner, min.Length, min.BitArea, 100*min.Yield), nil
+		held, len(claims), min.Type, min.Length, min.BitArea, 100*min.Yield), nil
 }

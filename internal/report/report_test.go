@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestGenerateFullReport(t *testing.T) {
 	opt := DefaultOptions()
 	opt.MCTrials = 1
-	doc, err := Generate(opt)
+	doc, err := Generate(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestGenerateWithoutAblations(t *testing.T) {
 	opt := DefaultOptions()
 	opt.IncludeAblations = false
 	opt.Title = "short"
-	doc, err := Generate(opt)
+	doc, err := Generate(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestGenerateWithoutAblations(t *testing.T) {
 }
 
 func TestSummary(t *testing.T) {
-	s, err := Summary(core.Config{})
+	s, err := Summary(context.Background(), core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/core"
+	"nwdec/internal/dataset"
 	"nwdec/internal/par"
 )
 
@@ -91,15 +92,16 @@ type Row struct {
 // Run evaluates every structurally valid grid point on the base platform.
 // It runs on the default worker pool.
 func Run(base core.Config, grid Grid) ([]Row, error) {
-	return RunWorkers(base, grid, 0)
+	return RunWorkers(context.Background(), base, grid, 0)
 }
 
-// RunWorkers is Run with an explicit worker count (<= 0 means GOMAXPROCS).
-// The valid grid points are flattened in the grid's Cartesian order
-// (types → lengths → sigmas → margins → wires) before fanning out, and the
-// rows come back in that same order, so the output is bit-identical at
-// every worker count.
-func RunWorkers(base core.Config, grid Grid, workers int) ([]Row, error) {
+// RunWorkers is Run with a cancellation context and an explicit worker
+// count (<= 0 means GOMAXPROCS). The valid grid points are flattened in the
+// grid's Cartesian order (types → lengths → sigmas → margins → wires)
+// before fanning out, and the rows come back in that same order, so the
+// output is bit-identical at every worker count. Cancelling ctx abandons
+// unfinished points and returns ctx's error.
+func RunWorkers(ctx context.Context, base core.Config, grid Grid, workers int) ([]Row, error) {
 	grid = grid.withDefaults()
 	type unit struct {
 		cfg    core.Config
@@ -130,7 +132,7 @@ func RunWorkers(base core.Config, grid Grid, workers int) ([]Row, error) {
 			}
 		}
 	}
-	rows, err := par.Map(context.Background(), workers, units,
+	rows, err := par.Map(ctx, workers, units,
 		func(_ context.Context, _ int, u unit) (Row, error) {
 			d, err := core.NewDesign(u.cfg)
 			if err != nil {
@@ -173,6 +175,32 @@ func validLength(tp code.Type, base, m int) bool {
 		return m%2 == 0
 	}
 	return m%base == 0
+}
+
+// Dataset packages sweep rows as a structured dataset whose columns match
+// Header() in name and order, so every renderer (CSV included) emits the
+// same tidy long format.
+func Dataset(rows []Row) *dataset.Dataset {
+	ds := dataset.New("sweep", "Design-space sweep (tidy long format)",
+		dataset.Col("code", dataset.String),
+		dataset.Col("length", dataset.Int),
+		dataset.ColUnit("sigmaT_V", "V", dataset.Float),
+		dataset.Col("marginFactor", dataset.Float),
+		dataset.Col("halfCaveWires", dataset.Int),
+		dataset.Col("spaceSize", dataset.Int),
+		dataset.Col("contactGroups", dataset.Int),
+		dataset.Col("phi", dataset.Int),
+		dataset.ColUnit("avgVariability_V2", "V²", dataset.Float),
+		dataset.Col("yield", dataset.Float),
+		dataset.Col("effectiveBits", dataset.Float),
+		dataset.ColUnit("bitArea_nm2", "nm²", dataset.Float),
+	)
+	for _, r := range rows {
+		ds.AddRow(r.Type.String(), r.Length, r.SigmaT, r.MarginFactor,
+			r.HalfCaveWires, r.SpaceSize, r.ContactGroups, r.Phi,
+			r.AvgVariability, r.Yield, r.EffectiveBits, r.BitArea)
+	}
+	return ds
 }
 
 // Header lists the CSV column names, matching WriteCSV's output order.

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"runtime"
 	"strconv"
@@ -124,11 +125,11 @@ func TestWriteCSV(t *testing.T) {
 }
 
 func TestRunWorkersDeterministic(t *testing.T) {
-	serial, err := RunWorkers(core.Config{}, Grid{}, 1)
+	serial, err := RunWorkers(context.Background(), core.Config{}, Grid{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunWorkers(core.Config{}, Grid{}, runtime.GOMAXPROCS(0))
+	parallel, err := RunWorkers(context.Background(), core.Config{}, Grid{}, runtime.GOMAXPROCS(0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# ci.sh — the tier-1.5 verification gate (see ROADMAP.md).
+#
+# Usage:  scripts/ci.sh
+#
+# Runs, in order:
+#   1. gofmt -l        — the tree must be canonically formatted
+#   2. go build ./...  — everything compiles
+#   3. go vet ./...    — static checks
+#   4. go test -race ./...  — full suite under the race detector; this is
+#      what keeps internal/par and the shared generator cache race-clean and
+#      exercises the serial-vs-parallel determinism tests
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all checks passed"
