@@ -394,7 +394,7 @@ func BenchmarkReportGeneration(b *testing.B) {
 // Fig. 7/8 grid.
 func BenchmarkSweepGrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sweep.Run(core.Config{}, sweep.Grid{})
+		rows, err := sweep.Run(context.Background(), core.Config{}, sweep.Grid{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -251,6 +251,59 @@ func TestCLIStructuredOutput(t *testing.T) {
 		}
 	})
 
+	t.Run("nwlint", func(t *testing.T) {
+		bin := buildCmd(t, dir, "nwlint")
+
+		// The tree itself must be clean: exit 0, no output.
+		out, _ := run(t, bin, "./...")
+		if out != "" {
+			t.Errorf("clean tree produced output:\n%s", out)
+		}
+
+		// -list names the five rules.
+		out, _ = run(t, bin, "-list")
+		for _, rule := range []string{"determinism", "ctxfirst", "nogoroutine", "errcheck", "printbound"} {
+			if !strings.Contains(out, rule) {
+				t.Errorf("-list output missing %q:\n%s", rule, out)
+			}
+		}
+
+		// A seeded fixture violation exits 1 with a positioned diagnostic.
+		fixture := filepath.Join("internal", "lint", "testdata", "src", "errcheck")
+		cmd := exec.Command(bin, fixture)
+		var so, se strings.Builder
+		cmd.Stdout = &so
+		cmd.Stderr = &se
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("fixture run: err = %v (stderr %s), want exit 1", err, se.String())
+		}
+		if !strings.Contains(so.String(), "errcheck.go:12:2: errcheck:") {
+			t.Errorf("diagnostic not positioned:\n%s", so.String())
+		}
+
+		// -json renders the diagnostics as a structured dataset.
+		cmd = exec.Command(bin, "-json", fixture)
+		so.Reset()
+		cmd.Stdout = &so
+		if err := cmd.Run(); err == nil {
+			t.Fatal("json fixture run: expected exit 1")
+		}
+		doc := parseJSONDataset(t, so.String())
+		if doc["name"] != "nwlint" {
+			t.Errorf("dataset name = %v", doc["name"])
+		}
+		if rows, ok := doc["rows"].([]any); !ok || len(rows) == 0 {
+			t.Errorf("json dataset has no rows:\n%s", so.String())
+		}
+
+		// An unknown rule is a usage error.
+		if code, _ := runFail(t, bin, "-rules", "nope"); code != 2 {
+			t.Errorf("unknown rule: exit %d, want 2", code)
+		}
+	})
+
 	t.Run("exit-codes", func(t *testing.T) {
 		bin := buildCmd(t, dir, "nwsim")
 		code, stderr := runFail(t, bin, "-exp", "fig7", "-format", "yaml")

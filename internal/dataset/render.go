@@ -140,8 +140,11 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 // CSV renders the CSV form as a string.
 func (d *Dataset) CSV() string {
 	var sb strings.Builder
-	// Writing to a strings.Builder cannot fail.
-	_ = d.WriteCSV(&sb)
+	if err := d.WriteCSV(&sb); err != nil {
+		// A strings.Builder never fails, so this is a schema bug in the
+		// producing experiment, not a data condition.
+		panic("dataset: CSV rendering failed: " + err.Error())
+	}
 	return sb.String()
 }
 

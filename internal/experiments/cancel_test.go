@@ -14,12 +14,13 @@ import (
 func TestRunCancellation(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	// Already-cancelled context: every experiment must refuse to run.
+	// Already-cancelled context: every registry entry must refuse to run,
+	// including the serial experiments that never poll ctx themselves.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	r := NewRunner()
 	r.MCTrials = 50
-	for _, name := range []string{"fig7", "montecarlo", "noise", "readout"} {
+	for _, name := range r.Names() {
 		start := time.Now()
 		_, err := r.Run(ctx, name)
 		if !errors.Is(err, context.Canceled) {

@@ -226,8 +226,13 @@ func (r *Runner) Names() []string {
 // Run executes one experiment by name and returns its structured dataset.
 // The dataset's metadata records the canonical experiment name, the
 // effective seed/worker settings and a fingerprint of the platform
-// configuration. Cancelling ctx aborts the experiment with ctx's error.
+// configuration. Cancelling ctx aborts the experiment with ctx's error;
+// a context that is already cancelled refuses to start any experiment,
+// including the serial entries that never poll ctx themselves.
 func (r *Runner) Run(ctx context.Context, name string) (*dataset.Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := strings.ToLower(strings.TrimSpace(name))
 	if canon, ok := aliases[key]; ok {
 		key = canon

@@ -1,0 +1,111 @@
+package lint
+
+import "strings"
+
+// Config maps the project's layering conventions onto package paths so
+// the analyzers know where each invariant applies. Paths are
+// module-relative ("internal/code"); a listed path covers the package
+// itself and everything below it.
+type Config struct {
+	// Module is the module path diagnostics and matching are relative to.
+	Module string
+	// DeterministicPkgs are the packages whose output must be
+	// bit-deterministic: no wall clock, no global math/rand, no map
+	// iteration feeding output order.
+	DeterministicPkgs []string
+	// GoroutinePkgs are the only packages allowed to create goroutines
+	// or use sync.WaitGroup (the parallel execution engine).
+	GoroutinePkgs []string
+	// CtxEntryPkgs are the packages whose exported long-running entry
+	// points (parallel *Workers functions, Run/RunAll) must accept a
+	// context.Context.
+	CtxEntryPkgs []string
+	// PrintAllowedPkgs are the non-main packages that may write to
+	// stdout directly (the CLI surface, the report generator and the
+	// renderers). Packages named main are always allowed.
+	PrintAllowedPkgs []string
+}
+
+// DefaultConfig returns the project configuration for the given module
+// path (normally "nwdec").
+func DefaultConfig(module string) *Config {
+	return &Config{
+		Module: module,
+		DeterministicPkgs: []string{
+			"internal/code",
+			"internal/core",
+			"internal/crossbar",
+			"internal/dataset",
+			"internal/experiments",
+			"internal/geometry",
+			"internal/mspt",
+			"internal/physics",
+			"internal/readout",
+			"internal/stats",
+			"internal/sweep",
+			"internal/yield",
+		},
+		GoroutinePkgs: []string{"internal/par"},
+		CtxEntryPkgs: []string{
+			"internal/core",
+			"internal/experiments",
+			"internal/sweep",
+		},
+		PrintAllowedPkgs: []string{
+			"internal/cli",
+			"internal/report",
+			"internal/textplot",
+			"internal/viz",
+		},
+	}
+}
+
+// rel strips the module prefix from an import path; a path outside the
+// module returns "".
+func (c *Config) rel(path string) string {
+	if path == c.Module {
+		return "."
+	}
+	if strings.HasPrefix(path, c.Module+"/") {
+		return strings.TrimPrefix(path, c.Module+"/")
+	}
+	return ""
+}
+
+// matches reports whether the module-relative form of path is one of the
+// listed package paths or below one.
+func (c *Config) matches(path string, list []string) bool {
+	rel := c.rel(path)
+	if rel == "" {
+		return false
+	}
+	for _, p := range list {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Deterministic reports whether path carries the bit-determinism
+// invariant.
+func (c *Config) Deterministic(path string) bool {
+	return c.matches(path, c.DeterministicPkgs)
+}
+
+// GoroutineAllowed reports whether path may create goroutines.
+func (c *Config) GoroutineAllowed(path string) bool {
+	return c.matches(path, c.GoroutinePkgs)
+}
+
+// CtxEntry reports whether path's exported long-running entry points
+// must accept a context.
+func (c *Config) CtxEntry(path string) bool {
+	return c.matches(path, c.CtxEntryPkgs)
+}
+
+// PrintAllowed reports whether a non-main package at path may write to
+// stdout.
+func (c *Config) PrintAllowed(path string) bool {
+	return c.matches(path, c.PrintAllowedPkgs)
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst enforces the cancellation-plumbing convention: a
+// context.Context parameter always comes first, and the exported
+// long-running entry points of the pipeline packages (the parallel
+// *Workers functions and the Run/RunAll drivers) must accept one so
+// every expensive loop is cancellable.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context is the first parameter; long-running entry points must accept one",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	entry := p.Cfg.CtxEntry(p.Path)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var name string
+			var exported bool
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, name, exported = n.Type, n.Name.Name, n.Name.IsExported()
+			case *ast.FuncLit:
+				ft = n.Type
+			default:
+				return true
+			}
+			checkCtxPosition(p, ft)
+			if entry && exported && longRunningEntry(p, ft, name) && !hasCtxParam(p, ft) {
+				p.Reportf(ft.Pos(), "long-running entry point %s must accept a context.Context (first parameter) so callers can cancel it", name)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxPosition reports any context.Context parameter that is not the
+// first parameter of its function.
+func checkCtxPosition(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting named groups
+	for fi, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(p.Info.TypeOf(field.Type)) && (fi > 0 || pos > 0) {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+// hasCtxParam reports whether any parameter is a context.Context.
+func hasCtxParam(p *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(p.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// longRunningEntry applies the project's naming convention for
+// cancellable entry points: an explicit worker-pool surface (a *Workers
+// suffix or a `workers` parameter) or a registry driver (Run/RunAll).
+func longRunningEntry(p *Pass, ft *ast.FuncType, name string) bool {
+	if strings.HasSuffix(name, "Workers") || name == "Run" || name == "RunAll" {
+		return true
+	}
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		for _, id := range field.Names {
+			if id.Name == "workers" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

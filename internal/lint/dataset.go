@@ -1,0 +1,23 @@
+package lint
+
+import (
+	"nwdec/internal/dataset"
+)
+
+// Dataset packages diagnostics as a structured dataset, so the -json
+// mode of cmd/nwlint rides the same rendering pipeline as the
+// experiment results.
+func Dataset(diags []Diagnostic) *dataset.Dataset {
+	ds := dataset.New("nwlint", "nwlint diagnostics",
+		dataset.Col("file", dataset.String),
+		dataset.Col("line", dataset.Int),
+		dataset.Col("col", dataset.Int),
+		dataset.Col("rule", dataset.String),
+		dataset.Col("message", dataset.String),
+	)
+	ds.Meta.Experiment = "nwlint"
+	for _, d := range diags {
+		ds.AddRow(d.Position.Filename, d.Position.Line, d.Position.Column, d.Rule, d.Message)
+	}
+	return ds
+}

@@ -1,0 +1,224 @@
+// Package lint is the project's static-analysis engine: a small,
+// stdlib-only analyzer framework (go/ast + go/types) plus the five
+// project-invariant analyzers that turn the repository's correctness
+// conventions into machine-checked rules.
+//
+// The invariants the analyzers protect are the ones the paper
+// reproduction depends on:
+//
+//   - determinism — every pipeline stage must be bit-identical at any
+//     worker count, so wall-clock reads, the global math/rand source and
+//     map-iteration order must never feed output (rule "determinism");
+//   - cancellation — context.Context flows first-argument-first through
+//     every long-running entry point (rule "ctxfirst");
+//   - concurrency containment — goroutines and WaitGroups live only in
+//     internal/par, the deterministic execution engine (rule
+//     "nogoroutine");
+//   - error discipline — no silently discarded error results and no
+//     unwrapped fmt.Errorf causes (rule "errcheck");
+//   - output discipline — stdout is owned by the cmd layer and the
+//     renderers; library packages return data (rule "printbound").
+//
+// A diagnostic can be suppressed at a specific site with a directive
+// comment on the same line or the line above:
+//
+//	//nwlint:ignore <rule> <reason>
+//
+// The reason is mandatory: an unexplained suppression is itself
+// reported. The cmd/nwlint driver applies the analyzers to module
+// packages; the self-tests apply them to fixture packages under
+// testdata/src with expected-diagnostic annotations.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule: a documented invariant plus the pass that
+// enforces it over a type-checked package.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and ignore
+	// directives ("determinism", "ctxfirst", ...).
+	Name string
+	// Doc is the one-line statement of the invariant the rule protects.
+	Doc string
+	// Run inspects one package and reports violations through the pass.
+	Run func(*Pass)
+}
+
+// All returns the five project analyzers in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, CtxFirst, NoGoroutine, ErrCheck, PrintBound}
+}
+
+// ByName resolves a comma-separated rule list ("determinism,errcheck").
+// An unknown name is an error listing the known rules.
+func ByName(list string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, 0, len(All()))
+			for _, a := range All() {
+				known = append(known, a.Name)
+			}
+			return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", name, strings.Join(known, ", "))
+		}
+	}
+	return out, nil
+}
+
+// Diagnostic is one reported violation, positioned to the character.
+type Diagnostic struct {
+	// Position locates the violation (filename, line, column).
+	Position token.Position
+	// Rule is the analyzer name that produced the diagnostic.
+	Rule string
+	// Message states the violation and the repair direction.
+	Message string
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Position.Filename, d.Position.Line, d.Position.Column, d.Rule, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Fset resolves token positions for every file of the package.
+	Fset *token.FileSet
+	// Path is the package import path the rules match against (fixture
+	// packages are loaded under a caller-chosen path).
+	Path string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker fact tables for the package files.
+	Info *types.Info
+	// Files are the parsed source files, comments included.
+	Files []*ast.File
+	// Cfg is the project configuration (which packages are
+	// deterministic, where goroutines may live, ...).
+	Cfg *Config
+
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos under the running rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Rule:     p.rule,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics sorted by position. Suppression directives
+// (//nwlint:ignore rule reason) are honored here; malformed directives
+// are reported under the pseudo-rule "ignore".
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Path:  pkg.Path,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			Files: pkg.Files,
+			Cfg:   cfg,
+			diags: &diags,
+		}
+		for _, a := range analyzers {
+			pass.rule = a.Name
+			a.Run(pass)
+		}
+		diags = suppress(pkg, diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// directive is one parsed //nwlint:ignore comment.
+type directive struct {
+	file string
+	line int
+	rule string
+}
+
+const ignorePrefix = "//nwlint:ignore"
+
+// suppress drops diagnostics covered by a well-formed ignore directive on
+// the same line or the line above, and reports malformed directives under
+// the pseudo-rule "ignore".
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var dirs []directive
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Position: pos,
+						Rule:     "ignore",
+						Message:  fmt.Sprintf("malformed directive %q: want //nwlint:ignore <rule> <reason>", c.Text),
+					})
+					continue
+				}
+				dirs = append(dirs, directive{file: pos.Filename, line: pos.Line, rule: fields[0]})
+			}
+		}
+	}
+	if len(dirs) > 0 {
+		kept := diags[:0]
+		for _, d := range diags {
+			suppressed := false
+			for _, dir := range dirs {
+				if d.Rule == dir.rule && d.Position.Filename == dir.file &&
+					(d.Position.Line == dir.line || d.Position.Line == dir.line+1) {
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	return append(diags, malformed...)
+}

@@ -1,0 +1,50 @@
+// Package ctxf seeds deliberate violations of the ctxfirst rule.
+package ctxf
+
+import "context"
+
+// Bad takes its context second.
+func Bad(name string, ctx context.Context) error { // want `ctxfirst: context.Context must be the first parameter`
+	_ = name
+	return ctx.Err()
+}
+
+// Good takes its context first.
+func Good(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// SweepWorkers is a parallel entry point without a context.
+func SweepWorkers(cfg, workers int) error { // want `ctxfirst: long-running entry point SweepWorkers must accept a context.Context`
+	_ = cfg + workers
+	return nil
+}
+
+// FanOut has a worker-pool parameter without a context.
+func FanOut(n int, workers int) error { // want `ctxfirst: long-running entry point FanOut must accept a context.Context`
+	_ = n + workers
+	return nil
+}
+
+// Runner mirrors the experiments driver shape.
+type Runner struct{}
+
+// Run is a registry driver without a context.
+func (r Runner) Run(name string) error { // want `ctxfirst: long-running entry point Run must accept a context.Context`
+	_ = name
+	return nil
+}
+
+// RunAll is a cancellable driver, which is fine.
+func (r Runner) RunAll(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// fan is unexported, so the entry-point requirement does not apply.
+func fan(workers int) error {
+	_ = workers
+	return nil
+}
+
+var _ = fan

@@ -1,0 +1,52 @@
+// Package errs seeds deliberate violations of the errcheck rule.
+package errs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Bare discards the error of a statement-position call.
+func Bare(name string) {
+	os.Remove(name) // want `errcheck: error result of call to os.Remove is discarded`
+}
+
+// Blank discards the error through the blank identifier.
+func Blank(f *os.File) {
+	_ = f.Close() // want `errcheck: error result of f.Close is assigned to _`
+}
+
+// BlankTuple discards the error position of a tuple result.
+func BlankTuple(f *os.File, b []byte) int {
+	n, _ := f.Write(b) // want `errcheck: error result of f.Write is assigned to _`
+	return n
+}
+
+// Deferred discards the error of a deferred call.
+func Deferred(f *os.File) {
+	defer f.Close() // want `errcheck: error result of deferred call to f.Close is discarded`
+}
+
+// Wrap formats an error cause without wrapping it.
+func Wrap(err error) error {
+	return fmt.Errorf("load: %v", err) // want `errcheck: fmt.Errorf formats an error cause without %w`
+}
+
+// WrapOK wraps its cause, which is fine.
+func WrapOK(err error) error {
+	return fmt.Errorf("load: %w", err)
+}
+
+// Builder writes to in-memory sinks, which never fail.
+func Builder() string {
+	var sb strings.Builder
+	sb.WriteString("ok")
+	fmt.Fprintf(&sb, "%d", 1)
+	return sb.String()
+}
+
+// Console writes to stderr, where the error has no recovery.
+func Console() {
+	fmt.Fprintln(os.Stderr, "ok")
+}

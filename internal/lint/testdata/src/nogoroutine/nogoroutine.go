@@ -1,0 +1,16 @@
+// Package nogo seeds deliberate violations of the nogoroutine rule.
+package nogo
+
+import "sync"
+
+// Fan spawns raw goroutines outside internal/par.
+func Fan(n int) {
+	var wg sync.WaitGroup // want `nogoroutine: sync.WaitGroup is contained in internal/par`
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `nogoroutine: goroutine creation is contained in internal/par`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

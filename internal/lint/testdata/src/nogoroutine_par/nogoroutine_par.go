@@ -1,0 +1,17 @@
+// Package par mirrors the nogoroutine fixture, but is loaded under the
+// internal/par path where goroutine creation is the whole point.
+package par
+
+import "sync"
+
+// Fan spawns goroutines inside the one package allowed to.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

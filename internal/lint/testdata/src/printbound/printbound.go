@@ -1,0 +1,27 @@
+// Package pb seeds deliberate violations of the printbound rule.
+package pb
+
+import (
+	"fmt"
+	"os"
+)
+
+// Announce prints from a library package.
+func Announce(msg string) {
+	fmt.Println(msg) // want `printbound: fmt.Println writes to stdout from a library package`
+}
+
+// Direct writes to os.Stdout from a library package.
+func Direct(msg string) {
+	fmt.Fprintf(os.Stdout, "%s\n", msg) // want `printbound: os.Stdout referenced from a library package`
+}
+
+// Debug uses the print builtin.
+func Debug(msg string) {
+	println(msg) // want `printbound: builtin println writes to stderr from a library package`
+}
+
+// Render returns data instead, which is fine.
+func Render(msg string) string {
+	return fmt.Sprintf("%s\n", msg)
+}

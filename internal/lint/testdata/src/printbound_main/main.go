@@ -1,0 +1,13 @@
+// Command fixture mirrors the printbound fixture from a main package,
+// where printing is the job.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stdout, "%s\n", "ok")
+}

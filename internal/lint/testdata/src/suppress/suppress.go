@@ -1,0 +1,25 @@
+// Package sup exercises the //nwlint:ignore suppression mechanics: a
+// well-formed directive (rule + reason) silences the diagnostic on its
+// own line or the line below; a directive without a reason is itself
+// reported and suppresses nothing.
+package sup
+
+import "time"
+
+// Stamp carries a justified suppression: no diagnostic survives.
+func Stamp() int64 {
+	//nwlint:ignore determinism fixture pins the suppression mechanics
+	return time.Now().Unix()
+}
+
+// Inline carries the directive on the offending line itself.
+func Inline() int64 {
+	return time.Now().Unix() //nwlint:ignore determinism fixture pins same-line suppression
+}
+
+// Unjustified omits the reason, so the directive is malformed and the
+// diagnostic survives.
+func Unjustified() int64 {
+	//nwlint:ignore determinism
+	return time.Now().Unix()
+}

@@ -90,9 +90,9 @@ type Row struct {
 }
 
 // Run evaluates every structurally valid grid point on the base platform.
-// It runs on the default worker pool.
-func Run(base core.Config, grid Grid) ([]Row, error) {
-	return RunWorkers(context.Background(), base, grid, 0)
+// It runs on the default worker pool; cancelling ctx aborts the sweep.
+func Run(ctx context.Context, base core.Config, grid Grid) ([]Row, error) {
+	return RunWorkers(ctx, base, grid, 0)
 }
 
 // RunWorkers is Run with a cancellation context and an explicit worker

@@ -24,7 +24,7 @@ func TestDefaultGridSize(t *testing.T) {
 }
 
 func TestRunDefaultGrid(t *testing.T) {
-	rows, err := Run(core.Config{}, Grid{})
+	rows, err := Run(context.Background(), core.Config{}, Grid{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestRunDefaultGrid(t *testing.T) {
 }
 
 func TestRunSkipsInvalidLengths(t *testing.T) {
-	rows, err := Run(core.Config{}, Grid{
+	rows, err := Run(context.Background(), core.Config{}, Grid{
 		Types:   []code.Type{code.TypeGray, code.TypeHot},
 		Lengths: []int{5, 6},
 	})
@@ -62,7 +62,7 @@ func TestRunSkipsInvalidLengths(t *testing.T) {
 }
 
 func TestRunAllInvalidErrors(t *testing.T) {
-	_, err := Run(core.Config{}, Grid{
+	_, err := Run(context.Background(), core.Config{}, Grid{
 		Types:   []code.Type{code.TypeGray},
 		Lengths: []int{3},
 	})
@@ -72,7 +72,7 @@ func TestRunAllInvalidErrors(t *testing.T) {
 }
 
 func TestRunMultiAxis(t *testing.T) {
-	rows, err := Run(core.Config{}, Grid{
+	rows, err := Run(context.Background(), core.Config{}, Grid{
 		Types:         []code.Type{code.TypeBalancedGray},
 		Lengths:       []int{10},
 		SigmaTs:       []float64{0.03, 0.05, 0.08},
@@ -98,7 +98,7 @@ func TestRunMultiAxis(t *testing.T) {
 }
 
 func TestWriteCSV(t *testing.T) {
-	rows, err := Run(core.Config{}, Grid{
+	rows, err := Run(context.Background(), core.Config{}, Grid{
 		Types:   []code.Type{code.TypeGray},
 		Lengths: []int{8, 10},
 	})

@@ -7,9 +7,15 @@
 #   1. gofmt -l        — the tree must be canonically formatted
 #   2. go build ./...  — everything compiles
 #   3. go vet ./...    — static checks
-#   4. go test -race ./...  — full suite under the race detector; this is
-#      what keeps internal/par and the shared generator cache race-clean and
-#      exercises the serial-vs-parallel determinism tests
+#   4. go run ./cmd/nwlint ./...  — the project-invariant analyzer; the
+#      tree must be free of determinism, ctxfirst, nogoroutine, errcheck
+#      and printbound diagnostics
+#   5. go test -race -count=1 ./...  — full suite under the race detector,
+#      cache disabled; this is what keeps internal/par and the shared
+#      generator cache race-clean and exercises the serial-vs-parallel
+#      determinism tests
+#   6. fuzz smoke — 10s of real fuzzing per internal/code generator
+#      harness (the fuzz engine accepts one target per invocation)
 #
 # Exits non-zero on the first failure.
 set -eu
@@ -30,7 +36,16 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
+echo "== nwlint =="
+go run ./cmd/nwlint ./...
+
 echo "== go test -race =="
-go test -race ./...
+go test -race -count=1 ./...
+
+echo "== fuzz smoke =="
+for target in FuzzGrayAdjacency FuzzBalancedGraySequence FuzzTreeRoundTrip; do
+	echo "-- $target"
+	go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s ./internal/code
+done
 
 echo "ci: all checks passed"
