@@ -169,6 +169,103 @@ func TestCLISmoke(t *testing.T) {
 	})
 }
 
+// TestCLIObservability drives the -metrics/-metrics-out/-pprof surface:
+// the snapshot renders as a dataset with a schema identical across worker
+// counts, experiment stdout stays byte-identical with metrics on or off,
+// profiles land in the requested directory, and a bad metrics format is a
+// usage error.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "nwsim")
+
+	base := []string{"-exp", "montecarlo", "-trials", "4", "-seed", "1"}
+	baseOut, _ := run(t, bin, base...)
+
+	metricNames := func(doc map[string]any) map[string]bool {
+		rows, _ := doc["rows"].([]any)
+		names := make(map[string]bool, len(rows))
+		for _, r := range rows {
+			cells, _ := r.([]any)
+			if len(cells) > 0 {
+				if name, ok := cells[0].(string); ok {
+					names[name] = true
+				}
+			}
+		}
+		return names
+	}
+
+	var schemas []string
+	for _, w := range []string{"1", "8"} {
+		mfile := filepath.Join(dir, "metrics-"+w+".json")
+		args := append([]string{"-workers", w, "-metrics", "json", "-metrics-out", mfile}, base...)
+		out, _ := run(t, bin, args...)
+		if out != baseOut {
+			t.Errorf("workers=%s: stdout changed when -metrics is on", w)
+		}
+		data, err := os.ReadFile(mfile)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", w, err)
+		}
+		doc := parseJSONDataset(t, string(data))
+		if doc["name"] != "metrics" {
+			t.Errorf("workers=%s: dataset name = %v, want metrics", w, doc["name"])
+		}
+		cols, err := json.Marshal(doc["columns"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemas = append(schemas, string(cols))
+		names := metricNames(doc)
+		for _, want := range []string{
+			"par/tasks", "par/worker/00/tasks", "par/task_ns",
+			"experiments/runs", "experiments/montecarlo/runs",
+			"span/experiment/montecarlo",
+			"montecarlo/trials", "montecarlo/rng_substreams",
+		} {
+			if !names[want] {
+				t.Errorf("workers=%s: metric %q missing from snapshot", w, want)
+			}
+		}
+	}
+	if schemas[0] != schemas[1] {
+		t.Errorf("snapshot schema differs across worker counts:\n%s\n%s", schemas[0], schemas[1])
+	}
+
+	// Without -metrics-out the snapshot goes to stderr, keeping stdout a
+	// clean data stream.
+	out, stderr := run(t, bin, "-exp", "montecarlo", "-trials", "4", "-seed", "1", "-metrics", "json")
+	if out != baseOut {
+		t.Error("stdout changed when metrics render to stderr")
+	}
+	doc := parseJSONDataset(t, stderr)
+	if doc["name"] != "metrics" {
+		t.Errorf("stderr dataset name = %v, want metrics", doc["name"])
+	}
+
+	// -pprof captures CPU/heap profiles and an execution trace.
+	pdir := filepath.Join(dir, "prof")
+	run(t, bin, "-exp", "fig5", "-pprof", pdir)
+	for _, name := range []string{"cpu.pprof", "heap.pprof", "trace.out"} {
+		fi, err := os.Stat(filepath.Join(pdir, name))
+		if err != nil {
+			t.Errorf("-pprof artifact: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("-pprof artifact %s is empty", name)
+		}
+	}
+
+	// An unknown metrics format is a usage error.
+	if code, _ := runFail(t, bin, "-exp", "fig5", "-metrics", "yaml"); code != 2 {
+		t.Errorf("bad -metrics format: exit %d, want 2", code)
+	}
+}
+
 // TestCLIStructuredOutput drives the shared -format/-timeout surface of
 // every binary: JSON parses as a dataset document, CSV carries the schema
 // header, Markdown renders a pipe table, a bad format is a usage error

@@ -7,6 +7,7 @@
 //
 //	nwcodes [-type tc|gc|bgc|hc|ahc] [-base n] [-length M] [-count N]
 //	        [-format text|json|csv|md] [-timeout D]
+//	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
 // The structured formats carry one row per word (index, word, digit changes
 // from the previous word); text keeps the annotated listing.
@@ -31,6 +32,11 @@ func main() {
 	)
 	c := cli.Register("nwcodes", "text")
 	flag.Parse()
+	// The generators are synchronous, so the context itself is unused, but
+	// Context/Close bracket the run to activate -metrics and -pprof.
+	_, cancel := c.Context()
+	defer cancel()
+	defer c.Close()
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {

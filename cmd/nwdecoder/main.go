@@ -9,6 +9,7 @@
 //	          [-wires N] [-rawbits D] [-sigma V] [-margin F]
 //	          [-optimize area|yield|phi] [-flow] [-matrices]
 //	          [-format text|json|csv|md] [-timeout D]
+//	          [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
 // -format selects the rendering of the design summary (text is the full
 // report; the structured forms carry the one-row analysis table).
@@ -46,10 +47,11 @@ func main() {
 	flag.Parse()
 	ctx, cancel := c.Context()
 	defer cancel()
+	defer c.Close()
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	cfg := core.Config{CodeType: tp, Base: *base, CodeLength: *length,
 		SigmaT: *sigma, MarginFactor: *margin}
@@ -67,13 +69,13 @@ func main() {
 	if *optimize != "" {
 		obj, err := parseObjective(*optimize)
 		if err != nil {
-			fail(err)
+			c.Fail(err)
 		}
 		design, err = core.Optimize(ctx, cfg,
 			[]code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray, code.TypeHot, code.TypeArrangedHot},
 			[]int{4, 6, 8, 10, 12}, obj)
 		if err != nil {
-			fail(err)
+			c.Fail(err)
 		}
 		if c.Format() == dataset.FormatText {
 			fmt.Printf("optimum over all families and lengths (objective %s):\n\n", *optimize)
@@ -81,7 +83,7 @@ func main() {
 	} else {
 		design, err = core.NewDesign(cfg)
 		if err != nil {
-			fail(err)
+			c.Fail(err)
 		}
 	}
 	if *export != "" {
@@ -89,18 +91,18 @@ func main() {
 		switch *export {
 		case "json":
 			if err := design.Plan.WriteJSON(os.Stdout); err != nil {
-				fail(err)
+				c.Fail(err)
 			}
 		case "csv":
 			if err := design.Plan.WriteCSV(os.Stdout); err != nil {
-				fail(err)
+				c.Fail(err)
 			}
 		case "svg":
 			fmt.Print(viz.DecoderSVG(design.Plan, design.Config.Spec.Params, design.Layout.Contact))
 		case "masks-svg":
 			fmt.Print(viz.MaskSVG(design.Plan, design.Config.Spec.Params))
 		default:
-			fail(fmt.Errorf("unknown export format %q (want json, csv, svg or masks-svg)", *export))
+			c.Fail(fmt.Errorf("unknown export format %q (want json, csv, svg or masks-svg)", *export))
 		}
 		return
 	}
@@ -165,9 +167,4 @@ func printMatrix(m [][]int64) {
 		}
 		fmt.Println()
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "nwdecoder:", err)
-	os.Exit(1)
 }

@@ -9,6 +9,7 @@
 //	nwmem [-code tc|gc|bgc|hc|ahc] [-length M] [-seed S]
 //	      [-data "text to store"] [-faults N] [-dumpmap]
 //	      [-format text|json|csv|md] [-timeout D]
+//	      [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
 // Text output prints the recovered payload on stdout (the controller log
 // goes to stderr); the structured formats emit a one-row session summary
@@ -41,19 +42,20 @@ func main() {
 	flag.Parse()
 	ctx, cancel := c.Context()
 	defer cancel()
+	defer c.Close()
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	design, err := core.NewDesign(core.Config{CodeType: tp, CodeLength: *length})
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	rng := stats.NewRNG(*seed)
 	mem, err := design.FabricateWorkers(ctx, rng, c.Workers)
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	rows, cols := mem.Size()
 	fmt.Fprintf(os.Stderr, "fabricated %dx%d crossbar (%s, M=%d), usable %.1f%%\n",
@@ -63,13 +65,13 @@ func main() {
 	marchFaults := crossbar.MarchCMinus(mem)
 	dm, err := crossbar.DefectMapFromFaults(marchFaults, rows, cols)
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "March C-: %d faulty crosspoints -> %d bad rows, %d bad columns\n",
 		len(marchFaults), len(dm.BadRows), len(dm.BadCols))
 	if *dumpMap {
 		if err := dm.Write(os.Stdout); err != nil {
-			fail(err)
+			c.Fail(err)
 		}
 		return
 	}
@@ -81,20 +83,20 @@ func main() {
 
 	payload := []byte(*data)
 	if len(payload) > ecc.CapacityBytes() {
-		fail(fmt.Errorf("payload of %d bytes exceeds ECC capacity %d", len(payload), ecc.CapacityBytes()))
+		c.Fail(fmt.Errorf("payload of %d bytes exceeds ECC capacity %d", len(payload), ecc.CapacityBytes()))
 	}
 	if err := ecc.StoreBytes(0, payload); err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	for i := 0; i < *faults; i++ {
 		bit := rng.Intn(14 * len(payload))
 		if err := ecc.FlipRawBit(bit); err != nil {
-			fail(err)
+			c.Fail(err)
 		}
 	}
 	back, err := ecc.LoadBytes(0, len(payload))
 	if err != nil {
-		fail(err)
+		c.Fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "injected %d soft faults, ECC corrected %d\n", *faults, ecc.Corrected())
 	if c.Format() != dataset.FormatText {
@@ -104,7 +106,7 @@ func main() {
 		fmt.Printf("%s\n", back)
 	}
 	if string(back) != string(payload) {
-		fail(fmt.Errorf("payload corrupted after readback"))
+		c.Fail(fmt.Errorf("payload corrupted after readback"))
 	}
 }
 
@@ -141,9 +143,4 @@ func sessionDataset(design *core.Design, seed uint64, mem *crossbar.Memory,
 	ds.Meta.Seed = seed
 	ds.Meta.ConfigHash = design.Config.Fingerprint()
 	return ds
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "nwmem:", err)
-	os.Exit(1)
 }

@@ -7,11 +7,15 @@
 //	nwsim [-exp fig5|fig6|fig7|fig8|headline|montecarlo|all]
 //	      [-wires N] [-rawbits D] [-sigma V] [-margin F] [-trials T] [-seed S]
 //	      [-workers W] [-format text|json|csv|md] [-timeout D]
+//	      [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
 // Parallelized experiments run on W workers (0 = GOMAXPROCS); their output
 // is bit-identical at every worker count. -format selects the rendering of
 // the experiment dataset; -timeout cancels the run's context after the
-// given duration.
+// given duration. -metrics renders an observability snapshot (worker task
+// counts, per-experiment span times, trial counters) on exit — to stderr
+// or the -metrics-out file, so stdout stays byte-identical — and -pprof
+// captures CPU/heap profiles plus an execution trace into a directory.
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 	flag.Parse()
 	ctx, cancel := c.Context()
 	defer cancel()
+	defer c.Close()
 
 	r := experiments.NewRunner()
 	r.MCTrials = *trials

@@ -6,7 +6,8 @@
 //
 //	nwsweep [-types tc,gc,bgc,hc,ahc] [-lengths 4,6,8,10]
 //	        [-sigmas 0.05] [-margins 1.0] [-wires 20] [-workers W]
-//	        [-format csv|json|md|text] [-timeout D] > sweep.csv
+//	        [-format csv|json|md|text] [-timeout D]
+//	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR] > sweep.csv
 //
 // The grid is evaluated on W workers (0 = GOMAXPROCS); the output is
 // bit-identical at every worker count. The design-point count goes to
@@ -36,6 +37,7 @@ func main() {
 	flag.Parse()
 	ctx, cancel := c.Context()
 	defer cancel()
+	defer c.Close()
 
 	grid := sweep.Grid{}
 	var err error

@@ -1,11 +1,19 @@
 // Package cli unifies the shared surface of the nwdec command-line tools:
-// the -format, -timeout and -workers flags, context construction, list-flag
-// parsing, structured-output emission and the exit-code convention.
+// the -format, -timeout, -workers, -metrics and -pprof flags, context
+// construction, list-flag parsing, structured-output emission and the
+// exit-code convention.
 //
 // Exit codes: 0 on success, 1 on a runtime failure (ExitError), 2 on a
 // usage error (ExitUsage — also what the flag package uses for unknown
 // flags). Errors always go to stderr, prefixed with the command name, so
 // stdout stays clean for piping.
+//
+// The cli package is also the observability boundary: it is where the
+// real monotonic clock is injected into the obs layer (the deterministic
+// packages never read wall time themselves) and where the metrics
+// snapshot is rendered — to stderr or the -metrics-out file, never
+// stdout, so experiment output stays byte-identical with metrics on or
+// off.
 package cli
 
 import (
@@ -20,6 +28,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/dataset"
+	"nwdec/internal/obs"
 )
 
 // Exit codes shared by every command.
@@ -43,16 +52,33 @@ type Common struct {
 	Timeout time.Duration
 	// Workers is the -workers value (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// MetricsFormat is the -metrics value: the dataset format the
+	// observability snapshot is rendered in on Close ("" = disabled).
+	MetricsFormat string
+	// MetricsPath is the -metrics-out value: the file the snapshot is
+	// written to ("" = stderr).
+	MetricsPath string
+	// PprofDir is the -pprof value: the directory receiving cpu.pprof,
+	// heap.pprof and trace.out ("" = disabled).
+	PprofDir string
+
+	reg    *obs.Registry
+	prof   *obs.Profile
+	closed bool
 }
 
-// Register installs the shared -format, -timeout and -workers flags on the
-// default flag set. defaultFormat is the command's native output form
-// ("text" for the simulators, "csv" for the sweeper).
+// Register installs the shared -format, -timeout, -workers, -metrics,
+// -metrics-out and -pprof flags on the default flag set. defaultFormat is
+// the command's native output form ("text" for the simulators, "csv" for
+// the sweeper).
 func Register(name, defaultFormat string) *Common {
 	c := &Common{Name: name}
 	flag.StringVar(&c.FormatName, "format", defaultFormat, "output format: "+dataset.Formats())
 	flag.DurationVar(&c.Timeout, "timeout", 0, "abort the run after this duration, e.g. 30s (0 = no timeout)")
 	flag.IntVar(&c.Workers, "workers", 0, "worker pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&c.MetricsFormat, "metrics", "", "emit an observability metrics snapshot on exit in this format ("+dataset.Formats()+"; empty = off)")
+	flag.StringVar(&c.MetricsPath, "metrics-out", "", "write the metrics snapshot to this file instead of stderr")
+	flag.StringVar(&c.PprofDir, "pprof", "", "capture cpu.pprof, heap.pprof and trace.out into this directory")
 	return c
 }
 
@@ -65,24 +91,111 @@ func (c *Common) Format() dataset.Format {
 	return f
 }
 
-// Context returns the command's root context, honoring -timeout. The
-// caller must defer cancel.
-func (c *Common) Context() (context.Context, context.CancelFunc) {
-	if c.Timeout > 0 {
-		return context.WithTimeout(context.Background(), c.Timeout)
-	}
-	return context.WithCancel(context.Background())
+// monotonicClock is the real clock of the obs layer, measured from
+// process start. It lives here — at the command boundary — so the
+// deterministic packages themselves never read wall time (the nwlint
+// determinism rule enforces this).
+type monotonicClock struct {
+	base time.Time
 }
 
-// Fail reports a runtime error to stderr and exits with ExitError.
+// Now returns the monotonic time elapsed since the clock was created.
+func (m monotonicClock) Now() time.Duration { return time.Since(m.base) }
+
+// Context returns the command's root context, honoring -timeout, and
+// activates the observability surface: with -metrics set it installs an
+// obs.Registry (driven by the real monotonic clock) into the context, and
+// with -pprof set it starts CPU/trace capture. The caller must defer
+// cancel and defer Close.
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if c.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), c.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	if c.MetricsFormat != "" {
+		// Validate the format up front so a typo fails before the run,
+		// not after it.
+		if _, err := dataset.ParseFormat(c.MetricsFormat); err != nil {
+			c.Usage(err)
+		}
+		c.reg = obs.New(monotonicClock{base: time.Now()})
+		ctx = obs.Into(ctx, c.reg)
+	}
+	if c.PprofDir != "" {
+		p, err := obs.StartProfile(c.PprofDir)
+		if err != nil {
+			c.Fail(err)
+		}
+		c.prof = p
+	}
+	return ctx, cancel
+}
+
+// Registry returns the command's metrics registry (nil unless -metrics
+// was set and Context has run).
+func (c *Common) Registry() *obs.Registry { return c.reg }
+
+// Close finalizes the observability surface: it stops any pprof/trace
+// capture and renders the metrics snapshot — through the dataset
+// renderers, to stderr or the -metrics-out file, never stdout. It is
+// idempotent and safe to call with observability disabled; commands defer
+// it right after cancel, and Fail invokes it so profiles survive error
+// exits.
+func (c *Common) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.prof != nil {
+		if err := c.prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+		}
+		c.prof = nil
+	}
+	if c.reg == nil {
+		return
+	}
+	f, err := dataset.ParseFormat(c.MetricsFormat)
+	if err != nil {
+		// Context validated the format already; fall back defensively.
+		f = dataset.FormatText
+	}
+	var w io.Writer = os.Stderr
+	if c.MetricsPath != "" {
+		file, err := os.Create(c.MetricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+			return
+		}
+		defer func() {
+			if err := file.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+			}
+		}()
+		w = file
+	}
+	if err := c.reg.Snapshot().Render(w, f); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: rendering metrics: %v\n", c.Name, err)
+	}
+}
+
+// Fail reports a runtime error to stderr and exits with ExitError. Any
+// active profile capture and metrics snapshot are finalized first.
 func (c *Common) Fail(err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+	c.Close()
 	os.Exit(ExitError)
 }
 
 // Usage reports a usage error to stderr and exits with ExitUsage.
 func (c *Common) Usage(err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+	c.Close()
 	os.Exit(ExitUsage)
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nwdec/internal/crossbar"
+	"nwdec/internal/obs"
 	"nwdec/internal/par"
 	"nwdec/internal/stats"
 )
@@ -57,6 +58,10 @@ func (d *Design) MonteCarloYieldWorkers(ctx context.Context, trials int, seed ui
 	if trials <= 0 {
 		return 0, fmt.Errorf("core: non-positive trial count %d", trials)
 	}
+	reg := obs.From(ctx)
+	span := reg.StartSpan("core/montecarlo_yield")
+	defer span.End()
+	reg.Counter("core/montecarlo_yield/trials").Add(int64(trials))
 	streams := stats.NewRNG(seed).Streams(trials)
 	fracs, err := par.MapN(ctx, workers, trials,
 		func(_ context.Context, t int) (float64, error) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"nwdec/internal/code"
+	"nwdec/internal/obs"
 	"nwdec/internal/par"
 )
 
@@ -43,6 +44,10 @@ func SweepWorkers(ctx context.Context, base Config, types []code.Type, lengths [
 			units = append(units, unit{tp: tp, m: m})
 		}
 	}
+	reg := obs.From(ctx)
+	span := reg.StartSpan("core/sweep")
+	defer span.End()
+	reg.Counter("core/sweep/points").Add(int64(len(units)))
 	points, err := par.Map(ctx, workers, units,
 		func(_ context.Context, _ int, u unit) (SweepPoint, error) {
 			cfg := base

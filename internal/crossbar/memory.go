@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nwdec/internal/geometry"
+	"nwdec/internal/obs"
 	"nwdec/internal/par"
 	"nwdec/internal/stats"
 )
@@ -87,6 +88,12 @@ func BuildLayerWorkers(ctx context.Context, d *Decoder, contact geometry.Contact
 		}
 	}
 	caves := (wires + n - 1) / n
+	// Fabrication volume accounting: counts are pure functions of the
+	// layer geometry, so they are identical at every worker count.
+	reg := obs.From(ctx)
+	reg.Counter("crossbar/layers").Add(1)
+	reg.Counter("crossbar/caves").Add(int64(caves))
+	reg.Counter("crossbar/wires").Add(int64(wires))
 	caveRNGs := make([]*stats.RNG, caves)
 	for c := range caveRNGs {
 		caveRNGs[c] = rng.Fork()

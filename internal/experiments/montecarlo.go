@@ -8,6 +8,7 @@ import (
 	"nwdec/internal/core"
 	"nwdec/internal/crossbar"
 	"nwdec/internal/dataset"
+	"nwdec/internal/obs"
 	"nwdec/internal/par"
 	"nwdec/internal/stats"
 	"nwdec/internal/textplot"
@@ -82,6 +83,13 @@ func MonteCarloWorkers(ctx context.Context, cfg core.Config, trials int, seed ui
 	// One substream per (design point, trial) unit; units never share RNG
 	// state, so execution order cannot influence the samples.
 	streams := stats.NewRNG(seed).Streams(len(mcDesignPoints) * trials)
+	// Trial and substream accounting: the counts are pure functions of the
+	// experiment parameters, so the snapshot stays identical at every
+	// worker count. Substream u drives (design point u/trials, trial
+	// u%trials).
+	reg := obs.From(ctx)
+	reg.Counter("montecarlo/trials").Add(int64(len(mcDesignPoints) * trials))
+	reg.Gauge("montecarlo/rng_substreams").Set(float64(len(streams)))
 	fracs, err := par.MapN(ctx, workers, len(mcDesignPoints)*trials,
 		func(uctx context.Context, u int) (float64, error) {
 			b := bundles[u/trials]

@@ -8,6 +8,7 @@ import (
 
 	"nwdec/internal/core"
 	"nwdec/internal/dataset"
+	"nwdec/internal/obs"
 )
 
 // Zero-value Runner defaults. A zero Runner is ready to use: Run applies
@@ -242,7 +243,16 @@ func (r *Runner) Run(ctx context.Context, name string) (*dataset.Dataset, error)
 		if spec.name != key {
 			continue
 		}
+		// Observability: count the run and span its wall time. The metrics
+		// live beside the pipeline (stderr/file at the command boundary),
+		// never inside it, so the dataset below stays byte-identical
+		// whether or not a registry is installed.
+		reg := obs.From(ctx)
+		reg.Counter("experiments/runs").Add(1)
+		reg.Counter("experiments/" + spec.name + "/runs").Add(1)
+		span := reg.StartSpan("experiment/" + spec.name)
 		ds, err := spec.run(ctx, eff)
+		span.End()
 		if err != nil {
 			return nil, err
 		}

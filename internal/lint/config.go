@@ -39,6 +39,7 @@ func DefaultConfig(module string) *Config {
 			"internal/experiments",
 			"internal/geometry",
 			"internal/mspt",
+			"internal/obs",
 			"internal/physics",
 			"internal/readout",
 			"internal/stats",

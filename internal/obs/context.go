@@ -1,0 +1,21 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key type of the package.
+type ctxKey struct{}
+
+// Into returns a context carrying the registry. The instrumented layers
+// (par, experiments, core, sweep, crossbar) recover it with From, so one
+// Into at the command boundary threads observability through the whole
+// pipeline without touching any signature.
+func Into(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// From returns the context's registry, or nil when none was installed —
+// the disabled state, in which every obs operation is a free no-op.
+func From(ctx context.Context) *Registry {
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

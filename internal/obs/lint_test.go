@@ -1,0 +1,32 @@
+package obs_test
+
+import (
+	"testing"
+
+	"nwdec/internal/lint"
+)
+
+// TestObsLintClean runs the full nwlint analyzer suite over this package:
+// the observability layer carries the determinism invariant (it is listed
+// in DeterministicPkgs), so it must never read the wall clock, draw from
+// global math/rand, create goroutines or print — the clock is injected at
+// the command boundary and rendering happens through the dataset layer.
+func TestObsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the package from source")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lint.DefaultConfig(loader.Module).Deterministic(loader.Module + "/internal/obs") {
+		t.Error("internal/obs is not registered as a deterministic package")
+	}
+	pkg, err := loader.Load(loader.Module + "/internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.All(), lint.DefaultConfig(loader.Module)) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,325 @@
+// Package obs is the stdlib-only observability layer of the pipeline:
+// typed counters, gauges and histograms plus lightweight spans and opt-in
+// pprof/trace capture, designed so instrumentation can live inside the
+// deterministic packages without ever touching their output.
+//
+// Three rules keep the layer compatible with the repository's determinism
+// invariant (see DESIGN §9):
+//
+//   - Metrics never feed experiment output. A Registry travels in the
+//     context (Into/From) and is rendered at the command boundary — to
+//     stderr or a file, never stdout — so golden datasets stay
+//     byte-identical whether or not instrumentation is enabled.
+//   - Time is injected. The package never reads the wall clock itself; a
+//     Clock implementation is supplied by the caller (the real monotonic
+//     clock lives behind the command boundary in internal/cli, the tests
+//     use ManualClock). With a nil Clock, spans still count invocations
+//     but record zero durations, which keeps snapshots fully
+//     deterministic.
+//   - Disabled means free. Every API is nil-safe: a nil *Registry (the
+//     default when no -metrics flag is set) makes every counter update,
+//     span and snapshot a no-op with zero allocations, so the
+//     instrumented hot paths cost nothing when observability is off.
+//
+// All metric state is atomic and race-clean; Snapshot renders the current
+// values as a dataset with sorted keys, so two snapshots of the same
+// (deterministic) run are byte-identical.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies monotonic time for spans and timing metrics. Readings are
+// durations since an arbitrary fixed epoch (process start for the real
+// clock); only differences are meaningful. Implementations must be safe
+// for concurrent use.
+type Clock interface {
+	Now() time.Duration
+}
+
+// ManualClock is a deterministic test clock: every Now() returns the
+// current reading and then advances it by a fixed step. It is safe for
+// concurrent use.
+type ManualClock struct {
+	step time.Duration
+	now  atomic.Int64
+}
+
+// NewManualClock returns a clock that starts at zero and advances by step
+// on every reading.
+func NewManualClock(step time.Duration) *ManualClock {
+	return &ManualClock{step: step}
+}
+
+// Now returns the current reading and advances the clock by the step.
+func (m *ManualClock) Now() time.Duration {
+	return time.Duration(m.now.Add(int64(m.step)) - int64(m.step))
+}
+
+// Counter is a monotonically increasing metric (task counts, trial
+// counts, accumulated nanoseconds). All methods are nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric (pool size, grid size). All methods are
+// nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Value returns the last value set (0 for a nil or never-set gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the bucket count of the power-of-two histogram: bucket i
+// counts observations whose value needs i significant bits, so the full
+// int64 range is covered.
+const histBuckets = 64
+
+// Histogram accumulates an observed distribution (span durations,
+// per-task nanoseconds) in power-of-two buckets plus exact count, sum,
+// min and max. All methods are nil-safe and lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value. Negative values clamp to zero (durations
+// from a well-behaved monotonic clock are never negative; the clamp keeps
+// the bucket index total).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// bucketOf returns the power-of-two bucket index of v: the number of
+// significant bits (0 for value 0).
+func bucketOf(v int64) int {
+	i := 0
+	for v > 0 {
+		i++
+		v >>= 1
+	}
+	return i
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the power-of-two
+// buckets: it walks the cumulative counts and returns the upper bound of
+// the bucket holding the target rank, clamped to the exact min/max. The
+// estimate is coarse (factor-of-two resolution) but allocation-free.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n-1))
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			upper := int64(1)<<i - 1 // largest value with i significant bits
+			if i == 0 {
+				upper = 0
+			}
+			if mx := h.Max(); upper > mx {
+				upper = mx
+			}
+			if mn := h.Min(); upper < mn {
+				upper = mn
+			}
+			return upper
+		}
+	}
+	return h.Max()
+}
+
+// Registry holds the named metrics of one run. The zero value is not
+// used; construct with New. A nil *Registry is the disabled state: every
+// lookup returns nil and every update is a no-op.
+type Registry struct {
+	clock Clock
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New creates a registry. clock drives span and timing measurements; a
+// nil clock disables durations (spans still count) and keeps every metric
+// value deterministic.
+func New(clock Clock) *Registry {
+	return &Registry{
+		clock:      clock,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Clock returns the registry's clock (nil for a nil registry or when no
+// clock was injected).
+func (r *Registry) Clock() Clock {
+	if r == nil {
+		return nil
+	}
+	return r.clock
+}
+
+// Counter returns the named counter, creating it on first use. Callers on
+// hot paths should look the counter up once and hold the pointer.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// sortedNames returns the keys of one metric map in sorted order; the
+// caller holds r.mu. The sort erases map-iteration order, which is what
+// makes snapshots deterministic.
+func sortedNames[M any](m map[string]M) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profile is an in-flight pprof/trace capture started by StartProfile.
+// Stop finalizes it; a nil *Profile is a no-op.
+type Profile struct {
+	dir   string
+	cpu   *os.File
+	trace *os.File
+}
+
+// StartProfile begins opt-in profiling into dir (created if absent):
+// cpu.pprof receives a CPU profile, trace.out an execution trace, and
+// Stop adds heap.pprof. The capture is strictly additive — it observes
+// the run without changing what is computed — and is wired to the -pprof
+// flag of every command.
+func StartProfile(dir string) (*Profile, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating profile dir: %w", err)
+	}
+	p := &Profile{dir: dir}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		if cerr := cpu.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+	}
+	p.cpu = cpu
+	tr, err := os.Create(filepath.Join(dir, "trace.out"))
+	if err != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpu.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, fmt.Errorf("obs: creating trace file: %w", err)
+	}
+	if err := trace.Start(tr); err != nil {
+		pprof.StopCPUProfile()
+		err = errors.Join(err, cpu.Close(), tr.Close())
+		return nil, fmt.Errorf("obs: starting trace: %w", err)
+	}
+	p.trace = tr
+	return p, nil
+}
+
+// Stop finalizes the capture: it stops the CPU profile and trace, writes
+// heap.pprof and closes the files. The first error is returned after all
+// finalization has been attempted.
+func (p *Profile) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var errs []error
+	pprof.StopCPUProfile()
+	trace.Stop()
+	if p.cpu != nil {
+		if err := p.cpu.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		p.cpu = nil
+	}
+	if p.trace != nil {
+		if err := p.trace.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		p.trace = nil
+	}
+	heap, err := os.Create(filepath.Join(p.dir, "heap.pprof"))
+	if err != nil {
+		errs = append(errs, err)
+	} else {
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			errs = append(errs, err)
+		}
+		if err := heap.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("obs: stopping profile: %w", errors.Join(errs...))
+	}
+	return nil
+}

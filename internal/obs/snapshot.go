@@ -1,0 +1,61 @@
+package obs
+
+import "nwdec/internal/dataset"
+
+// Histogram snapshot kinds, in render order. The fixed set keeps the
+// snapshot schema identical across runs and worker counts: only row
+// values move, never the shape.
+var histKinds = []string{"count", "sum_ns", "min_ns", "max_ns", "p50_ns", "p99_ns"}
+
+// Snapshot renders the registry's current state as a dataset: one row per
+// counter and gauge, six rows per histogram, all sorted by metric name so
+// the output order is deterministic. A nil registry snapshots to the same
+// (empty) schema. The snapshot is rendered at the command boundary — to
+// stderr or a file, never stdout — so experiment output stays
+// byte-identical with observability on or off.
+func (r *Registry) Snapshot() *dataset.Dataset {
+	ds := dataset.New("metrics", "Observability metrics snapshot",
+		dataset.Col("metric", dataset.String),
+		dataset.Col("kind", dataset.String),
+		dataset.Col("value", dataset.Float),
+	)
+	if r == nil {
+		return ds
+	}
+	r.mu.Lock()
+	counters := sortedNames(r.counters)
+	gauges := sortedNames(r.gauges)
+	histograms := sortedNames(r.histograms)
+	r.mu.Unlock()
+	for _, name := range counters {
+		ds.AddRow(name, "counter", float64(r.Counter(name).Value()))
+	}
+	for _, name := range gauges {
+		ds.AddRow(name, "gauge", r.Gauge(name).Value())
+	}
+	for _, name := range histograms {
+		h := r.Histogram(name)
+		for _, kind := range histKinds {
+			ds.AddRow(name, kind, histValue(h, kind))
+		}
+	}
+	return ds
+}
+
+// histValue extracts one snapshot kind from a histogram.
+func histValue(h *Histogram, kind string) float64 {
+	switch kind {
+	case "count":
+		return float64(h.Count())
+	case "sum_ns":
+		return float64(h.Sum())
+	case "min_ns":
+		return float64(h.Min())
+	case "max_ns":
+		return float64(h.Max())
+	case "p50_ns":
+		return float64(h.Quantile(0.50))
+	default: // p99_ns
+		return float64(h.Quantile(0.99))
+	}
+}

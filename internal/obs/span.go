@@ -1,0 +1,52 @@
+package obs
+
+import "time"
+
+// Span measures one named region of work. Spans nest by path: a child of
+// span "experiment/fig7" named "analyze" records under
+// "span/experiment/fig7/analyze", so the snapshot reads as a call tree.
+// A nil *Span (from a nil registry) is a no-op.
+type Span struct {
+	reg      *Registry
+	path     string
+	start    time.Duration
+	hasClock bool
+}
+
+// StartSpan opens a span. With a clock injected the span measures
+// elapsed monotonic time; without one it still counts invocations and
+// records zero durations, keeping the snapshot deterministic.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{reg: r, path: name}
+	if r.clock != nil {
+		s.start = r.clock.Now()
+		s.hasClock = true
+	}
+	return s
+}
+
+// Child opens a nested span whose path extends the parent's. Ending the
+// parent does not end its children; callers end spans innermost-first.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.reg.StartSpan(s.path + "/" + name)
+}
+
+// End records the span into the histogram "span/<path>" (duration in
+// nanoseconds, zero without a clock). End is safe to call exactly once
+// per span; calling it on a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var d time.Duration
+	if s.hasClock {
+		d = s.reg.clock.Now() - s.start
+	}
+	s.reg.Histogram("span/" + s.path).Observe(int64(d))
+}

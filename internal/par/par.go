@@ -15,9 +15,13 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"nwdec/internal/obs"
 )
 
 // Workers resolves a requested worker count: any value <= 0 selects
@@ -36,6 +40,14 @@ func Workers(n int) int {
 // serial first error; at higher worker counts it is the lowest-index error
 // among the items that ran before cancellation took effect). A nil return
 // guarantees every index was processed.
+//
+// When the context carries an obs.Registry the engine records per-worker
+// task counts ("par/worker/<k>/tasks"), total tasks ("par/tasks"), pool
+// invocations and sizes, and — when the registry has a clock — per-task
+// durations ("par/task_ns") plus per-worker busy and idle (queue-wait)
+// nanoseconds. The metrics describe execution only; they never change
+// what is computed, and with no registry installed the instrumentation is
+// a handful of nil checks.
 func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -44,20 +56,46 @@ func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, 
 	if w > n {
 		w = n
 	}
+	reg := obs.From(ctx)
+	clock := reg.Clock()
 	if w == 1 {
+		tasks := reg.Counter("par/tasks")
+		wtasks := reg.Counter("par/worker/00/tasks")
+		busy := reg.Counter("par/worker/00/busy_ns")
+		taskNS := reg.Histogram("par/task_ns")
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			var t0 time.Duration
+			if clock != nil {
+				t0 = clock.Now()
+			}
 			if err := fn(ctx, i); err != nil {
+				reg.Counter("par/errors").Add(1)
 				return err
 			}
+			if clock != nil {
+				d := int64(clock.Now() - t0)
+				busy.Add(d)
+				taskNS.Observe(d)
+			}
+			tasks.Add(1)
+			wtasks.Add(1)
 		}
 		return nil
 	}
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	reg.Counter("par/pools").Add(1)
+	reg.Gauge("par/pool_size").Set(float64(w))
+	tasks := reg.Counter("par/tasks")
+	taskNS := reg.Histogram("par/task_ns")
+	var poolStart time.Duration
+	if clock != nil {
+		poolStart = clock.Now()
+	}
 	var (
 		next     atomic.Int64
 		mu       sync.Mutex
@@ -69,19 +107,41 @@ func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var done, busyNS int64
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || wctx.Err() != nil {
-					return
+					break
 				}
-				if err := fn(wctx, i); err != nil {
+				var t0 time.Duration
+				if clock != nil {
+					t0 = clock.Now()
+				}
+				err := fn(wctx, i)
+				if clock != nil {
+					d := int64(clock.Now() - t0)
+					busyNS += d
+					taskNS.Observe(d)
+				}
+				if err != nil {
+					reg.Counter("par/errors").Add(1)
 					mu.Lock()
 					if firstIdx < 0 || i < firstIdx {
 						firstIdx, firstErr = i, err
 					}
 					mu.Unlock()
 					cancel()
-					return
+					break
+				}
+				done++
+			}
+			if reg != nil {
+				prefix := fmt.Sprintf("par/worker/%02d/", k)
+				tasks.Add(done)
+				reg.Counter(prefix + "tasks").Add(done)
+				if clock != nil {
+					reg.Counter(prefix + "busy_ns").Add(busyNS)
+					reg.Counter(prefix + "idle_ns").Add(int64(clock.Now()-poolStart) - busyNS)
 				}
 			}
 		}()

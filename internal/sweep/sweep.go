@@ -15,6 +15,7 @@ import (
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/dataset"
+	"nwdec/internal/obs"
 	"nwdec/internal/par"
 )
 
@@ -132,6 +133,11 @@ func RunWorkers(ctx context.Context, base core.Config, grid Grid, workers int) (
 			}
 		}
 	}
+	reg := obs.From(ctx)
+	span := reg.StartSpan("sweep/run")
+	defer span.End()
+	reg.Gauge("sweep/grid_size").Set(float64(grid.Size()))
+	reg.Counter("sweep/points").Add(int64(len(units)))
 	rows, err := par.Map(ctx, workers, units,
 		func(_ context.Context, _ int, u unit) (Row, error) {
 			d, err := core.NewDesign(u.cfg)

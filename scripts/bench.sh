@@ -2,21 +2,24 @@
 # bench.sh — run the parallel-engine benchmark suite and record the results
 # as BENCH_parallel.json in the repository root.
 #
-# Usage:  scripts/bench.sh [benchtime]
+# Usage:  scripts/bench.sh [benchtime] [output]
 #
 # benchtime is passed to -benchtime (default 50x: enough iterations to warm
-# the generator memoization cache and average out scheduler noise). The JSON
-# is an array of one metadata object {meta, benchtime, gomaxprocs, cpu}
-# followed by one object {name, workers, iterations, ns_per_op, bytes_per_op,
-# allocs_per_op} per benchmark. The metadata records the host parallelism:
-# on a single-core host the BenchmarkParScaling curve is necessarily flat,
-# because the engine changes only where work runs, never what is computed.
+# the generator memoization cache and average out scheduler noise). output
+# is the JSON path to write (default BENCH_parallel.json, the committed
+# baseline; CI passes a scratch path so a fresh measurement never clobbers
+# the baseline it is compared against). The JSON is an array of one
+# metadata object {meta, benchtime, gomaxprocs, cpu} followed by one object
+# {name, workers, iterations, ns_per_op, bytes_per_op, allocs_per_op} per
+# benchmark. The metadata records the host parallelism: on a single-core
+# host the BenchmarkParScaling curve is necessarily flat, because the
+# engine changes only where work runs, never what is computed.
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-50x}"
 
-out=BENCH_parallel.json
+out="${2:-BENCH_parallel.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 

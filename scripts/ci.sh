@@ -1,5 +1,6 @@
 #!/bin/sh
-# ci.sh — the tier-1.5 verification gate (see ROADMAP.md).
+# ci.sh — the tier-1.5 verification gate (see ROADMAP.md). Run locally or
+# from .github/workflows/ci.yml, which uploads ci-artifacts/ on every run.
 #
 # Usage:  scripts/ci.sh
 #
@@ -14,13 +15,25 @@
 #      cache disabled; this is what keeps internal/par and the shared
 #      generator cache race-clean and exercises the serial-vs-parallel
 #      determinism tests
-#   6. fuzz smoke — 10s of real fuzzing per internal/code generator
-#      harness (the fuzz engine accepts one target per invocation)
+#   6. coverage gate — go run ./scripts/covergate enforces per-package
+#      statement-coverage floors over internal/{par,code,dataset,obs}
+#   7. bench regression — scripts/bench.sh measures a fresh
+#      BENCH_parallel.json into ci-artifacts/ and scripts/benchcmp.go
+#      compares it against the committed baseline (±20% ns/op). Warns by
+#      default; set CI_BENCH_STRICT=1 to fail on regression.
+#   8. metrics smoke — nwsim -metrics json must emit a parseable snapshot
+#      (saved as ci-artifacts/metrics.json) without touching stdout data
+#   9. fuzz smoke — 10s of real fuzzing per internal/code fuzz target,
+#      auto-discovered from the test files (the fuzz engine accepts one
+#      target per invocation)
 #
 # Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+artifacts=ci-artifacts
+mkdir -p "$artifacts"
 
 echo "== gofmt =="
 unformatted="$(gofmt -l .)"
@@ -42,8 +55,43 @@ go run ./cmd/nwlint ./...
 echo "== go test -race =="
 go test -race -count=1 ./...
 
+# gate runs a command whose report goes to an artifact file, showing the
+# report either way and preserving the command's exit status (a plain
+# `cmd | tee` would let tee's status mask a failing gate).
+gate() {
+	outfile="$1"
+	shift
+	if "$@" > "$outfile"; then
+		cat "$outfile"
+	else
+		status=$?
+		cat "$outfile"
+		return "$status"
+	fi
+}
+
+echo "== coverage gate =="
+gate "$artifacts/coverage.txt" go run ./scripts/covergate
+
+echo "== bench regression =="
+scripts/bench.sh 50x "$artifacts/bench-current.json" > /dev/null
+gate "$artifacts/benchcmp.txt" go run scripts/benchcmp.go \
+	-baseline BENCH_parallel.json \
+	-current "$artifacts/bench-current.json"
+
+echo "== metrics smoke =="
+go run ./cmd/nwsim -exp montecarlo -trials 4 \
+	-metrics json -metrics-out "$artifacts/metrics.json" > /dev/null
+test -s "$artifacts/metrics.json"
+go run ./cmd/nwsim -exp montecarlo -trials 4 > "$artifacts/montecarlo-plain.txt"
+
 echo "== fuzz smoke =="
-for target in FuzzGrayAdjacency FuzzBalancedGraySequence FuzzTreeRoundTrip; do
+targets="$(grep -hEo '^func Fuzz[A-Za-z0-9_]*' internal/code/*_test.go | awk '{print $2}' | sort)"
+if [ -z "$targets" ]; then
+	echo "fuzz smoke: no Fuzz targets found in internal/code" >&2
+	exit 1
+fi
+for target in $targets; do
 	echo "-- $target"
 	go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s ./internal/code
 done

@@ -1,0 +1,102 @@
+// Command covergate is the coverage gate of scripts/ci.sh: it runs
+// `go test -cover` over the gated packages, renders the per-package
+// results as a dataset table and fails when any package drops below its
+// committed floor. Floors start at the coverage level each package had
+// when it entered the gate (rounded down a little to absorb counting
+// noise from refactors); raise them as coverage grows, never lower them
+// to make a red build green.
+//
+// Usage:
+//
+//	go run ./scripts/covergate [-format text|json|csv|md]
+//
+// Exit codes: 0 all floors met, 1 a package is below its floor (or lost
+// its coverage line), 2 usage error or go-test failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+
+	"nwdec/internal/dataset"
+)
+
+// gated lists the packages under the gate with their coverage floors in
+// percent. Order is the render order.
+var gated = []struct {
+	pkg   string
+	floor float64
+}{
+	{"nwdec/internal/par", 80.0},
+	{"nwdec/internal/code", 95.0},
+	{"nwdec/internal/dataset", 82.0},
+	{"nwdec/internal/obs", 85.0},
+}
+
+// coverageLine matches one `go test -cover` result line, e.g.
+// "ok  	nwdec/internal/par	0.003s	coverage: 81.4% of statements".
+var coverageLine = regexp.MustCompile(`(?m)^ok\s+(\S+)\s+\S+\s+coverage: ([0-9.]+)% of statements`)
+
+func main() {
+	format := flag.String("format", "text", "table rendering: "+dataset.Formats())
+	flag.Parse()
+	f, err := dataset.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+
+	args := []string{"test", "-cover", "-count=1"}
+	for _, g := range gated {
+		args = append(args, g.pkg)
+	}
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: go test failed: %v\n%s", err, out)
+		os.Exit(2)
+	}
+
+	measured := make(map[string]float64)
+	for _, m := range coverageLine.FindAllStringSubmatch(string(out), -1) {
+		pct, perr := strconv.ParseFloat(m[2], 64)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "covergate: parsing %q: %v\n", m[0], perr)
+			os.Exit(2)
+		}
+		measured[m[1]] = pct
+	}
+
+	ds := dataset.New("coverage", "Statement coverage vs committed floors",
+		dataset.Col("package", dataset.String),
+		dataset.ColUnit("coverage", "%", dataset.Float),
+		dataset.ColUnit("floor", "%", dataset.Float),
+		dataset.Col("status", dataset.String),
+	)
+	failures := 0
+	for _, g := range gated {
+		pct, ok := measured[g.pkg]
+		status := "ok"
+		switch {
+		case !ok:
+			status = "MISSING"
+			failures++
+		case pct < g.floor:
+			status = "BELOW FLOOR"
+			failures++
+		}
+		ds.AddRow(g.pkg, pct, g.floor, status)
+	}
+	if err := ds.Render(os.Stdout, f); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "covergate: %d package(s) below their coverage floor\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("covergate: %d packages at or above their floors\n", len(gated))
+}
