@@ -17,6 +17,7 @@ import (
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/crossbar"
+	"nwdec/internal/engine"
 	"nwdec/internal/experiments"
 	"nwdec/internal/geometry"
 	"nwdec/internal/mspt"
@@ -400,6 +401,51 @@ func BenchmarkSweepGrid(b *testing.B) {
 		}
 		if len(rows) != 20 {
 			b.Fatal("unexpected grid size")
+		}
+	}
+}
+
+// engineBenchRequest is the request both engine benchmarks issue: the Fig. 7
+// crossbar-yield experiment, the same workload BenchmarkFig7 times directly.
+// The pair quantifies the serving layer's cache: cold pays one full compute
+// per iteration, warm pays a content-addressed lookup plus a dataset clone.
+func engineBenchRequest() engine.Request {
+	return engine.Request{Kind: engine.KindExperiment, Experiment: "fig7"}
+}
+
+// BenchmarkEngineCold times engine requests that can never hit the cache: a
+// fresh engine per iteration, so every Do is a full Fig. 7 regeneration
+// behind the serving layer (validation, admission, instrumentation).
+func BenchmarkEngineCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{})
+		resp, err := eng.Do(context.Background(), engineBenchRequest())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.CacheHit {
+			b.Fatal("fresh engine reported a cache hit")
+		}
+	}
+}
+
+// BenchmarkEngineCacheHit times the same request against a warmed engine:
+// after the first compute every iteration must be served from the
+// content-addressed cache. The acceptance bar is >=10x faster than
+// BenchmarkEngineCold.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	eng := engine.New(engine.Options{})
+	if _, err := eng.Do(context.Background(), engineBenchRequest()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := eng.Do(context.Background(), engineBenchRequest())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit {
+			b.Fatal("warmed engine missed the cache")
 		}
 	}
 }

@@ -10,17 +10,19 @@
 //	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
 // The structured formats carry one row per word (index, word, digit changes
-// from the previous word); text keeps the annotated listing.
+// from the previous word); text keeps the annotated listing. Listings are
+// produced by the internal/engine serving layer (its codes kind), the same
+// dataset the nwserve HTTP facade returns.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"strings"
 
 	"nwdec/internal/cli"
 	"nwdec/internal/code"
-	"nwdec/internal/dataset"
+	"nwdec/internal/core"
+	"nwdec/internal/engine"
+	"nwdec/internal/nwerr"
 )
 
 func main() {
@@ -34,72 +36,22 @@ func main() {
 	flag.Parse()
 	// The generators are synchronous, so the context itself is unused, but
 	// Context/Close bracket the run to activate -metrics and -pprof.
-	_, cancel := c.Context()
+	ctx, cancel := c.Context()
 	defer cancel()
 	defer c.Close()
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {
-		c.Fail(err)
+		c.Exit(nwerr.Invalid(err))
 	}
-	gen, err := code.New(tp, *base, *length)
+	eng := engine.New(engine.Options{})
+	resp, err := eng.Do(ctx, engine.Request{
+		Kind:   engine.KindCodes,
+		Config: core.Config{CodeType: tp, Base: *base, CodeLength: *length},
+		Count:  *count,
+	})
 	if err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
-	n := *count
-	if n <= 0 {
-		n = gen.SpaceSize()
-		if n > 64 {
-			n = 64
-		}
-	}
-	words, err := code.CyclicSequence(gen, n)
-	if err != nil {
-		c.Fail(err)
-	}
-	c.Emit(wordsDataset(tp, gen, words))
-}
-
-// wordsDataset packages the word listing; its text rendering is the
-// annotated sequence plus the transition statistics.
-func wordsDataset(tp code.Type, gen code.Generator, words []code.Word) *dataset.Dataset {
-	ds := dataset.New("nwcodes",
-		fmt.Sprintf("%s word sequence (base=%d, M=%d)", tp, gen.Base(), gen.Length()),
-		dataset.Col("index", dataset.Int),
-		dataset.Col("word", dataset.String),
-		dataset.Col("digitChanges", dataset.Int),
-	)
-	for i, w := range words {
-		changes := 0
-		if i > 0 {
-			changes = w.Hamming(words[i-1])
-		}
-		ds.AddRow(i, w.String(), changes)
-	}
-	st := code.Stats(words)
-	ds.Note("transitions: total=%d  per-step min/max=%d/%d  per-digit=%v (max %d)",
-		st.TotalTransitions, st.MinPerStep, st.MaxPerStep, st.PerDigit, st.MaxPerDigit)
-	ds.SetText(func() string { return renderWords(tp, gen, words) })
-	return ds
-}
-
-// renderWords is the historical text listing.
-func renderWords(tp code.Type, gen code.Generator, words []code.Word) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s  base=%d  M=%d  Ω=%d  (showing %d words)\n",
-		tp, gen.Base(), gen.Length(), gen.SpaceSize(), len(words))
-	if tp.Reflected() {
-		sb.WriteString("words are reflected: second half is the (n-1)-complement of the first\n")
-	}
-	for i, w := range words {
-		if i == 0 {
-			fmt.Fprintf(&sb, "%3d  %s\n", i, w)
-			continue
-		}
-		fmt.Fprintf(&sb, "%3d  %s  (%d digit changes)\n", i, w, w.Hamming(words[i-1]))
-	}
-	st := code.Stats(words)
-	fmt.Fprintf(&sb, "\ntransitions: total=%d  per-step min/max=%d/%d  per-digit=%v (max %d)\n",
-		st.TotalTransitions, st.MinPerStep, st.MaxPerStep, st.PerDigit, st.MaxPerDigit)
-	return sb.String()
+	c.Emit(resp.Dataset)
 }

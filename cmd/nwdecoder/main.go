@@ -12,7 +12,8 @@
 //	          [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
 // -format selects the rendering of the design summary (text is the full
-// report; the structured forms carry the one-row analysis table).
+// report; the structured forms carry the one-row analysis table). Designs
+// are resolved through the internal/engine serving layer.
 package main
 
 import (
@@ -24,7 +25,9 @@ import (
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/dataset"
+	"nwdec/internal/engine"
 	"nwdec/internal/geometry"
+	"nwdec/internal/nwerr"
 	"nwdec/internal/viz"
 )
 
@@ -51,7 +54,7 @@ func main() {
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
 	cfg := core.Config{CodeType: tp, Base: *base, CodeLength: *length,
 		SigmaT: *sigma, MarginFactor: *margin}
@@ -65,51 +68,50 @@ func main() {
 		}
 	}
 
-	var design *core.Design
+	eng := engine.New(engine.Options{})
+	req := engine.Request{Kind: engine.KindDesign, Config: cfg, Workers: c.Workers}
 	if *optimize != "" {
 		obj, err := parseObjective(*optimize)
 		if err != nil {
-			c.Fail(err)
+			c.Exit(err)
 		}
-		design, err = core.Optimize(ctx, cfg,
-			[]code.Type{code.TypeTree, code.TypeGray, code.TypeBalancedGray, code.TypeHot, code.TypeArrangedHot},
-			[]int{4, 6, 8, 10, 12}, obj)
-		if err != nil {
-			c.Fail(err)
-		}
-		if c.Format() == dataset.FormatText {
-			fmt.Printf("optimum over all families and lengths (objective %s):\n\n", *optimize)
-		}
-	} else {
-		design, err = core.NewDesign(cfg)
-		if err != nil {
-			c.Fail(err)
-		}
+		req.Kind = engine.KindOptimize
+		req.Objective = obj
+		req.Types = code.AllTypes()
+		req.Lengths = []int{4, 6, 8, 10, 12}
+	}
+	resp, err := eng.Do(ctx, req)
+	if err != nil {
+		c.Exit(err)
+	}
+	design := resp.Design
+	if *optimize != "" && c.Format() == dataset.FormatText {
+		fmt.Printf("optimum over all families and lengths (objective %s):\n\n", *optimize)
 	}
 	if *export != "" {
 		// Machine output only: keep stdout clean for piping.
 		switch *export {
 		case "json":
 			if err := design.Plan.WriteJSON(os.Stdout); err != nil {
-				c.Fail(err)
+				c.Exit(err)
 			}
 		case "csv":
 			if err := design.Plan.WriteCSV(os.Stdout); err != nil {
-				c.Fail(err)
+				c.Exit(err)
 			}
 		case "svg":
 			fmt.Print(viz.DecoderSVG(design.Plan, design.Config.Spec.Params, design.Layout.Contact))
 		case "masks-svg":
 			fmt.Print(viz.MaskSVG(design.Plan, design.Config.Spec.Params))
 		default:
-			c.Fail(fmt.Errorf("unknown export format %q (want json, csv, svg or masks-svg)", *export))
+			c.Exit(nwerr.Invalidf("unknown export format %q (want json, csv, svg or masks-svg)", *export))
 		}
 		return
 	}
 	if c.Format() != dataset.FormatText {
 		// Structured output only: the flow/matrix/mask inspections are
 		// text-form diagnostics.
-		c.Emit(design.Dataset())
+		c.Emit(resp.Dataset)
 		return
 	}
 	fmt.Print(design.Report())
@@ -155,7 +157,7 @@ func parseObjective(s string) (core.Objective, error) {
 	case "phi":
 		return core.MinPhi, nil
 	default:
-		return 0, fmt.Errorf("unknown objective %q (want area, yield or phi)", s)
+		return 0, nwerr.Invalidf("unknown objective %q (want area, yield or phi)", s)
 	}
 }
 

@@ -26,7 +26,7 @@ import (
 	"nwdec/internal/core"
 	"nwdec/internal/crossbar"
 	"nwdec/internal/dataset"
-	"nwdec/internal/stats"
+	"nwdec/internal/engine"
 )
 
 func main() {
@@ -46,17 +46,23 @@ func main() {
 
 	tp, err := code.ParseType(*typeName)
 	if err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
-	design, err := core.NewDesign(core.Config{CodeType: tp, CodeLength: *length})
+	// Fabrication goes through the engine's uncached kind: the response
+	// carries the memory plus the post-fabrication RNG, so the fault
+	// injection below continues the same stream the fabrication consumed —
+	// the whole session stays a pure function of the seed.
+	eng := engine.New(engine.Options{})
+	resp, err := eng.Do(ctx, engine.Request{
+		Kind:    engine.KindFabricate,
+		Config:  core.Config{CodeType: tp, CodeLength: *length},
+		Seed:    *seed,
+		Workers: c.Workers,
+	})
 	if err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
-	rng := stats.NewRNG(*seed)
-	mem, err := design.FabricateWorkers(ctx, rng, c.Workers)
-	if err != nil {
-		c.Fail(err)
-	}
+	design, mem, rng := resp.Design, resp.Memory, resp.RNG
 	rows, cols := mem.Size()
 	fmt.Fprintf(os.Stderr, "fabricated %dx%d crossbar (%s, M=%d), usable %.1f%%\n",
 		rows, cols, tp, design.Config.CodeLength, 100*mem.UsableFraction())
@@ -65,13 +71,13 @@ func main() {
 	marchFaults := crossbar.MarchCMinus(mem)
 	dm, err := crossbar.DefectMapFromFaults(marchFaults, rows, cols)
 	if err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
 	fmt.Fprintf(os.Stderr, "March C-: %d faulty crosspoints -> %d bad rows, %d bad columns\n",
 		len(marchFaults), len(dm.BadRows), len(dm.BadCols))
 	if *dumpMap {
 		if err := dm.Write(os.Stdout); err != nil {
-			c.Fail(err)
+			c.Exit(err)
 		}
 		return
 	}
@@ -83,20 +89,20 @@ func main() {
 
 	payload := []byte(*data)
 	if len(payload) > ecc.CapacityBytes() {
-		c.Fail(fmt.Errorf("payload of %d bytes exceeds ECC capacity %d", len(payload), ecc.CapacityBytes()))
+		c.Exit(fmt.Errorf("payload of %d bytes exceeds ECC capacity %d", len(payload), ecc.CapacityBytes()))
 	}
 	if err := ecc.StoreBytes(0, payload); err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
 	for i := 0; i < *faults; i++ {
 		bit := rng.Intn(14 * len(payload))
 		if err := ecc.FlipRawBit(bit); err != nil {
-			c.Fail(err)
+			c.Exit(err)
 		}
 	}
 	back, err := ecc.LoadBytes(0, len(payload))
 	if err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
 	fmt.Fprintf(os.Stderr, "injected %d soft faults, ECC corrected %d\n", *faults, ecc.Corrected())
 	if c.Format() != dataset.FormatText {
@@ -106,7 +112,7 @@ func main() {
 		fmt.Printf("%s\n", back)
 	}
 	if string(back) != string(payload) {
-		c.Fail(fmt.Errorf("payload corrupted after readback"))
+		c.Exit(fmt.Errorf("payload corrupted after readback"))
 	}
 }
 

@@ -1,0 +1,429 @@
+// Command nwserve is the HTTP JSON facade of the decoder pipeline: a
+// minimal stdlib net/http server that exposes the internal/engine serving
+// layer — designs, optimization, Monte-Carlo yield, experiments, sweeps
+// and code listings — with the engine's result cache, singleflight
+// deduplication and admission control shared across all clients of the
+// process.
+//
+// Usage:
+//
+//	nwserve [-addr HOST:PORT] [-cache-entries N] [-cache-cost C]
+//	        [-inflight N] [-workers W] [-timeout D] [-smoke]
+//	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
+//
+// Endpoints (all GET, all JSON):
+//
+//	/healthz                     liveness probe
+//	/v1/experiments              experiment name list
+//	/v1/experiment/{name}        one experiment dataset (?seed=&trials=)
+//	/v1/design                   one design (?type=&base=&length=&sigma=&margin=&wires=&rawbits=)
+//	/v1/optimize                 best design (?objective=area|yield|phi + design params)
+//	/v1/montecarlo               empirical yield (?trials=&seed= + design params)
+//	/v1/sweep                    grid sweep (?types=&lengths=&sigmas=&margins=&wires=)
+//	/v1/codes                    word listing (?type=&base=&length=&count=)
+//
+// Responses carry X-Cache (hit/miss) and X-Request-Key headers. Errors
+// map from the internal/nwerr taxonomy: Invalid is 400, Canceled is 503,
+// Internal is 500. The server shuts down gracefully when its context is
+// cancelled: on SIGINT/SIGTERM or when -timeout elapses. -smoke starts
+// the server on a loopback port, issues one self-request, verifies the
+// response and exits — the CI liveness check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"nwdec/internal/cli"
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/dataset"
+	"nwdec/internal/engine"
+	"nwdec/internal/geometry"
+	"nwdec/internal/nwerr"
+	"nwdec/internal/sweep"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8607", "listen address")
+		cacheEntries = flag.Int("cache-entries", 0, "result-cache entry cap (0 = engine default)")
+		cacheCost    = flag.Int64("cache-cost", 0, "result-cache total cost cap in cells (0 = engine default)")
+		inflight     = flag.Int("inflight", 0, "max concurrently computing requests (0 = GOMAXPROCS)")
+		smoke        = flag.Bool("smoke", false, "start on a loopback port, self-request once, verify and exit")
+	)
+	c := cli.Register("nwserve", "json")
+	flag.Parse()
+	ctx, cancel := c.Context()
+	defer cancel()
+	defer c.Close()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &server{
+		eng: engine.New(engine.Options{
+			MaxEntries:  *cacheEntries,
+			MaxCost:     *cacheCost,
+			MaxInFlight: *inflight,
+		}),
+		workers: c.Workers,
+	}
+	listenAddr := *addr
+	if *smoke {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		c.Exit(err)
+	}
+	hs := &http.Server{
+		Handler:     srv.mux(),
+		ReadTimeout: 30 * time.Second,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "nwserve: listening on http://%s\n", ln.Addr())
+
+	if *smoke {
+		if err := smokeTest(ctx, ln.Addr().String()); err != nil {
+			if serr := shutdown(hs, served); serr != nil {
+				fmt.Fprintf(os.Stderr, "nwserve: %v\n", serr)
+			}
+			c.Exit(err)
+		}
+		if err := shutdown(hs, served); err != nil {
+			c.Exit(err)
+		}
+		fmt.Fprintln(os.Stderr, "nwserve: smoke ok (request served, graceful shutdown)")
+		return
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "nwserve: shutting down")
+		if err := shutdown(hs, served); err != nil {
+			c.Exit(err)
+		}
+	case err := <-served:
+		if err != nil && err != http.ErrServerClosed {
+			c.Exit(err)
+		}
+	}
+}
+
+// shutdown drains in-flight requests with a bounded grace period and
+// collects the Serve goroutine's exit.
+func shutdown(hs *http.Server, served chan error) error {
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-served; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// smokeTest issues one experiment request against the just-started server
+// and verifies a 200 with a parseable dataset body plus the engine's
+// response headers.
+func smokeTest(ctx context.Context, addr string) error {
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, "http://"+addr+"/v1/experiment/fig5", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: GET /v1/experiment/fig5: status %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("smoke: response is not dataset JSON: %w", err)
+	}
+	if doc.Name != "fig5" {
+		return fmt.Errorf("smoke: dataset name %q, want fig5", doc.Name)
+	}
+	return nil
+}
+
+// server holds the shared engine behind the HTTP handlers.
+type server struct {
+	eng     *engine.Engine
+	workers int
+}
+
+// mux wires the routes using Go 1.22 method+path patterns.
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := fmt.Fprintln(w, `{"status":"ok"}`); err != nil {
+			fmt.Fprintf(os.Stderr, "nwserve: %v\n", err)
+		}
+	})
+	m.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(engine.ExperimentNames()); err != nil {
+			fmt.Fprintf(os.Stderr, "nwserve: %v\n", err)
+		}
+	})
+	m.HandleFunc("GET /v1/experiment/{name}", s.handle(func(r *http.Request) (engine.Request, error) {
+		req := engine.Request{Kind: engine.KindExperiment, Experiment: r.PathValue("name")}
+		if !engine.ExperimentKnown(req.Experiment) {
+			return req, &notFoundError{nwerr.Invalidf(
+				"unknown experiment %q (see /v1/experiments)", req.Experiment)}
+		}
+		var err error
+		if req.Seed, err = queryUint(r, "seed", 0); err != nil {
+			return req, err
+		}
+		if req.Trials, err = queryInt(r, "trials", 0); err != nil {
+			return req, err
+		}
+		return req, nil
+	}))
+	m.HandleFunc("GET /v1/design", s.handle(func(r *http.Request) (engine.Request, error) {
+		cfg, err := queryConfig(r)
+		return engine.Request{Kind: engine.KindDesign, Config: cfg}, err
+	}))
+	m.HandleFunc("GET /v1/optimize", s.handle(func(r *http.Request) (engine.Request, error) {
+		cfg, err := queryConfig(r)
+		if err != nil {
+			return engine.Request{}, err
+		}
+		req := engine.Request{Kind: engine.KindOptimize, Config: cfg}
+		switch obj := r.URL.Query().Get("objective"); obj {
+		case "", "area":
+			req.Objective = core.MinBitArea
+		case "yield":
+			req.Objective = core.MaxYield
+		case "phi":
+			req.Objective = core.MinPhi
+		default:
+			return req, nwerr.Invalidf("unknown objective %q (want area, yield or phi)", obj)
+		}
+		return req, nil
+	}))
+	m.HandleFunc("GET /v1/montecarlo", s.handle(func(r *http.Request) (engine.Request, error) {
+		cfg, err := queryConfig(r)
+		if err != nil {
+			return engine.Request{}, err
+		}
+		req := engine.Request{Kind: engine.KindMonteCarlo, Config: cfg}
+		if req.Trials, err = queryInt(r, "trials", 4); err != nil {
+			return req, err
+		}
+		if req.Seed, err = queryUint(r, "seed", 2009); err != nil {
+			return req, err
+		}
+		return req, nil
+	}))
+	m.HandleFunc("GET /v1/sweep", s.handle(func(r *http.Request) (engine.Request, error) {
+		q := r.URL.Query()
+		var (
+			grid sweep.Grid
+			err  error
+		)
+		if grid.Types, err = cli.Types(q.Get("types")); err != nil {
+			return engine.Request{}, err
+		}
+		if grid.Lengths, err = cli.Ints(q.Get("lengths")); err != nil {
+			return engine.Request{}, err
+		}
+		if grid.SigmaTs, err = cli.Floats(q.Get("sigmas")); err != nil {
+			return engine.Request{}, err
+		}
+		if grid.MarginFactors, err = cli.Floats(q.Get("margins")); err != nil {
+			return engine.Request{}, err
+		}
+		if grid.HalfCaveWires, err = cli.Ints(q.Get("wires")); err != nil {
+			return engine.Request{}, err
+		}
+		return engine.Request{Kind: engine.KindSweep, Grid: grid}, nil
+	}))
+	m.HandleFunc("GET /v1/codes", s.handle(func(r *http.Request) (engine.Request, error) {
+		cfg, err := queryConfig(r)
+		if err != nil {
+			return engine.Request{}, err
+		}
+		req := engine.Request{Kind: engine.KindCodes, Config: cfg}
+		if req.Count, err = queryInt(r, "count", 0); err != nil {
+			return req, err
+		}
+		return req, nil
+	}))
+	return m
+}
+
+// handle adapts a request parser into an HTTP handler: parse, submit to
+// the engine with the server's worker bound, map the error class to a
+// status, render the dataset as JSON.
+func (s *server) handle(parse func(*http.Request) (engine.Request, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, err := parse(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		req.Workers = s.workers
+		resp, err := s.eng.Do(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Request-Key", resp.Key)
+		if resp.CacheHit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		if resp.Dataset == nil {
+			if _, err := fmt.Fprintln(w, `{}`); err != nil {
+				fmt.Fprintf(os.Stderr, "nwserve: %v\n", err)
+			}
+			return
+		}
+		if err := resp.Dataset.Render(w, dataset.FormatJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "nwserve: %v\n", err)
+		}
+	}
+}
+
+// notFoundError marks a request naming a resource outside the served set
+// (an unknown experiment); writeError maps it to 404 instead of the 400
+// its invalid classification would otherwise produce.
+type notFoundError struct{ err error }
+
+func (e *notFoundError) Error() string { return e.err.Error() }
+func (e *notFoundError) Unwrap() error { return e.err }
+
+// writeError renders the nwerr class as an HTTP status and a JSON body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch nwerr.ClassOf(err) {
+	case nwerr.ClassInvalid:
+		status = http.StatusBadRequest
+	case nwerr.ClassCanceled:
+		status = http.StatusServiceUnavailable
+	}
+	var nf *notFoundError
+	if errors.As(err, &nf) {
+		status = http.StatusNotFound
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(map[string]string{
+		"error": err.Error(),
+		"class": nwerr.ClassOf(err).String(),
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "nwserve: %v\n", err)
+	}
+}
+
+// queryConfig assembles a core.Config from the shared design parameters.
+func queryConfig(r *http.Request) (core.Config, error) {
+	q := r.URL.Query()
+	var cfg core.Config
+	if t := q.Get("type"); t != "" {
+		tp, err := code.ParseType(t)
+		if err != nil {
+			return cfg, nwerr.Invalid(err)
+		}
+		cfg.CodeType = tp
+	}
+	var err error
+	if cfg.Base, err = queryInt(r, "base", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.CodeLength, err = queryInt(r, "length", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.SigmaT, err = queryFloat(r, "sigma", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.MarginFactor, err = queryFloat(r, "margin", 0); err != nil {
+		return cfg, err
+	}
+	wires, err := queryInt(r, "wires", 0)
+	if err != nil {
+		return cfg, err
+	}
+	rawBits, err := queryInt(r, "rawbits", 0)
+	if err != nil {
+		return cfg, err
+	}
+	if wires > 0 || rawBits > 0 {
+		cfg.Spec = geometry.DefaultCrossbarSpec()
+		if wires > 0 {
+			cfg.Spec.HalfCaveWires = wires
+		}
+		if rawBits > 0 {
+			cfg.Spec.RawBits = rawBits
+		}
+	}
+	return cfg, nil
+}
+
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, nwerr.Invalidf("query %s: invalid integer %q", name, s)
+	}
+	return v, nil
+}
+
+func queryUint(r *http.Request, name string, def uint64) (uint64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, nwerr.Invalidf("query %s: invalid unsigned integer %q", name, s)
+	}
+	return v, nil
+}
+
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, nwerr.Invalidf("query %s: invalid number %q", name, s)
+	}
+	return v, nil
+}

@@ -16,6 +16,10 @@
 // counts, per-experiment span times, trial counters) on exit — to stderr
 // or the -metrics-out file, so stdout stays byte-identical — and -pprof
 // captures CPU/heap profiles plus an execution trace into a directory.
+//
+// Experiments are submitted through the internal/engine serving layer, so
+// a repeated experiment within one invocation (or one nwserve process) is
+// served from the result cache.
 package main
 
 import (
@@ -23,6 +27,9 @@ import (
 	"fmt"
 
 	"nwdec/internal/cli"
+	"nwdec/internal/core"
+	"nwdec/internal/dataset"
+	"nwdec/internal/engine"
 	"nwdec/internal/experiments"
 	"nwdec/internal/report"
 )
@@ -44,49 +51,62 @@ func main() {
 	defer cancel()
 	defer c.Close()
 
-	r := experiments.NewRunner()
-	r.MCTrials = *trials
-	r.Seed = *seed
-	r.Workers = c.Workers
+	var cfg core.Config
 	if *wires > 0 {
-		if r.Cfg.Spec.RawBits == 0 {
-			r.Cfg = r.Cfg.WithDefaults()
+		if cfg.Spec.RawBits == 0 {
+			cfg = cfg.WithDefaults()
 		}
-		r.Cfg.Spec.HalfCaveWires = *wires
+		cfg.Spec.HalfCaveWires = *wires
 	}
 	if *rawBits > 0 {
-		if r.Cfg.Spec.RawBits == 0 {
-			r.Cfg = r.Cfg.WithDefaults()
+		if cfg.Spec.RawBits == 0 {
+			cfg = cfg.WithDefaults()
 		}
-		r.Cfg.Spec.RawBits = *rawBits
+		cfg.Spec.RawBits = *rawBits
 	}
-	r.Cfg.SigmaT = *sigma
-	r.Cfg.MarginFactor = *margin
+	cfg.SigmaT = *sigma
+	cfg.MarginFactor = *margin
 
 	if *md {
 		opt := report.DefaultOptions()
-		opt.Cfg = r.Cfg
+		opt.Cfg = cfg
 		opt.MCTrials = *trials
 		opt.Seed = *seed
 		opt.Workers = c.Workers
 		out, err := report.Generate(ctx, opt)
 		if err != nil {
-			c.Fail(err)
+			c.Exit(err)
 		}
 		fmt.Print(out)
 		return
 	}
+
+	eng := engine.New(engine.Options{})
+	req := engine.Request{
+		Kind:    engine.KindExperiment,
+		Config:  cfg,
+		Seed:    *seed,
+		Trials:  *trials,
+		Workers: c.Workers,
+	}
 	if *exp == "all" {
-		dss, err := r.RunAll(ctx)
-		if err != nil {
-			c.Fail(err)
+		names := engine.ExperimentNames()
+		dss := make([]*dataset.Dataset, 0, len(names))
+		for _, name := range names {
+			req.Experiment = name
+			resp, err := eng.Do(ctx, req)
+			if err != nil {
+				c.Exit(fmt.Errorf("experiments: %s: %w", name, err))
+			}
+			dss = append(dss, resp.Dataset)
 		}
 		c.EmitAll(dss)
 		return
 	}
-	ds, err := r.Run(ctx, *exp)
+	req.Experiment = *exp
+	resp, err := eng.Do(ctx, req)
 	if err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
-	c.Emit(ds)
+	c.Emit(resp.Dataset)
 }

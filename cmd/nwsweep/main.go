@@ -9,9 +9,10 @@
 //	        [-format csv|json|md|text] [-timeout D]
 //	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR] > sweep.csv
 //
-// The grid is evaluated on W workers (0 = GOMAXPROCS); the output is
-// bit-identical at every worker count. The design-point count goes to
-// stderr so stdout stays a clean data stream.
+// The grid is evaluated on W workers (0 = GOMAXPROCS) through the
+// internal/engine serving layer; the output is bit-identical at every
+// worker count. The design-point count goes to stderr so stdout stays a
+// clean data stream.
 package main
 
 import (
@@ -20,8 +21,8 @@ import (
 	"os"
 
 	"nwdec/internal/cli"
-	"nwdec/internal/core"
 	"nwdec/internal/dataset"
+	"nwdec/internal/engine"
 	"nwdec/internal/sweep"
 )
 
@@ -42,34 +43,39 @@ func main() {
 	grid := sweep.Grid{}
 	var err error
 	if grid.Types, err = cli.Types(*typesArg); err != nil {
-		c.Usage(err)
+		c.Exit(err)
 	}
 	if grid.Lengths, err = cli.Ints(*lengthsArg); err != nil {
-		c.Usage(err)
+		c.Exit(err)
 	}
 	if grid.HalfCaveWires, err = cli.Ints(*wiresArg); err != nil {
-		c.Usage(err)
+		c.Exit(err)
 	}
 	if grid.SigmaTs, err = cli.Floats(*sigmasArg); err != nil {
-		c.Usage(err)
+		c.Exit(err)
 	}
 	if grid.MarginFactors, err = cli.Floats(*marginsArg); err != nil {
-		c.Usage(err)
+		c.Exit(err)
 	}
 
-	rows, err := sweep.RunWorkers(ctx, core.Config{}, grid, c.Workers)
+	eng := engine.New(engine.Options{})
+	resp, err := eng.Do(ctx, engine.Request{
+		Kind:    engine.KindSweep,
+		Grid:    grid,
+		Workers: c.Workers,
+	})
 	if err != nil {
-		c.Fail(err)
+		c.Exit(err)
 	}
 	// The CSV path keeps the historical fixed-precision writer so existing
 	// pipelines see byte-identical output; the other formats render the
 	// dataset form.
 	if c.Format() == dataset.FormatCSV {
-		if err := sweep.WriteCSV(os.Stdout, rows); err != nil {
-			c.Fail(err)
+		if err := sweep.WriteCSV(os.Stdout, resp.Rows); err != nil {
+			c.Exit(err)
 		}
 	} else {
-		c.Emit(sweep.Dataset(rows))
+		c.Emit(resp.Dataset)
 	}
-	fmt.Fprintf(os.Stderr, "nwsweep: %d design points\n", len(rows))
+	fmt.Fprintf(os.Stderr, "nwsweep: %d design points\n", len(resp.Rows))
 }

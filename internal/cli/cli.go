@@ -5,8 +5,10 @@
 //
 // Exit codes: 0 on success, 1 on a runtime failure (ExitError), 2 on a
 // usage error (ExitUsage — also what the flag package uses for unknown
-// flags). Errors always go to stderr, prefixed with the command name, so
-// stdout stays clean for piping.
+// flags). Exit derives the code from the error's internal/nwerr class —
+// Invalid means usage, Canceled and Internal mean runtime — so commands
+// never branch on error strings. Errors always go to stderr, prefixed
+// with the command name, so stdout stays clean for piping.
 //
 // The cli package is also the observability boundary: it is where the
 // real monotonic clock is injected into the obs layer (the deterministic
@@ -28,6 +30,7 @@ import (
 
 	"nwdec/internal/code"
 	"nwdec/internal/dataset"
+	"nwdec/internal/nwerr"
 	"nwdec/internal/obs"
 )
 
@@ -199,6 +202,21 @@ func (c *Common) Usage(err error) {
 	os.Exit(ExitUsage)
 }
 
+// Exit terminates the command according to the error's nwerr class
+// instead of the caller deciding between Fail and Usage at every site:
+// an Invalid error is a usage problem (ExitUsage), while Canceled and
+// Internal are runtime failures (ExitError). A nil error is a no-op, so
+// commands can route every error through one call.
+func (c *Common) Exit(err error) {
+	if err == nil {
+		return
+	}
+	if nwerr.IsInvalid(err) {
+		c.Usage(err)
+	}
+	c.Fail(err)
+}
+
 // Emit renders one dataset to stdout in the selected format.
 func (c *Common) Emit(ds *dataset.Dataset) {
 	if err := ds.Render(os.Stdout, c.Format()); err != nil {
@@ -257,7 +275,7 @@ func Ints(arg string) ([]int, error) {
 	for _, s := range strings.Split(arg, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
-			return nil, fmt.Errorf("invalid integer %q", s)
+			return nil, nwerr.Invalidf("invalid integer %q", s)
 		}
 		out = append(out, v)
 	}
@@ -273,7 +291,7 @@ func Floats(arg string) ([]float64, error) {
 	for _, s := range strings.Split(arg, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			return nil, fmt.Errorf("invalid number %q", s)
+			return nil, nwerr.Invalidf("invalid number %q", s)
 		}
 		out = append(out, v)
 	}
@@ -289,7 +307,7 @@ func Types(arg string) ([]code.Type, error) {
 	for _, s := range strings.Split(arg, ",") {
 		tp, err := code.ParseType(strings.TrimSpace(s))
 		if err != nil {
-			return nil, err
+			return nil, nwerr.Invalid(err)
 		}
 		out = append(out, tp)
 	}

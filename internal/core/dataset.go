@@ -7,16 +7,24 @@ import (
 )
 
 // Fingerprint returns a short stable hex hash of the configuration for
-// dataset metadata. The threshold model is represented by its type name:
-// hashing the interface value directly would render a pointer address,
-// which differs between runs.
+// dataset metadata and for content-addressed caching in the engine layer.
+// The threshold model is represented by its type name plus — when the
+// model exposes a Params() string hook, as the physics models do — its
+// calibration parameters: hashing the interface value directly would
+// render a pointer address, which differs between runs, and a type name
+// alone would collide two models of the same type with different
+// calibration.
 func (c Config) Fingerprint() string {
 	view := c
 	view.Model = nil
+	model := fmt.Sprintf("%T", c.Model)
+	if p, ok := c.Model.(interface{ Params() string }); ok {
+		model += "{" + p.Params() + "}"
+	}
 	return dataset.Fingerprint(struct {
 		Config Config
 		Model  string
-	}{view, fmt.Sprintf("%T", c.Model)})
+	}{view, model})
 }
 
 // Dataset packages the design's summary analysis as a one-row structured

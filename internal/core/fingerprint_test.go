@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"nwdec/internal/physics"
+)
+
+// TestFingerprintModelParams is the regression test for the %T-only model
+// hash: two models of the same Go type but different calibration must
+// fingerprint differently, because the fingerprint keys the engine's
+// result cache — a collision would serve one calibration's designs for
+// the other.
+func TestFingerprintModelParams(t *testing.T) {
+	base := Config{}.WithDefaults()
+
+	shifted := base
+	m := *physics.DefaultPhysicalModel()
+	m.FlatBand += 0.05
+	shifted.Model = &m
+	if base.Fingerprint() == shifted.Fingerprint() {
+		t.Errorf("same-type models with different FlatBand share fingerprint %s", base.Fingerprint())
+	}
+
+	tblA, err := physics.NewTableModel([]physics.CalPoint{{Doping: 2e18, VT: 0.1}, {Doping: 9e18, VT: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tblB, err := physics.NewTableModel([]physics.CalPoint{{Doping: 2e18, VT: 0.1}, {Doping: 9e18, VT: 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA, cfgB := base, base
+	cfgA.Model, cfgB.Model = tblA, tblB
+	if cfgA.Fingerprint() == cfgB.Fingerprint() {
+		t.Errorf("table models with different points share fingerprint %s", cfgA.Fingerprint())
+	}
+
+	// Different model types still differ, and equal configurations still
+	// agree — the fix must not destabilize the hash.
+	cfgTable := base
+	cfgTable.Model = physics.PaperExampleTable()
+	if cfgTable.Fingerprint() == base.Fingerprint() {
+		t.Error("table model and physical model share a fingerprint")
+	}
+	if base.Fingerprint() != (Config{}.WithDefaults()).Fingerprint() {
+		t.Error("equal configurations fingerprint differently")
+	}
+
+	// The nil-model form is what the committed golden datasets pin
+	// (experiments fingerprint the pre-defaults config); it must not move.
+	if got := (Config{}).Fingerprint(); got != "f381ff593ac1424e" {
+		t.Errorf("zero-config fingerprint moved to %s; golden datasets depend on it", got)
+	}
+}

@@ -19,6 +19,7 @@ package dataset
 import (
 	"fmt"
 	"hash/fnv"
+	"slices"
 	"strconv"
 )
 
@@ -136,6 +137,23 @@ func (d *Dataset) AddRow(cells ...any) {
 // Note appends a formatted summary line.
 func (d *Dataset) Note(format string, args ...any) {
 	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
+}
+
+// Clone returns an independent copy of the dataset: schema, rows, notes
+// and metadata are all duplicated, so mutating one copy (adding rows,
+// stamping Meta) never leaks into the other. The result-cache of the
+// engine layer hands clones to callers for exactly this reason. Cell
+// values and the text renderer are shared — cells are immutable value
+// types and the renderer is a pure function of construction-time data.
+func (d *Dataset) Clone() *Dataset {
+	out := *d
+	out.Columns = slices.Clone(d.Columns)
+	out.Rows = make([][]any, len(d.Rows))
+	for i, row := range d.Rows {
+		out.Rows[i] = slices.Clone(row)
+	}
+	out.Notes = slices.Clone(d.Notes)
+	return &out
 }
 
 // SetText installs the full-fidelity text renderer of the result. Text()

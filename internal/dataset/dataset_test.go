@@ -131,6 +131,57 @@ func TestTextFallbackAndOverride(t *testing.T) {
 	}
 }
 
+func TestCloneIsIndependent(t *testing.T) {
+	orig := sample()
+	cp := orig.Clone()
+	cp.AddRow("HC", 6, 300.0, true)
+	cp.Note("clone-only")
+	cp.Meta.Workers = 99
+	cp.Columns[0].Name = "renamed"
+	if len(orig.Rows) != 2 || len(orig.Notes) != 1 {
+		t.Errorf("mutating the clone leaked into the original: %d rows, %d notes",
+			len(orig.Rows), len(orig.Notes))
+	}
+	if orig.Meta.Workers != 4 || orig.Columns[0].Name != "code" {
+		t.Error("clone shares Meta or Columns with the original")
+	}
+	// The clone carries everything the original had at copy time.
+	if cp.Name != orig.Name || len(cp.Rows) != 3 || cp.Meta.Seed != 7 {
+		t.Error("clone lost data from the original")
+	}
+	if orig.CSV() != sample().CSV() {
+		t.Error("original serialization changed after clone mutation")
+	}
+}
+
+func TestRenderAndFormatNames(t *testing.T) {
+	if Formats() != "text|json|csv|md" {
+		t.Errorf("Formats() = %q", Formats())
+	}
+	names := map[Format]string{
+		FormatText: "text", FormatJSON: "json",
+		FormatCSV: "csv", FormatMarkdown: "md",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(f), f.String(), want)
+		}
+		var sb strings.Builder
+		if err := sample().Render(&sb, f); err != nil {
+			t.Fatalf("Render(%s): %v", want, err)
+		}
+		if !strings.Contains(sb.String(), "BGC") {
+			t.Errorf("Render(%s) missing row data:\n%s", want, sb.String())
+		}
+	}
+	if got := Format(42).String(); got != "format(42)" {
+		t.Errorf("unknown format String() = %q", got)
+	}
+	if err := sample().Render(&strings.Builder{}, Format(42)); err == nil {
+		t.Error("Render accepted an unknown format")
+	}
+}
+
 func TestParseFormat(t *testing.T) {
 	cases := map[string]Format{
 		"text": FormatText, "TXT": FormatText,

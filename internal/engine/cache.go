@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one cached response with its content address and weight.
+type cacheEntry struct {
+	key  string
+	resp *Response
+	cost int64
+}
+
+// resultCache is a bounded LRU over content-addressed responses. Two caps
+// apply together: a maximum entry count and a maximum total cost (the sum
+// of Response.cost weights); exceeding either evicts from the
+// least-recently-used end. The cache is safe for concurrent use and keeps
+// no metrics of its own — the engine counts hits, misses and evictions in
+// the request path, where the obs registry is at hand.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxCost    int64
+	cost       int64
+	ll         *list.List // front = most recently used; values are *cacheEntry
+	items      map[string]*list.Element
+}
+
+func newResultCache(maxEntries int, maxCost int64) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxCost:    maxCost,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *resultCache) get(key string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// add stores a response under key and returns how many entries were
+// evicted to make room. A response whose cost alone exceeds the cost cap
+// is not stored at all — admitting it would immediately evict everything
+// else and then itself.
+func (c *resultCache) add(key string, resp *Response, cost int64) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cost > c.maxCost {
+		return 0
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.cost += cost - ent.cost
+		ent.resp, ent.cost = resp, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp, cost: cost})
+		c.cost += cost
+	}
+	for c.ll.Len() > c.maxEntries || c.cost > c.maxCost {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.cost -= ent.cost
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// costNow returns the current total cost.
+func (c *resultCache) costNow() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cost
+}

@@ -1,0 +1,192 @@
+// Package engine is the serving layer of the decoder pipeline: a typed
+// request/response API fronting the expensive library entry points
+// (core.NewDesign, Design.MonteCarloYieldWorkers, experiments.Runner,
+// sweep.RunWorkers, crossbar fabrication) behind three cross-cutting
+// mechanisms the entry points themselves stay free of:
+//
+//   - a bounded, content-addressed result cache: the pipeline's
+//     determinism invariant makes a request's identity fields a complete
+//     address for its result, so equal requests — at any worker count —
+//     are served from memory;
+//   - singleflight deduplication: concurrent identical requests share one
+//     computation instead of racing to do the same work;
+//   - admission control: a semaphore bounds the number of requests
+//     computing at once, so a burst degrades to queueing instead of
+//     unbounded memory and scheduler pressure.
+//
+// Every command-line tool and the nwserve HTTP facade submit work through
+// Engine.Do. Errors carry the internal/nwerr taxonomy: malformed requests
+// are Invalid, context cancellation is Canceled, everything else is
+// Internal — callers branch with errors.Is instead of string matching.
+//
+// The engine is instrumented with internal/obs (request/compute counters
+// per kind, cache hit/miss/eviction counters, in-flight gauge, per-kind
+// spans) through the registry carried by the request context; with no
+// registry installed the instrumentation is free.
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"nwdec/internal/nwerr"
+	"nwdec/internal/obs"
+	"nwdec/internal/par"
+)
+
+// Cache sizing defaults. The cost unit is one dataset cell (see
+// Response.cost); the default cost cap holds about a million cells —
+// a few hundred times the repository's largest experiment dataset.
+const (
+	// DefaultMaxEntries bounds the number of cached responses.
+	DefaultMaxEntries = 128
+	// DefaultMaxCost bounds the total cached weight in cells.
+	DefaultMaxCost int64 = 1 << 20
+)
+
+// Options configures an Engine. The zero value selects the defaults.
+type Options struct {
+	// MaxEntries caps the result cache's entry count
+	// (0 = DefaultMaxEntries).
+	MaxEntries int
+	// MaxCost caps the result cache's total weight in cells
+	// (0 = DefaultMaxCost).
+	MaxCost int64
+	// MaxInFlight caps the number of requests computing concurrently
+	// (0 = GOMAXPROCS). Cached and deduplicated requests are served
+	// without consuming a slot.
+	MaxInFlight int
+}
+
+// Engine serves typed requests with caching, deduplication and admission
+// control. Construct with New; an Engine is safe for concurrent use.
+type Engine struct {
+	cache *resultCache
+	sem   *par.Semaphore
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// New creates an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = DefaultMaxEntries
+	}
+	if opts.MaxCost <= 0 {
+		opts.MaxCost = DefaultMaxCost
+	}
+	return &Engine{
+		cache:   newResultCache(opts.MaxEntries, opts.MaxCost),
+		sem:     par.NewSemaphore(opts.MaxInFlight),
+		flights: make(map[string]*flight),
+	}
+}
+
+// InFlight returns the number of requests currently computing.
+func (e *Engine) InFlight() int { return e.sem.InFlight() }
+
+// CacheLen returns the number of cached responses.
+func (e *Engine) CacheLen() int { return e.cache.len() }
+
+// Do serves one request: validate, consult the cache, join or lead the
+// in-flight computation for the request's content address, and compute
+// under admission control. The returned response is the caller's own —
+// its dataset is a private clone — and its CacheHit field reports whether
+// any computation happened on the caller's behalf.
+//
+// Errors are classified per internal/nwerr: a malformed request is
+// Invalid (no work is admitted), ctx cancellation surfaces as Canceled,
+// and computation failures pass through for ClassOf to read as Internal.
+// A follower of a deduplicated flight shares the leader's result and the
+// leader's error — including a Canceled one — since no computation of its
+// own remains to continue.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	reg := obs.From(ctx)
+	reg.Counter("engine/requests").Add(1)
+	reg.Counter("engine/" + string(req.Kind) + "/requests").Add(1)
+	span := reg.StartSpan("engine/request/" + string(req.Kind))
+	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return nil, nwerr.Canceled(err)
+	}
+
+	if !req.Kind.cacheable() {
+		resp, err := e.compute(ctx, req, reg)
+		if err != nil {
+			return nil, err
+		}
+		resp.CacheHit = false
+		return resp, nil
+	}
+
+	key := req.Key()
+	if resp, ok := e.cache.get(key); ok {
+		reg.Counter("engine/cache/hits").Add(1)
+		return resp.clone(req, true), nil
+	}
+	reg.Counter("engine/cache/misses").Add(1)
+
+	f, leader := e.joinOrLead(key)
+	if !leader {
+		reg.Counter("engine/flight/joined").Add(1)
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, nwerr.Canceled(ctx.Err())
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.resp.clone(req, true), nil
+	}
+
+	resp, err := e.compute(ctx, req, reg)
+	if err == nil {
+		evicted := e.cache.add(key, resp, resp.cost())
+		if evicted > 0 {
+			reg.Counter("engine/cache/evictions").Add(int64(evicted))
+		}
+		reg.Gauge("engine/cache/entries").Set(float64(e.cache.len()))
+		reg.Gauge("engine/cache/cost").Set(float64(e.cache.costNow()))
+	}
+	e.land(f, key, resp, err)
+	if err != nil {
+		return nil, err
+	}
+	return resp.clone(req, false), nil
+}
+
+// compute admits the request through the semaphore and runs its kind's
+// entry point. The response comes back un-cloned: Do decides whether it
+// becomes a cached original or goes straight to the caller.
+func (e *Engine) compute(ctx context.Context, req Request, reg *obs.Registry) (*Response, error) {
+	if err := e.sem.Acquire(ctx); err != nil {
+		reg.Counter("engine/admission/aborted").Add(1)
+		return nil, nwerr.Canceled(err)
+	}
+	reg.Gauge("engine/inflight").Set(float64(e.sem.InFlight()))
+	defer func() {
+		e.sem.Release()
+		reg.Gauge("engine/inflight").Set(float64(e.sem.InFlight()))
+	}()
+	reg.Counter("engine/computes").Add(1)
+	reg.Counter("engine/" + string(req.Kind) + "/computes").Add(1)
+	span := reg.StartSpan("engine/compute/" + string(req.Kind))
+	defer span.End()
+
+	resp, err := computeKind(ctx, req)
+	if err != nil {
+		reg.Counter("engine/compute_errors").Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, nwerr.Canceled(err)
+		}
+		return nil, err
+	}
+	resp.Key = req.Key()
+	return resp, nil
+}

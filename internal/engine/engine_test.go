@@ -1,0 +1,362 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"nwdec/internal/core"
+	"nwdec/internal/dataset"
+	"nwdec/internal/engine"
+	"nwdec/internal/experiments"
+	"nwdec/internal/nwerr"
+	"nwdec/internal/obs"
+)
+
+// obsCtx returns a context carrying a fresh metrics registry, so tests can
+// count computes, cache hits and evictions through the engine's own
+// instrumentation.
+func obsCtx() (context.Context, *obs.Registry) {
+	reg := obs.New(nil)
+	return obs.Into(context.Background(), reg), reg
+}
+
+// TestConcurrentDuplicatesComputeOnce is the singleflight proof: N
+// goroutines issue the identical request against one engine, and the
+// engine's compute counter must record exactly one execution — every
+// other caller either joined the in-flight computation or hit the cache.
+// Run under -race this also exercises the flight/cache synchronization.
+func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
+	ctx, reg := obsCtx()
+	eng := engine.New(engine.Options{})
+	req := engine.Request{Kind: engine.KindMonteCarlo, Seed: 11, Trials: 3}
+
+	const n = 16
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		resps [n]*engine.Response
+		errs  [n]error
+	)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resps[i], errs[i] = eng.Do(ctx, req)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+	}
+	if got := reg.Counter("engine/computes").Value(); got != 1 {
+		t.Errorf("%d concurrent identical requests ran %d computes, want exactly 1", n, got)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if resps[i].Yield != resps[0].Yield {
+			t.Errorf("request %d: yield %v differs from %v", i, resps[i].Yield, resps[0].Yield)
+		}
+		if resps[i].CacheHit {
+			hits++
+		}
+	}
+	if hits != n-1 {
+		t.Errorf("%d of %d requests report CacheHit, want %d (all but the leader)", hits, n, n-1)
+	}
+	if got := reg.Counter("engine/cache/hits").Value() + reg.Counter("engine/flight/joined").Value(); got != n-1 {
+		t.Errorf("hits+joined = %d, want %d", got, n-1)
+	}
+}
+
+// TestDistinctSeedsDistinctEntries: the seed is an identity field, so two
+// Monte-Carlo requests differing only in seed must occupy two cache
+// entries — sharing one would serve seed A's empirical yield for seed B.
+func TestDistinctSeedsDistinctEntries(t *testing.T) {
+	ctx, reg := obsCtx()
+	eng := engine.New(engine.Options{})
+	a, err := eng.Do(ctx, engine.Request{Kind: engine.KindMonteCarlo, Seed: 1, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Do(ctx, engine.Request{Kind: engine.KindMonteCarlo, Seed: 2, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit || b.CacheHit {
+		t.Error("first requests for distinct seeds must both compute")
+	}
+	if a.Key == b.Key {
+		t.Errorf("distinct seeds share cache key %s", a.Key)
+	}
+	if got := eng.CacheLen(); got != 2 {
+		t.Errorf("cache holds %d entries after two distinct requests, want 2", got)
+	}
+	if got := reg.Counter("engine/computes").Value(); got != 2 {
+		t.Errorf("computes = %d, want 2", got)
+	}
+	again, err := eng.Do(ctx, engine.Request{Kind: engine.KindMonteCarlo, Seed: 1, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.Yield != a.Yield {
+		t.Errorf("repeat of seed 1: hit=%v yield=%v, want hit with yield %v", again.CacheHit, again.Yield, a.Yield)
+	}
+}
+
+// TestEvictionRespectsEntryCap: the LRU must hold the entry cap and evict
+// the least recently used key.
+func TestEvictionRespectsEntryCap(t *testing.T) {
+	ctx, reg := obsCtx()
+	eng := engine.New(engine.Options{MaxEntries: 2})
+	for count := 1; count <= 3; count++ {
+		if _, err := eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: count}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.CacheLen(); got != 2 {
+		t.Errorf("cache holds %d entries with cap 2, want 2", got)
+	}
+	if got := reg.Counter("engine/cache/evictions").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// Count=1 was the least recently used entry; its re-request computes.
+	resp, err := eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Error("evicted entry served as a cache hit")
+	}
+	// Count=3 stayed resident.
+	resp, err = eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("resident entry recomputed")
+	}
+}
+
+// TestEvictionRespectsCostCap: a response heavier than the whole cost cap
+// must not be admitted, and the total cached cost stays under the cap.
+func TestEvictionRespectsCostCap(t *testing.T) {
+	ctx, _ := obsCtx()
+	// A one-word codes dataset costs 1 + 1 row × 3 columns = 4 units.
+	eng := engine.New(engine.Options{MaxCost: 3})
+	resp, err := eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Error("cold request reports CacheHit")
+	}
+	if got := eng.CacheLen(); got != 0 {
+		t.Errorf("over-cost response was cached (%d entries)", got)
+	}
+	// With room for one such response but not two, the second insert
+	// evicts the first.
+	eng = engine.New(engine.Options{MaxCost: 5})
+	if _, err := eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CacheLen(); got != 1 {
+		t.Errorf("cache holds %d entries under the cost cap, want 1", got)
+	}
+}
+
+// TestWorkersExcludedFromKey: the worker count is an execution detail —
+// the determinism guarantee makes results bit-identical across worker
+// counts — so a result computed at one count must serve every other.
+func TestWorkersExcludedFromKey(t *testing.T) {
+	ctx, _ := obsCtx()
+	eng := engine.New(engine.Options{})
+	one, err := eng.Do(ctx, engine.Request{Kind: engine.KindExperiment, Experiment: "fig5", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := eng.Do(ctx, engine.Request{Kind: engine.KindExperiment, Experiment: "fig5", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.CacheHit {
+		t.Error("first request reports CacheHit")
+	}
+	if !four.CacheHit {
+		t.Error("same request at a different worker count recomputed; Workers must not key the cache")
+	}
+	if one.Dataset.Meta.Workers != 1 || four.Dataset.Meta.Workers != 4 {
+		t.Errorf("Meta.Workers = %d/%d, want each caller's own value 1/4",
+			one.Dataset.Meta.Workers, four.Dataset.Meta.Workers)
+	}
+	var a, b bytes.Buffer
+	if err := one.Dataset.Render(&a, dataset.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := four.Dataset.Render(&b, dataset.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("cached and computed responses serialize differently")
+	}
+}
+
+// TestCachedDatasetIsPrivate: each caller gets an independent clone, so
+// annotating one response never contaminates the cached original.
+func TestCachedDatasetIsPrivate(t *testing.T) {
+	ctx, _ := obsCtx()
+	eng := engine.New(engine.Options{})
+	req := engine.Request{Kind: engine.KindCodes, Count: 4}
+	first, err := eng.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := len(first.Dataset.Notes)
+	first.Dataset.Note("caller-local annotation")
+	second, err := eng.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical request missed the cache")
+	}
+	if len(second.Dataset.Notes) != notes {
+		t.Errorf("caller mutation leaked into the cache: %d notes, want %d", len(second.Dataset.Notes), notes)
+	}
+}
+
+// TestInvalidRequests: malformed requests must classify as Invalid and be
+// rejected before any computation is admitted.
+func TestInvalidRequests(t *testing.T) {
+	ctx, reg := obsCtx()
+	eng := engine.New(engine.Options{})
+	for _, req := range []engine.Request{
+		{Kind: "nope"},
+		{Kind: engine.KindExperiment},
+		{Kind: engine.KindMonteCarlo, Trials: 0},
+		{Kind: engine.KindCodes, Count: -1},
+	} {
+		_, err := eng.Do(ctx, req)
+		if err == nil {
+			t.Errorf("request %+v accepted", req)
+			continue
+		}
+		if !errors.Is(err, nwerr.ErrInvalid) {
+			t.Errorf("request %+v: error %v is not ErrInvalid", req, err)
+		}
+	}
+	if got := reg.Counter("engine/computes").Value(); got != 0 {
+		t.Errorf("invalid requests ran %d computes, want 0", got)
+	}
+}
+
+// TestCanceledContext: a dead context surfaces as a Canceled-class error
+// whose message still names the cause.
+func TestCanceledContext(t *testing.T) {
+	ctx, reg := obsCtx()
+	ctx, cancel := context.WithCancel(ctx)
+	cancel()
+	eng := engine.New(engine.Options{})
+	_, err := eng.Do(ctx, engine.Request{Kind: engine.KindDesign})
+	if !errors.Is(err, nwerr.ErrCanceled) {
+		t.Errorf("error %v is not ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v lost its context.Canceled cause", err)
+	}
+	if got := reg.Counter("engine/computes").Value(); got != 0 {
+		t.Errorf("canceled request ran %d computes, want 0", got)
+	}
+}
+
+// TestComputeErrorsNotCached: a failing request must not poison the
+// cache — the next identical request retries the computation.
+func TestComputeErrorsNotCached(t *testing.T) {
+	ctx, reg := obsCtx()
+	eng := engine.New(engine.Options{})
+	// An odd length is structurally invalid for a reflected code family,
+	// so NewDesign fails.
+	req := engine.Request{Kind: engine.KindDesign, Config: core.Config{CodeLength: 7}}
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Do(ctx, req); err == nil {
+			t.Fatalf("attempt %d: invalid design accepted", i)
+		}
+	}
+	if got := reg.Counter("engine/computes").Value(); got != 2 {
+		t.Errorf("computes = %d, want 2 (errors must not be cached)", got)
+	}
+	if got := eng.CacheLen(); got != 0 {
+		t.Errorf("failed computation left %d cache entries", got)
+	}
+}
+
+// TestFabricateUncachedDeterministic: fabrication returns mutable state,
+// so it must never be cached; same-seed fabrications are nevertheless
+// bit-identical, and the returned RNG continues the fabrication stream
+// deterministically.
+func TestFabricateUncachedDeterministic(t *testing.T) {
+	ctx, _ := obsCtx()
+	eng := engine.New(engine.Options{})
+	req := engine.Request{Kind: engine.KindFabricate, Seed: 7}
+	a, err := eng.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit || b.CacheHit {
+		t.Error("fabrication reported a cache hit; it must always compute")
+	}
+	if got := eng.CacheLen(); got != 0 {
+		t.Errorf("fabrication left %d cache entries, want 0", got)
+	}
+	if a.Memory == b.Memory {
+		t.Error("two fabrications share one *crossbar.Memory instance")
+	}
+	if af, bf := a.Memory.UsableFraction(), b.Memory.UsableFraction(); af != bf {
+		t.Errorf("same-seed fabrications differ: usable %v vs %v", af, bf)
+	}
+	for i := 0; i < 8; i++ {
+		if av, bv := a.RNG.Intn(1<<20), b.RNG.Intn(1<<20); av != bv {
+			t.Fatalf("post-fabrication RNG streams diverge at draw %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+// TestEngineMatchesRunner: the engine is a serving layer, not a fork of
+// the pipeline — its experiment responses must serialize byte-identically
+// to a direct experiments.Runner run.
+func TestEngineMatchesRunner(t *testing.T) {
+	ctx, _ := obsCtx()
+	eng := engine.New(engine.Options{})
+	resp, err := eng.Do(ctx, engine.Request{Kind: engine.KindExperiment, Experiment: "fig7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := experiments.NewRunner().Run(context.Background(), "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := resp.Dataset.Render(&a, dataset.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Render(&b, dataset.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("engine and runner outputs differ:\nengine: %s\nrunner: %s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,36 @@
+package engine
+
+// flight is one in-progress computation that concurrent identical
+// requests can join instead of recomputing. The leader publishes resp/err
+// and then closes done; followers block on done (or their own context)
+// and read the published result. The close-channel broadcast replaces the
+// WaitGroup idiom, which the project reserves for internal/par.
+type flight struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// joinOrLead returns the existing flight for key, or registers a new one
+// led by the caller. The boolean reports leadership.
+func (e *Engine) joinOrLead(key string) (*flight, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.flights[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
+	return f, true
+}
+
+// land publishes the leader's result and releases the followers. The
+// flight is deregistered before done is closed, so a request arriving
+// after completion starts fresh instead of observing a landed flight.
+func (e *Engine) land(f *flight, key string, resp *Response, err error) {
+	f.resp, f.err = resp, err
+	e.mu.Lock()
+	delete(e.flights, key)
+	e.mu.Unlock()
+	close(f.done)
+}

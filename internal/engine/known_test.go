@@ -1,0 +1,28 @@
+package engine_test
+
+import (
+	"testing"
+
+	"nwdec/internal/engine"
+)
+
+// TestExperimentKnown pins the name resolution the HTTP facade relies on
+// for its 404 mapping: registry names, the mc alias and case/space
+// normalization resolve; anything else does not.
+func TestExperimentKnown(t *testing.T) {
+	for _, name := range engine.ExperimentNames() {
+		if !engine.ExperimentKnown(name) {
+			t.Errorf("registry name %q not known", name)
+		}
+	}
+	for _, name := range []string{"mc", " FIG7 ", "Montecarlo"} {
+		if !engine.ExperimentKnown(name) {
+			t.Errorf("%q should resolve", name)
+		}
+	}
+	for _, name := range []string{"", "nope", "all"} {
+		if engine.ExperimentKnown(name) {
+			t.Errorf("%q should not resolve", name)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package engine_test
+
+import (
+	"testing"
+
+	"nwdec/internal/lint"
+)
+
+// TestEngineLintClean runs the full nwlint analyzer suite over the engine
+// and the error taxonomy it exports: both carry the determinism invariant
+// (registered in DeterministicPkgs — a cache keyed by content addresses
+// must never fold wall time or map order into results), and the engine is
+// a context-entry package (its Do accepts ctx first and honors
+// cancellation).
+func TestEngineLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the packages from source")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig(loader.Module)
+	if !cfg.Deterministic(loader.Module + "/internal/engine") {
+		t.Error("internal/engine is not registered as a deterministic package")
+	}
+	if !cfg.Deterministic(loader.Module + "/internal/nwerr") {
+		t.Error("internal/nwerr is not registered as a deterministic package")
+	}
+	if !cfg.CtxEntry(loader.Module + "/internal/engine") {
+		t.Error("internal/engine is not registered as a context-entry package")
+	}
+	for _, path := range []string{"/internal/engine", "/internal/nwerr"} {
+		pkg, err := loader.Load(loader.Module + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range lint.Run([]*lint.Package{pkg}, lint.All(), cfg) {
+			t.Errorf("%s", d)
+		}
+	}
+}

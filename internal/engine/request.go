@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"nwdec/internal/code"
+	"nwdec/internal/core"
+	"nwdec/internal/crossbar"
+	"nwdec/internal/dataset"
+	"nwdec/internal/nwerr"
+	"nwdec/internal/stats"
+	"nwdec/internal/sweep"
+)
+
+// Kind names one request type the engine can serve. Kinds are strings so
+// cache keys, metric names and HTTP routes all read the same.
+type Kind string
+
+// The request kinds, one per expensive entry point of the library.
+const (
+	// KindDesign resolves one decoder design (core.NewDesign).
+	KindDesign Kind = "design"
+	// KindOptimize sweeps the design space and returns the best design
+	// under an objective (core.Optimize).
+	KindOptimize Kind = "optimize"
+	// KindMonteCarlo measures the empirical cave yield of a design over
+	// repeated fabrications (Design.MonteCarloYieldWorkers).
+	KindMonteCarlo Kind = "montecarlo"
+	// KindExperiment runs one named experiment of the reproduction
+	// (experiments.Runner.Run).
+	KindExperiment Kind = "experiment"
+	// KindSweep evaluates the batch design-space grid (sweep.RunWorkers).
+	KindSweep Kind = "sweep"
+	// KindCodes generates a code-word listing with transition statistics
+	// (the nwcodes workload).
+	KindCodes Kind = "codes"
+	// KindFabricate builds one Monte-Carlo crossbar memory instance
+	// (Design.FabricateWorkers). Fabrications return mutable state, so
+	// this kind is never cached or deduplicated — only admitted and
+	// instrumented.
+	KindFabricate Kind = "fabricate"
+)
+
+// cacheable reports whether results of this kind may be cached and
+// shared. Everything is, except fabrication: a *crossbar.Memory is
+// mutable (the whole point is writing to it), so two requests must never
+// receive the same instance.
+func (k Kind) cacheable() bool { return k != KindFabricate }
+
+// known reports whether k is one of the declared kinds.
+func (k Kind) known() bool {
+	switch k {
+	case KindDesign, KindOptimize, KindMonteCarlo, KindExperiment,
+		KindSweep, KindCodes, KindFabricate:
+		return true
+	}
+	return false
+}
+
+// Request is one unit of work submitted to the engine. A request is fully
+// described by its value: two requests with equal identity fields compute
+// identical results (the determinism invariant of the pipeline), which is
+// what makes content-addressed caching sound.
+type Request struct {
+	// Kind selects the entry point.
+	Kind Kind
+	// Config is the platform configuration (all kinds; KindCodes reads
+	// only CodeType, Base and CodeLength from it).
+	Config core.Config
+	// Experiment is the registry name for KindExperiment.
+	Experiment string
+	// Grid is the parameter grid for KindSweep (zero = default grid).
+	Grid sweep.Grid
+	// Objective ranks designs for KindOptimize.
+	Objective core.Objective
+	// Types are the code families for KindOptimize (nil = all).
+	Types []code.Type
+	// Lengths are the code lengths for KindOptimize (nil = 4..12 even).
+	Lengths []int
+	// Count is the number of words to emit for KindCodes (0 = the whole
+	// space, capped at 64 — the historical nwcodes default).
+	Count int
+	// Seed drives the stochastic kinds (KindMonteCarlo, KindExperiment,
+	// KindFabricate).
+	Seed uint64
+	// Trials is the repetition count for KindMonteCarlo and the
+	// Monte-Carlo experiments (KindExperiment; 0 = the runner default).
+	Trials int
+	// Workers bounds the worker pool (0 = GOMAXPROCS). It is an
+	// execution detail: results are bit-identical at every worker count,
+	// so Workers is excluded from the cache key — a request computed at
+	// one worker count serves all others.
+	Workers int
+}
+
+// Key returns the request's content address: the kind plus a fingerprint
+// of every identity field. The configuration contributes through
+// Config.Fingerprint, which folds in the threshold model's calibration
+// parameters; Workers is deliberately absent (see the field comment).
+func (r Request) Key() string {
+	return string(r.Kind) + "/" + dataset.Fingerprint(struct {
+		Config     string
+		Experiment string
+		Grid       sweep.Grid
+		Objective  core.Objective
+		Types      []code.Type
+		Lengths    []int
+		Count      int
+		Seed       uint64
+		Trials     int
+	}{
+		Config:     r.Config.Fingerprint(),
+		Experiment: r.Experiment,
+		Grid:       r.Grid,
+		Objective:  r.Objective,
+		Types:      r.Types,
+		Lengths:    r.Lengths,
+		Count:      r.Count,
+		Seed:       r.Seed,
+		Trials:     r.Trials,
+	})
+}
+
+// validate rejects malformed requests with Invalid-class errors before
+// any work is admitted.
+func (r Request) validate() error {
+	if !r.Kind.known() {
+		return nwerr.Invalidf("engine: unknown request kind %q", string(r.Kind))
+	}
+	if r.Kind == KindExperiment && r.Experiment == "" {
+		return nwerr.Invalidf("engine: experiment request needs a name")
+	}
+	if r.Kind == KindMonteCarlo && r.Trials <= 0 {
+		return nwerr.Invalidf("engine: montecarlo request needs a positive trial count, got %d", r.Trials)
+	}
+	if r.Count < 0 {
+		return nwerr.Invalidf("engine: negative word count %d", r.Count)
+	}
+	return nil
+}
+
+// Response is the result of one request. Dataset is always set except for
+// KindFabricate. The kind-specific payloads (Design, Rows, Yield) are
+// shared between callers of the same cached result and must be treated as
+// read-only; Dataset is a private clone, safe to annotate. Memory and RNG
+// come only from the uncached KindFabricate, so they are exclusively the
+// caller's.
+type Response struct {
+	// Dataset is the structured result (nil for KindFabricate).
+	Dataset *dataset.Dataset
+	// Design is the resolved design for KindDesign and KindOptimize.
+	Design *core.Design
+	// Rows are the evaluated grid points for KindSweep.
+	Rows []sweep.Row
+	// Yield is the measured mean usable fraction for KindMonteCarlo.
+	Yield float64
+	// Memory is the fabricated crossbar for KindFabricate.
+	Memory *crossbar.Memory
+	// RNG is the generator state after fabrication for KindFabricate, so
+	// controllers can continue drawing from the same stream (fault
+	// injection in nwmem depends on this).
+	RNG *stats.RNG
+	// CacheHit reports whether the result was served without computing:
+	// from the cache, or by joining an identical in-flight request.
+	CacheHit bool
+	// Key is the request's content address, for logging and HTTP headers.
+	Key string
+}
+
+// clone returns the caller's private view of a response: the dataset is
+// deep-copied (and stamped with the request's worker count — an execution
+// detail excluded from serialization) so no caller can mutate the cached
+// original.
+func (r *Response) clone(req Request, hit bool) *Response {
+	out := *r
+	out.CacheHit = hit
+	if r.Dataset != nil {
+		out.Dataset = r.Dataset.Clone()
+		out.Dataset.Meta.Workers = req.Workers
+	}
+	return &out
+}
+
+// cost estimates the cache weight of a response in cells. The unit is
+// coarse — the cap exists to bound memory, not to account bytes exactly.
+func (r *Response) cost() int64 {
+	c := int64(1)
+	if r.Dataset != nil {
+		cols := len(r.Dataset.Columns)
+		if cols < 1 {
+			cols = 1
+		}
+		c += int64(len(r.Dataset.Rows)) * int64(cols)
+	}
+	c += int64(len(r.Rows))
+	if r.Design != nil {
+		c += 64
+	}
+	return c
+}

@@ -224,6 +224,21 @@ func (r *Runner) Names() []string {
 	return names
 }
 
+// Known reports whether name resolves to a registry experiment under the
+// same normalization Run applies (case, surrounding space, aliases).
+func (r *Runner) Known(name string) bool {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := aliases[key]; ok {
+		key = canon
+	}
+	for _, spec := range registry {
+		if spec.name == key {
+			return true
+		}
+	}
+	return false
+}
+
 // Run executes one experiment by name and returns its structured dataset.
 // The dataset's metadata records the canonical experiment name, the
 // effective seed/worker settings and a fingerprint of the platform

@@ -36,9 +36,11 @@ func DefaultConfig(module string) *Config {
 			"internal/core",
 			"internal/crossbar",
 			"internal/dataset",
+			"internal/engine",
 			"internal/experiments",
 			"internal/geometry",
 			"internal/mspt",
+			"internal/nwerr",
 			"internal/obs",
 			"internal/physics",
 			"internal/readout",
@@ -46,9 +48,10 @@ func DefaultConfig(module string) *Config {
 			"internal/sweep",
 			"internal/yield",
 		},
-		GoroutinePkgs: []string{"internal/par"},
+		GoroutinePkgs: []string{"internal/par", "cmd/nwserve"},
 		CtxEntryPkgs: []string{
 			"internal/core",
+			"internal/engine",
 			"internal/experiments",
 			"internal/sweep",
 		},

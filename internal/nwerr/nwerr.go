@@ -1,0 +1,138 @@
+// Package nwerr is the typed error taxonomy of the pipeline. Every error
+// that crosses a subsystem boundary carries (or is assigned) one of three
+// classes:
+//
+//   - Invalid — the request itself is malformed: an unknown kind, a bad
+//     flag value, a non-positive trial count. The caller must change the
+//     request; retrying cannot help. CLIs exit 2, the HTTP facade
+//     answers 400.
+//   - Canceled — the caller gave up: the context was canceled or its
+//     deadline expired before the work finished. CLIs exit 1, the HTTP
+//     facade answers 503.
+//   - Internal — the computation itself failed. CLIs exit 1, the HTTP
+//     facade answers 500.
+//
+// Classification is structural, never textual: classes travel as wrapped
+// errors in ordinary %w chains, ClassOf walks the chain with errors.As,
+// and context errors are recognized with errors.Is — so the command layer
+// derives exit codes without ever matching message strings.
+package nwerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Class partitions errors by who has to act on them.
+type Class int
+
+// The error classes, ordered by blame: the caller (Invalid), the caller's
+// impatience (Canceled), the system (Internal).
+const (
+	// ClassInternal is the default: the computation failed.
+	ClassInternal Class = iota
+	// ClassInvalid marks a malformed request; retrying cannot help.
+	ClassInvalid
+	// ClassCanceled marks work abandoned on context cancellation or
+	// deadline expiry.
+	ClassCanceled
+)
+
+// String returns the lower-case class name.
+func (c Class) String() string {
+	switch c {
+	case ClassInvalid:
+		return "invalid"
+	case ClassCanceled:
+		return "canceled"
+	case ClassInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// sentinel is the errors.Is anchor of one class. It never appears in an
+// error chain itself; (*Error).Is matches it by class.
+type sentinel struct{ class Class }
+
+func (s sentinel) Error() string { return s.class.String() + " error" }
+
+// Class sentinels for errors.Is: errors.Is(err, nwerr.ErrInvalid) reports
+// whether err's chain carries an Invalid classification.
+var (
+	ErrInvalid  error = sentinel{ClassInvalid}
+	ErrCanceled error = sentinel{ClassCanceled}
+	ErrInternal error = sentinel{ClassInternal}
+)
+
+// Error couples a class with its cause. It is transparent: Error() renders
+// the cause unchanged (the class is routing metadata, not message text)
+// and Unwrap exposes the cause to errors.Is/As chains.
+type Error struct {
+	Class Class
+	Err   error
+}
+
+// Error returns the cause's message unchanged.
+func (e *Error) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches the class sentinels, so errors.Is(err, ErrInvalid) works
+// through arbitrary %w chains.
+func (e *Error) Is(target error) bool {
+	s, ok := target.(sentinel)
+	return ok && s.class == e.Class
+}
+
+// wrap attaches a class to err; a nil err stays nil.
+func wrap(class Class, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Class: class, Err: err}
+}
+
+// Invalid marks err as a malformed request. A nil err stays nil.
+func Invalid(err error) error { return wrap(ClassInvalid, err) }
+
+// Canceled marks err as abandoned work. A nil err stays nil.
+func Canceled(err error) error { return wrap(ClassCanceled, err) }
+
+// Internal marks err as a computation failure. A nil err stays nil.
+func Internal(err error) error { return wrap(ClassInternal, err) }
+
+// Invalidf formats a new Invalid-class error; %w wrapping works.
+func Invalidf(format string, args ...any) error {
+	return Invalid(fmt.Errorf(format, args...))
+}
+
+// Internalf formats a new Internal-class error; %w wrapping works.
+func Internalf(format string, args ...any) error {
+	return Internal(fmt.Errorf(format, args...))
+}
+
+// ClassOf classifies an error: the outermost *Error in the chain wins;
+// bare context.Canceled/DeadlineExceeded chains classify as Canceled;
+// everything else — including errors that never met this package — is
+// Internal. A nil error has no class; ClassOf returns ClassInternal for
+// uniformity, but callers should branch on err != nil first.
+func ClassOf(err error) Class {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Class
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassCanceled
+	}
+	return ClassInternal
+}
+
+// IsInvalid reports whether err classifies as a malformed request.
+func IsInvalid(err error) bool { return err != nil && ClassOf(err) == ClassInvalid }
+
+// IsCanceled reports whether err classifies as abandoned work.
+func IsCanceled(err error) bool { return err != nil && ClassOf(err) == ClassCanceled }

@@ -1,0 +1,89 @@
+package nwerr_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"nwdec/internal/nwerr"
+)
+
+func TestClassOf(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want nwerr.Class
+	}{
+		{"invalid", nwerr.Invalid(base), nwerr.ClassInvalid},
+		{"canceled", nwerr.Canceled(base), nwerr.ClassCanceled},
+		{"internal", nwerr.Internal(base), nwerr.ClassInternal},
+		{"unclassified", base, nwerr.ClassInternal},
+		{"ctx-canceled", context.Canceled, nwerr.ClassCanceled},
+		{"ctx-deadline", context.DeadlineExceeded, nwerr.ClassCanceled},
+		{"wrapped-ctx", fmt.Errorf("sweep: %w", context.DeadlineExceeded), nwerr.ClassCanceled},
+		{"invalidf", nwerr.Invalidf("bad count %d", -1), nwerr.ClassInvalid},
+		{"rewrapped", fmt.Errorf("cli: %w", nwerr.Invalid(base)), nwerr.ClassInvalid},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := nwerr.ClassOf(tc.err); got != tc.want {
+				t.Errorf("ClassOf(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestOutermostClassWins pins the re-classification rule: a chain carrying
+// two classes resolves to the outermost one, so a boundary can override a
+// lower layer's verdict.
+func TestOutermostClassWins(t *testing.T) {
+	err := nwerr.Internal(fmt.Errorf("retry gave up: %w", nwerr.Invalid(errors.New("bad"))))
+	if got := nwerr.ClassOf(err); got != nwerr.ClassInternal {
+		t.Errorf("ClassOf = %v, want internal (outermost)", got)
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	err := fmt.Errorf("engine: %w", nwerr.Invalid(errors.New("unknown kind")))
+	if !errors.Is(err, nwerr.ErrInvalid) {
+		t.Error("errors.Is(err, ErrInvalid) = false through a %w chain")
+	}
+	if errors.Is(err, nwerr.ErrCanceled) || errors.Is(err, nwerr.ErrInternal) {
+		t.Error("sentinel matched the wrong class")
+	}
+	if !nwerr.IsInvalid(err) {
+		t.Error("IsInvalid = false")
+	}
+	if nwerr.IsCanceled(err) {
+		t.Error("IsCanceled = true for an invalid-class error")
+	}
+}
+
+// TestTransparency pins that classification never alters the message: the
+// command layer prints the cause text the user needs (e.g. "context
+// deadline exceeded") while deriving the exit code from the class.
+func TestTransparency(t *testing.T) {
+	cause := fmt.Errorf("experiments: %w", context.DeadlineExceeded)
+	err := nwerr.Canceled(cause)
+	if err.Error() != cause.Error() {
+		t.Errorf("message changed: %q != %q", err.Error(), cause.Error())
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("cause lost from the chain")
+	}
+	var e *nwerr.Error
+	if !errors.As(err, &e) || e.Class != nwerr.ClassCanceled {
+		t.Error("errors.As failed to recover the typed error")
+	}
+}
+
+func TestNilStaysNil(t *testing.T) {
+	if nwerr.Invalid(nil) != nil || nwerr.Canceled(nil) != nil || nwerr.Internal(nil) != nil {
+		t.Error("wrapping nil must return nil")
+	}
+	if nwerr.IsInvalid(nil) || nwerr.IsCanceled(nil) {
+		t.Error("nil error must not classify")
+	}
+}

@@ -1,0 +1,93 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	const cap, callers = 3, 32
+	s := NewSemaphore(cap)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Release()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Errorf("peak concurrency %d exceeds semaphore cap %d", p, cap)
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("InFlight = %d after all releases", s.InFlight())
+	}
+}
+
+func TestSemaphoreAcquireHonorsCancel(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Errorf("Acquire on full semaphore = %v, want DeadlineExceeded", err)
+	}
+	s.Release()
+
+	// An already-canceled context never takes a slot, even with one free.
+	done, stop := context.WithCancel(context.Background())
+	stop()
+	if err := s.Acquire(done); err != context.Canceled {
+		t.Errorf("Acquire with canceled ctx = %v, want Canceled", err)
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("canceled Acquire leaked a slot: InFlight = %d", s.InFlight())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := NewSemaphore(1)
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire on empty semaphore failed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire on full semaphore succeeded")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+	s.Release()
+}
+
+func TestSemaphoreDefaultsAndMisuse(t *testing.T) {
+	if got := NewSemaphore(0).Cap(); got != Workers(0) {
+		t.Errorf("NewSemaphore(0).Cap() = %d, want GOMAXPROCS (%d)", got, Workers(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unbalanced Release did not panic")
+		}
+	}()
+	NewSemaphore(1).Release()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 )
 
 // VTModel is the bijection f of Proposition 1 between a region's net channel
@@ -54,6 +55,15 @@ func DefaultPhysicalModel() *PhysicalModel {
 // Cox returns the oxide capacitance per unit area in F/cm^2.
 func (m *PhysicalModel) Cox() float64 {
 	return OxidePermittivity / m.OxideThickness
+}
+
+// Params returns a stable rendering of the model's calibration
+// parameters. Configuration fingerprints include it so two models of the
+// same type but different calibration never hash identically (a %T-only
+// hash would collide them and poison any fingerprint-keyed cache).
+func (m *PhysicalModel) Params() string {
+	return fmt.Sprintf("tox=%g vfb=%g vth=%g ni=%g",
+		m.OxideThickness, m.FlatBand, m.ThermalVoltage, m.Ni)
 }
 
 // VT implements VTModel. Doping values are clamped into
@@ -175,6 +185,19 @@ func PaperExampleTable() *TableModel {
 		panic("physics: paper example table must be valid: " + err.Error())
 	}
 	return m
+}
+
+// Params returns a stable rendering of the calibration table; see
+// (*PhysicalModel).Params for why fingerprints need it.
+func (m *TableModel) Params() string {
+	var sb strings.Builder
+	for i := range m.logN {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "(%g,%g)", m.logN[i], m.vt[i])
+	}
+	return sb.String()
 }
 
 // VT implements VTModel.

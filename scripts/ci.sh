@@ -16,14 +16,18 @@
 #      generator cache race-clean and exercises the serial-vs-parallel
 #      determinism tests
 #   6. coverage gate — go run ./scripts/covergate enforces per-package
-#      statement-coverage floors over internal/{par,code,dataset,obs}
+#      statement-coverage floors over
+#      internal/{par,code,dataset,obs,engine,nwerr}
 #   7. bench regression — scripts/bench.sh measures a fresh
 #      BENCH_parallel.json into ci-artifacts/ and scripts/benchcmp.go
 #      compares it against the committed baseline (±20% ns/op). Warns by
 #      default; set CI_BENCH_STRICT=1 to fail on regression.
 #   8. metrics smoke — nwsim -metrics json must emit a parseable snapshot
 #      (saved as ci-artifacts/metrics.json) without touching stdout data
-#   9. fuzz smoke — 10s of real fuzzing per internal/code fuzz target,
+#   9. server smoke — nwserve -smoke starts the HTTP facade on an
+#      ephemeral port, issues one /v1/experiment request against itself
+#      and shuts down gracefully
+#  10. fuzz smoke — 10s of real fuzzing per internal/code fuzz target,
 #      auto-discovered from the test files (the fuzz engine accepts one
 #      target per invocation)
 #
@@ -84,6 +88,9 @@ go run ./cmd/nwsim -exp montecarlo -trials 4 \
 	-metrics json -metrics-out "$artifacts/metrics.json" > /dev/null
 test -s "$artifacts/metrics.json"
 go run ./cmd/nwsim -exp montecarlo -trials 4 > "$artifacts/montecarlo-plain.txt"
+
+echo "== server smoke =="
+go run ./cmd/nwserve -smoke
 
 echo "== fuzz smoke =="
 targets="$(grep -hEo '^func Fuzz[A-Za-z0-9_]*' internal/code/*_test.go | awk '{print $2}' | sort)"

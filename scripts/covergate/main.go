@@ -33,8 +33,10 @@ var gated = []struct {
 }{
 	{"nwdec/internal/par", 80.0},
 	{"nwdec/internal/code", 95.0},
-	{"nwdec/internal/dataset", 82.0},
+	{"nwdec/internal/dataset", 90.0},
 	{"nwdec/internal/obs", 85.0},
+	{"nwdec/internal/engine", 70.0},
+	{"nwdec/internal/nwerr", 70.0},
 }
 
 // coverageLine matches one `go test -cover` result line, e.g.
