@@ -52,8 +52,11 @@ func (d *Design) MonteCarloYield(trials int, seed uint64) (float64, error) {
 // MonteCarloYieldWorkers is MonteCarloYield with a cancellation context and
 // an explicit worker count (<= 0 means GOMAXPROCS). Each trial fabricates
 // from its own jump substream of the seed and the mean is reduced in trial
-// order, so the result is bit-identical at every worker count. Cancelling
-// ctx abandons unfinished trials and returns ctx's error.
+// order, so the result is bit-identical at every worker count. Trials are
+// scheduled in contiguous chunks, and each chunk materializes only its own
+// block of substreams through the lazy fan-out — no worker count pays the
+// up-front cost of jumping out all trials eagerly. Cancelling ctx abandons
+// unfinished trials and returns ctx's error.
 func (d *Design) MonteCarloYieldWorkers(ctx context.Context, trials int, seed uint64, workers int) (float64, error) {
 	if trials <= 0 {
 		return 0, fmt.Errorf("core: non-positive trial count %d", trials)
@@ -62,14 +65,24 @@ func (d *Design) MonteCarloYieldWorkers(ctx context.Context, trials int, seed ui
 	span := reg.StartSpan("core/montecarlo_yield")
 	defer span.End()
 	reg.Counter("core/montecarlo_yield/trials").Add(int64(trials))
-	streams := stats.NewRNG(seed).Streams(trials)
-	fracs, err := par.MapN(ctx, workers, trials,
-		func(_ context.Context, t int) (float64, error) {
-			mem, err := d.Fabricate(streams[t])
-			if err != nil {
-				return 0, err
+	sub := stats.NewRNG(seed).Substreams()
+	fracs := make([]float64, trials)
+	err := par.ForEachChunks(ctx, workers, trials, 0,
+		func(cctx context.Context, lo, hi int) error {
+			rngs := sub.Block(uint64(lo), hi-lo)
+			for t := lo; t < hi; t++ {
+				if err := cctx.Err(); err != nil {
+					return err
+				}
+				// Caves stay serial inside a trial: the trial fan-out
+				// already saturates the pool.
+				mem, err := d.FabricateWorkers(cctx, rngs[t-lo], 1)
+				if err != nil {
+					return err
+				}
+				fracs[t] = mem.UsableFraction()
 			}
-			return mem.UsableFraction(), nil
+			return nil
 		})
 	if err != nil {
 		return 0, err

@@ -51,19 +51,15 @@ func (d *Decoder) NominalAddressing(lo, hi int) (*NominalTable, error) {
 	if lo < 0 || hi > d.Plan.N() || lo >= hi {
 		return nil, fmt.Errorf("crossbar: invalid group window [%d, %d) for %d wires", lo, hi, d.Plan.N())
 	}
-	pattern := d.Plan.Pattern()
 	t := &NominalTable{Lo: lo, Hi: hi, Conducting: make([][]int, hi-lo)}
 	for i := lo; i < hi; i++ {
-		va := d.AddressVoltages(pattern[i])
+		va := d.va[i]
 		for k := lo; k < hi; k++ {
 			// At nominal thresholds, conduction is exactly digit-wise
-			// domination; use the voltage comparison to exercise the same
+			// domination; use the voltage comparison (over the decoder's
+			// precomputed nominal-threshold rows) to exercise the same
 			// path the Monte-Carlo simulator uses.
-			vt := make([]float64, d.Plan.M())
-			for j := 0; j < d.Plan.M(); j++ {
-				vt[j] = d.Q.VTOf(pattern[k][j])
-			}
-			if Conducts(vt, va) {
+			if Conducts(d.nominal[k], va) {
 				t.Conducting[i-lo] = append(t.Conducting[i-lo], k)
 			}
 		}

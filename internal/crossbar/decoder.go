@@ -22,9 +22,25 @@ import (
 
 // Decoder couples a doping plan with the voltage quantizer that defines the
 // addressing levels.
+//
+// Construction precomputes the three read-only matrices every Monte-Carlo
+// resolution consults per wire — the pattern rows, the per-wire address
+// voltages and the nominal thresholds — so the fabrication hot loop shares
+// them across workers without cloning or re-deriving anything. The caches
+// are pure functions of (plan, quantizer) and never written after
+// NewDecoder returns, which keeps concurrent layer builds race-clean.
 type Decoder struct {
 	Plan *mspt.Plan
 	Q    *physics.Quantizer
+
+	// pattern is a private copy of the plan's pattern rows (the public
+	// accessor clones per call, far too expensive per half cave).
+	pattern []code.Word
+	// va[i] is AddressVoltages(pattern[i]): the mesowire drive pattern
+	// addressing wire i. Rows are slices of one flat backing array.
+	va [][]float64
+	// nominal[i][j] is the zero-variability threshold of region (i, j).
+	nominal [][]float64
 }
 
 // NewDecoder validates that the plan and quantizer agree on the logic base.
@@ -32,7 +48,21 @@ func NewDecoder(plan *mspt.Plan, q *physics.Quantizer) (*Decoder, error) {
 	if plan.Base() != q.N() {
 		return nil, fmt.Errorf("crossbar: plan base %d does not match quantizer levels %d", plan.Base(), q.N())
 	}
-	return &Decoder{Plan: plan, Q: q}, nil
+	d := &Decoder{Plan: plan, Q: q, pattern: plan.Pattern()}
+	n, m := plan.N(), plan.M()
+	vaFlat := make([]float64, n*m)
+	nomFlat := make([]float64, n*m)
+	d.va = make([][]float64, n)
+	d.nominal = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		d.va[i] = vaFlat[i*m : (i+1)*m]
+		d.nominal[i] = nomFlat[i*m : (i+1)*m]
+		d.addressVoltagesInto(d.pattern[i], d.va[i])
+		for j := 0; j < m; j++ {
+			d.nominal[i][j] = q.VTOf(d.pattern[i][j])
+		}
+	}
+	return d, nil
 }
 
 // AddressVoltages returns the mesowire voltage pattern that addresses the
@@ -43,13 +73,19 @@ func NewDecoder(plan *mspt.Plan, q *physics.Quantizer) (*Decoder, error) {
 // for fixed-weight hot codes) holds only for p == w — the uniqueness
 // argument of the paper's decoder.
 func (d *Decoder) AddressVoltages(w code.Word) []float64 {
+	va := make([]float64, len(w))
+	d.addressVoltagesInto(w, va)
+	return va
+}
+
+// addressVoltagesInto writes the drive pattern for w into dst with the
+// exact arithmetic of AddressVoltages.
+func (d *Decoder) addressVoltagesInto(w code.Word, dst []float64) {
 	vmin, vmax := d.Q.Window()
 	spacing := (vmax - vmin) / float64(d.Q.N())
-	va := make([]float64, len(w))
 	for j, digit := range w {
-		va[j] = vmin + float64(digit+1)*spacing
+		dst[j] = vmin + float64(digit+1)*spacing
 	}
-	return va
 }
 
 // Conducts reports whether a nanowire with the sampled threshold voltages vt
@@ -75,11 +111,22 @@ func (d *Decoder) SampleVT(rng *stats.RNG, sigmaT float64) [][]float64 {
 // contact group) is addressable iff it conducts under its own address and no
 // other wire of the same group conducts under that address.
 func (d *Decoder) UniquelyAddressable(vt [][]float64, lo, hi int) []bool {
-	pattern := d.Plan.Pattern()
 	out := make([]bool, hi-lo)
+	d.UniquelyAddressableInto(vt, lo, hi, out)
+	return out
+}
+
+// UniquelyAddressableInto is UniquelyAddressable writing into a
+// caller-owned buffer of length hi-lo — the zero-allocation variant the
+// fabrication loop calls once per contact group per half cave, reusing one
+// scratch buffer across its whole scheduling chunk. The address voltages
+// come from the decoder's precomputed cache, so the resolution makes no
+// allocations at all.
+func (d *Decoder) UniquelyAddressableInto(vt [][]float64, lo, hi int, out []bool) {
 	for i := lo; i < hi; i++ {
-		va := d.AddressVoltages(pattern[i])
+		va := d.va[i]
 		if !Conducts(vt[i], va) {
+			out[i-lo] = false
 			continue
 		}
 		unique := true
@@ -91,7 +138,6 @@ func (d *Decoder) UniquelyAddressable(vt [][]float64, lo, hi int) []bool {
 		}
 		out[i-lo] = unique
 	}
-	return out
 }
 
 // MarginAddressable reports which wires satisfy the analytic addressability
@@ -99,13 +145,13 @@ func (d *Decoder) UniquelyAddressable(vt [][]float64, lo, hi int) []bool {
 // of its nominal level. This is the Monte-Carlo counterpart of
 // yield.Analyzer and is used to validate the analytic model.
 func (d *Decoder) MarginAddressable(vt [][]float64, margin float64) []bool {
-	pattern := d.Plan.Pattern()
 	out := make([]bool, d.Plan.N())
+	m := d.Plan.M()
 	for i := range out {
 		ok := true
-		for j := 0; j < d.Plan.M(); j++ {
-			nominal := d.Q.VTOf(pattern[i][j])
-			if diff := vt[i][j] - nominal; diff > margin || diff < -margin {
+		nom := d.nominal[i]
+		for j := 0; j < m; j++ {
+			if diff := vt[i][j] - nom[j]; diff > margin || diff < -margin {
 				ok = false
 				break
 			}

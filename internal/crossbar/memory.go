@@ -98,39 +98,56 @@ func BuildLayerWorkers(ctx context.Context, d *Decoder, contact geometry.Contact
 	for c := range caveRNGs {
 		caveRNGs[c] = rng.Fork()
 	}
-	caveWires, err := par.Map(ctx, workers, caveRNGs,
-		func(_ context.Context, cave int, crng *stats.RNG) ([]Wire, error) {
-			vt := d.SampleVT(crng, sigmaT)
-			out := make([]Wire, 0, n)
-			for g := 0; g*contact.GroupWires < n; g++ {
-				lo := g * contact.GroupWires
-				hi := lo + contact.GroupWires
-				if hi > n {
-					hi = n
+	m := d.Plan.M()
+	// The layer's wires and threshold matrices live in two flat arenas sized
+	// up front: Wire values are written in place at cave*n+i, and each wire's
+	// VT row is a subslice of vtFlat. This replaces the per-cave slice churn
+	// of the old per-item path (row headers, group masks, result append) with
+	// three allocations for the whole layer.
+	wiresAll := make([]Wire, caves*n)
+	vtFlat := make([]float64, caves*n*m)
+	err := par.ForEachChunks(ctx, workers, caves, 0,
+		func(cctx context.Context, clo, chi int) error {
+			// Chunk-local scratch, reused across the caves of the block: row
+			// headers re-pointed into vtFlat per cave, and the addressability
+			// mask of one contact group. Neither escapes the chunk.
+			rows := make([][]float64, n)
+			unique := make([]bool, contact.GroupWires)
+			for cave := clo; cave < chi; cave++ {
+				if err := cctx.Err(); err != nil {
+					return err
 				}
-				unique := d.UniquelyAddressable(vt, lo, hi)
-				for i := lo; i < hi; i++ {
-					out = append(out, Wire{
-						HalfCave:          cave,
-						Index:             i,
-						Group:             g,
-						VT:                vt[i],
-						BoundaryAmbiguous: ambiguous[i],
-						Addressable:       unique[i-lo] && !ambiguous[i],
-					})
+				caveVT := vtFlat[cave*n*m : (cave+1)*n*m]
+				for i := 0; i < n; i++ {
+					rows[i] = caveVT[i*m : (i+1)*m]
+				}
+				d.Plan.SampleVTInto(caveRNGs[cave], sigmaT, d.Q.VTOf, rows)
+				caveOut := wiresAll[cave*n : (cave+1)*n]
+				for g := 0; g*contact.GroupWires < n; g++ {
+					lo := g * contact.GroupWires
+					hi := lo + contact.GroupWires
+					if hi > n {
+						hi = n
+					}
+					d.UniquelyAddressableInto(rows, lo, hi, unique[:hi-lo])
+					for i := lo; i < hi; i++ {
+						caveOut[i] = Wire{
+							HalfCave:          cave,
+							Index:             i,
+							Group:             g,
+							VT:                rows[i],
+							BoundaryAmbiguous: ambiguous[i],
+							Addressable:       unique[i-lo] && !ambiguous[i],
+						}
+					}
 				}
 			}
-			return out, nil
+			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	layer := &Layer{Decoder: d, Contact: contact, Wires: make([]Wire, 0, caves*n)}
-	for _, cw := range caveWires {
-		layer.Wires = append(layer.Wires, cw...)
-	}
-	layer.Wires = layer.Wires[:wires]
-	return layer, nil
+	return &Layer{Decoder: d, Contact: contact, Wires: wiresAll[:wires]}, nil
 }
 
 // AddressableCount returns how many wires of the layer are addressable.

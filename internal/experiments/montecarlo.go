@@ -81,30 +81,41 @@ func MonteCarloWorkers(ctx context.Context, cfg core.Config, trials int, seed ui
 	}
 
 	// One substream per (design point, trial) unit; units never share RNG
-	// state, so execution order cannot influence the samples.
-	streams := stats.NewRNG(seed).Streams(len(mcDesignPoints) * trials)
+	// state, so execution order cannot influence the samples. The fan-out is
+	// lazy: each scheduling chunk materializes only its own block of
+	// substreams, bit-identical to the eager Streams expansion.
+	units := len(mcDesignPoints) * trials
+	sub := stats.NewRNG(seed).Substreams()
 	// Trial and substream accounting: the counts are pure functions of the
 	// experiment parameters, so the snapshot stays identical at every
 	// worker count. Substream u drives (design point u/trials, trial
 	// u%trials).
 	reg := obs.From(ctx)
-	reg.Counter("montecarlo/trials").Add(int64(len(mcDesignPoints) * trials))
-	reg.Gauge("montecarlo/rng_substreams").Set(float64(len(streams)))
-	fracs, err := par.MapN(ctx, workers, len(mcDesignPoints)*trials,
-		func(uctx context.Context, u int) (float64, error) {
-			b := bundles[u/trials]
-			rng := streams[u]
-			// Caves stay serial here: the (point, trial) fan-out above
-			// already saturates the pool.
-			rows, err := crossbar.BuildLayerWorkers(uctx, b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
-			if err != nil {
-				return 0, err
+	reg.Counter("montecarlo/trials").Add(int64(units))
+	reg.Gauge("montecarlo/rng_substreams").Set(float64(units))
+	fracs := make([]float64, units)
+	err = par.ForEachChunks(ctx, workers, units, 0,
+		func(cctx context.Context, lo, hi int) error {
+			rngs := sub.Block(uint64(lo), hi-lo)
+			for u := lo; u < hi; u++ {
+				if err := cctx.Err(); err != nil {
+					return err
+				}
+				b := bundles[u/trials]
+				rng := rngs[u-lo]
+				// Caves stay serial here: the (point, trial) fan-out above
+				// already saturates the pool.
+				rows, err := crossbar.BuildLayerWorkers(cctx, b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
+				if err != nil {
+					return err
+				}
+				cols, err := crossbar.BuildLayerWorkers(cctx, b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
+				if err != nil {
+					return err
+				}
+				fracs[u] = crossbar.NewMemory(rows, cols).UsableFraction()
 			}
-			cols, err := crossbar.BuildLayerWorkers(uctx, b.dec, b.d.Layout.Contact, b.d.Layout.WiresPerLayer, b.d.Config.SigmaT, rng, 1)
-			if err != nil {
-				return 0, err
-			}
-			return crossbar.NewMemory(rows, cols).UsableFraction(), nil
+			return nil
 		})
 	if err != nil {
 		return nil, err

@@ -132,22 +132,40 @@ func (p *Plan) Verify() error {
 // SampleVT draws one Monte-Carlo realization of the decoder's threshold
 // voltages: VT[i][j] = nominal VT of the region's digit plus the accumulated
 // noise of its ν[i][j] independent doses, each contributing a Gaussian
-// deviation of standard deviation sigmaT. nominal maps digits to nominal
-// threshold voltages (e.g. physics.Quantizer.VTOf).
+// deviation of standard deviation sigmaT. The per-dose deviations are
+// independent, so their sum is sampled as one N(0, σ_T²·ν[i][j]) draw —
+// identical in distribution to dose-by-dose accumulation at a fraction of
+// the generator work. nominal maps digits to nominal threshold voltages
+// (e.g. physics.Quantizer.VTOf).
 func (p *Plan) SampleVT(rng *stats.RNG, sigmaT float64, nominal func(digit int) float64) [][]float64 {
+	flat := make([]float64, p.n*p.m)
 	out := make([][]float64, p.n)
+	for i := range out {
+		out[i] = flat[i*p.m : (i+1)*p.m]
+	}
+	p.SampleVTInto(rng, sigmaT, nominal, out)
+	return out
+}
+
+// SampleVTInto is SampleVT writing into caller-owned row buffers: dst must
+// hold N rows of M floats (typically slices of one flat arena reused across
+// draws). The generator consumes exactly the draws SampleVT makes, in the
+// same row-major region order (one ziggurat draw per dosed region; undosed
+// regions and σ_T = 0 consume nothing), so realizations are bit-identical
+// to the allocating path — this is the scratch-buffer primitive of the
+// Monte-Carlo fabrication loop, which resamples thousands of half caves
+// without re-allocating the threshold matrix each time.
+func (p *Plan) SampleVTInto(rng *stats.RNG, sigmaT float64, nominal func(digit int) float64, dst [][]float64) {
 	for i := 0; i < p.n; i++ {
-		row := make([]float64, p.m)
+		row := dst[i]
 		for j := 0; j < p.m; j++ {
 			vt := nominal(p.pattern[i][j])
-			for d := 0; d < p.nu[i][j]; d++ {
-				vt += rng.Normal(0, sigmaT)
+			if sigma := sigmaT * p.sqrtNu[i*p.m+j]; sigma > 0 {
+				vt += sigma * rng.NormFloat64Fast()
 			}
 			row[j] = vt
 		}
-		out[i] = row
 	}
-	return out
 }
 
 // distinctNonZero returns the distinct non-zero values of row, ascending.

@@ -46,6 +46,7 @@ type Plan struct {
 	d       [][]int64   // final doping matrix D
 	s       [][]int64   // step doping matrix S
 	nu      [][]int     // dose-operation counts ν
+	sqrtNu  []float64   // √ν, row-major: per-region noise scale of SampleVT
 }
 
 // NewPlan builds the doping plan for the given pattern rows. The pattern
@@ -175,6 +176,15 @@ func (p *Plan) computeNu() {
 		p.nu[i] = row
 		next = row
 	}
+	// The Monte-Carlo sampler scales one standard normal per region by
+	// σ_T·√ν; precomputing √ν here removes the per-region square root from
+	// every sampled half cave.
+	p.sqrtNu = make([]float64, p.n*p.m)
+	for i := 0; i < p.n; i++ {
+		for j := 0; j < p.m; j++ {
+			p.sqrtNu[i*p.m+j] = math.Sqrt(float64(p.nu[i][j]))
+		}
+	}
 }
 
 // Base returns the logic valency n of the addressing scheme.
@@ -202,6 +212,11 @@ func (p *Plan) S() [][]int64 { return cloneInt64(p.s) }
 // Nu returns a copy of the dose-operation count matrix ν:
 // ν[i][j] = number of implantation doses region (i,j) accumulates.
 func (p *Plan) Nu() [][]int { return cloneInt(p.nu) }
+
+// NuAt returns ν[i][j] without copying the matrix — the hot-path accessor
+// of the yield analysis, which reads every region count once per evaluated
+// design point and must not clone N·M ints to do so.
+func (p *Plan) NuAt(i, j int) int { return p.nu[i][j] }
 
 func cloneInt64(m [][]int64) [][]int64 {
 	out := make([][]int64, len(m))

@@ -1,0 +1,37 @@
+package par_test
+
+import (
+	"testing"
+
+	"nwdec/internal/lint"
+)
+
+// TestParLintClean runs the full nwlint analyzer suite over this package
+// and checks its registration: internal/par is the one place goroutine
+// creation is allowed (the containment the nogoroutine rule enforces
+// everywhere else, including for the chunked scheduling APIs), and its
+// exported *Workers/chunked entry points must keep the context-first
+// signature the ctxfirst rule checks.
+func TestParLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the package from source")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig(loader.Module)
+	if !cfg.GoroutineAllowed(loader.Module + "/internal/par") {
+		t.Error("internal/par is not registered as the goroutine-containment package")
+	}
+	if cfg.GoroutineAllowed(loader.Module + "/internal/stats") {
+		t.Error("internal/stats must not be allowed to create goroutines")
+	}
+	pkg, err := loader.Load(loader.Module + "/internal/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.All(), cfg) {
+		t.Errorf("%s", d)
+	}
+}

@@ -11,10 +11,20 @@
 // xoshiro256** stream derived from the experiment seed), a sweep produces
 // bit-identical output at every worker count — the serial path is simply
 // workers = 1.
+//
+// Scheduling granularity is chunked: one dequeued unit of work is a
+// contiguous index block [lo, hi), not a single item, so the per-task
+// overhead (queue round-trip, clock reads, histogram observes) is amortized
+// over ChunkSize items. Chunking never changes results — items inside a
+// chunk run in ascending index order, chunks cover [0, n) exactly once —
+// and every per-item API accepts an explicit chunk override for callers
+// that know their granularity (1 reproduces the historical per-item
+// scheduling exactly).
 package par
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,21 +44,45 @@ func Workers(n int) int {
 	return n
 }
 
-// ForEachN runs fn(ctx, i) for every i in [0, n) on a bounded pool of
-// workers. The first error observed cancels the remaining work via the
-// derived context and is returned (with workers = 1 this is exactly the
-// serial first error; at higher worker counts it is the lowest-index error
-// among the items that ran before cancellation took effect). A nil return
-// guarantees every index was processed.
+// ChunkSize resolves a requested chunk size against the auto heuristic:
+// any value <= 0 selects n/(workers*4) clamped to at least 1 — four chunks
+// per worker balances load (stragglers can steal) against per-chunk
+// scheduling overhead. The result never exceeds n (for n > 0).
+func ChunkSize(chunk, n, workers int) int {
+	if chunk <= 0 {
+		chunk = n / (Workers(workers) * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if chunk > n && n > 0 {
+		chunk = n
+	}
+	return chunk
+}
+
+// ForEachChunks runs fn(ctx, lo, hi) over contiguous index blocks covering
+// [0, n) exactly once, on a bounded pool of workers. chunk <= 0 selects the
+// ChunkSize heuristic. Blocks are claimed in ascending order; the first
+// error in block order cancels the remaining work via the derived context
+// and is returned (with workers = 1 this is exactly the serial first error;
+// at higher worker counts it is the lowest-block error among the blocks
+// that ran before cancellation took effect). A nil return guarantees every
+// index was processed.
+//
+// This is the scratch-arena primitive: a block callback may allocate
+// buffers once and reuse them across every item of its block, with no
+// synchronization — the buffers are confined to one callback invocation,
+// which the race detector can verify.
 //
 // When the context carries an obs.Registry the engine records per-worker
-// task counts ("par/worker/<k>/tasks"), total tasks ("par/tasks"), pool
-// invocations and sizes, and — when the registry has a clock — per-task
-// durations ("par/task_ns") plus per-worker busy and idle (queue-wait)
-// nanoseconds. The metrics describe execution only; they never change
-// what is computed, and with no registry installed the instrumentation is
-// a handful of nil checks.
-func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+// item counts ("par/worker/<k>/tasks"), total items ("par/tasks"), chunk
+// counts ("par/chunks"), pool invocations and sizes, and — when the
+// registry has a clock — per-chunk durations ("par/task_ns") plus
+// per-worker busy and idle (queue-wait) nanoseconds. Instrumentation is
+// per-chunk, not per-item, so it never dominates microsecond-scale items;
+// the metrics describe execution only and never change what is computed.
+func ForEachChunks(ctx context.Context, workers, n, chunk int, fn func(ctx context.Context, lo, hi int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -56,32 +90,43 @@ func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, 
 	if w > n {
 		w = n
 	}
+	chunk = ChunkSize(chunk, n, w)
+	nchunks := (n + chunk - 1) / chunk
+	if w > nchunks {
+		w = nchunks
+	}
 	reg := obs.From(ctx)
 	clock := reg.Clock()
 	if w == 1 {
 		tasks := reg.Counter("par/tasks")
+		chunks := reg.Counter("par/chunks")
 		wtasks := reg.Counter("par/worker/00/tasks")
 		busy := reg.Counter("par/worker/00/busy_ns")
-		taskNS := reg.Histogram("par/task_ns")
-		for i := 0; i < n; i++ {
+		chunkNS := reg.Histogram("par/task_ns")
+		for lo := 0; lo < n; lo += chunk {
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
 			}
 			var t0 time.Duration
 			if clock != nil {
 				t0 = clock.Now()
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := fn(ctx, lo, hi); err != nil {
 				reg.Counter("par/errors").Add(1)
 				return err
 			}
 			if clock != nil {
 				d := int64(clock.Now() - t0)
 				busy.Add(d)
-				taskNS.Observe(d)
+				chunkNS.Observe(d)
 			}
-			tasks.Add(1)
-			wtasks.Add(1)
+			tasks.Add(int64(hi - lo))
+			wtasks.Add(int64(hi - lo))
+			chunks.Add(1)
 		}
 		return nil
 	}
@@ -90,8 +135,10 @@ func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, 
 	defer cancel()
 	reg.Counter("par/pools").Add(1)
 	reg.Gauge("par/pool_size").Set(float64(w))
+	reg.Gauge("par/chunk_size").Set(float64(chunk))
 	tasks := reg.Counter("par/tasks")
-	taskNS := reg.Histogram("par/task_ns")
+	chunks := reg.Counter("par/chunks")
+	chunkNS := reg.Histogram("par/task_ns")
 	var poolStart time.Duration
 	if clock != nil {
 		poolStart = clock.Now()
@@ -99,7 +146,7 @@ func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, 
 	var (
 		next     atomic.Int64
 		mu       sync.Mutex
-		firstIdx = -1
+		firstLo  = -1
 		firstErr error
 		wg       sync.WaitGroup
 	)
@@ -107,37 +154,52 @@ func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var done, busyNS int64
+			var done, doneChunks, busyNS int64
 			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || wctx.Err() != nil {
+				c := int(next.Add(1) - 1)
+				if c >= nchunks || wctx.Err() != nil {
 					break
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
 				}
 				var t0 time.Duration
 				if clock != nil {
 					t0 = clock.Now()
 				}
-				err := fn(wctx, i)
+				err := fn(wctx, lo, hi)
 				if clock != nil {
 					d := int64(clock.Now() - t0)
 					busyNS += d
-					taskNS.Observe(d)
+					chunkNS.Observe(d)
 				}
 				if err != nil {
+					// A block that merely observed the pool's own
+					// cancellation (another block failed, or the caller's
+					// context expired) did not produce a new failure; the
+					// canceling block recorded the real error, and a parent
+					// cancellation is reported via ctx.Err() below.
+					if cerr := wctx.Err(); cerr != nil && errors.Is(err, cerr) {
+						break
+					}
 					reg.Counter("par/errors").Add(1)
 					mu.Lock()
-					if firstIdx < 0 || i < firstIdx {
-						firstIdx, firstErr = i, err
+					if firstLo < 0 || lo < firstLo {
+						firstLo, firstErr = lo, err
 					}
 					mu.Unlock()
 					cancel()
 					break
 				}
-				done++
+				done += int64(hi - lo)
+				doneChunks++
 			}
 			if reg != nil {
 				prefix := fmt.Sprintf("par/worker/%02d/", k)
 				tasks.Add(done)
+				chunks.Add(doneChunks)
 				reg.Counter(prefix + "tasks").Add(done)
 				if clock != nil {
 					reg.Counter(prefix + "busy_ns").Add(busyNS)
@@ -153,6 +215,36 @@ func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, 
 	return ctx.Err()
 }
 
+// ForEachChunked runs fn(ctx, i) for every i in [0, n), scheduled in
+// contiguous blocks of the given chunk size (<= 0 selects the ChunkSize
+// heuristic). Items inside a block run in ascending order and stop at the
+// block's first error or on cancellation, so the returned error follows
+// ForEachChunks semantics: the lowest-index error among the items that ran,
+// which for chunk = 1 (or workers = 1) is exactly the historical per-item
+// behavior of ForEachN.
+func ForEachChunked(ctx context.Context, workers, n, chunk int, fn func(ctx context.Context, i int) error) error {
+	return ForEachChunks(ctx, workers, n, chunk, func(cctx context.Context, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := cctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(cctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ForEachN runs fn(ctx, i) for every i in [0, n) on a bounded pool of
+// workers with the auto-chunked scheduling of ForEachChunked. The first
+// error observed (lowest block, then lowest index within it) cancels the
+// remaining work via the derived context and is returned; a nil return
+// guarantees every index was processed.
+func ForEachN(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	return ForEachChunked(ctx, workers, n, 0, fn)
+}
+
 // ForEach runs fn over every element of items on a bounded worker pool with
 // ForEachN's cancellation semantics.
 func ForEach[T any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) error) error {
@@ -165,30 +257,33 @@ func ForEach[T any](ctx context.Context, workers int, items []T, fn func(ctx con
 // returns the results in input order. On error the partial results are
 // discarded and the first observed error is returned.
 func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
-	out := make([]R, len(items))
-	err := ForEachN(ctx, workers, len(items), func(ctx context.Context, i int) error {
-		r, err := fn(ctx, i, items[i])
-		if err != nil {
-			return err
-		}
-		out[i] = r
-		return nil
+	return MapChunked(ctx, workers, 0, items, fn)
+}
+
+// MapChunked is Map with an explicit chunk size (<= 0 selects the ChunkSize
+// heuristic): one dequeued unit is a contiguous block of items.
+func MapChunked[T, R any](ctx context.Context, workers, chunk int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	return MapNChunked(ctx, workers, len(items), chunk, func(ctx context.Context, i int) (R, error) {
+		return fn(ctx, i, items[i])
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // MapN evaluates fn(ctx, i) for every i in [0, n) and returns the results
 // in index order — Map for work items that are pure functions of their
 // index.
 func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
+	return MapNChunked(ctx, workers, n, 0, fn)
+}
+
+// MapNChunked is MapN with an explicit chunk size (<= 0 selects the
+// ChunkSize heuristic). On error the partial results are discarded and the
+// first observed error is returned.
+func MapNChunked[R any](ctx context.Context, workers, n, chunk int, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
 	if n < 0 {
 		n = 0
 	}
 	out := make([]R, n)
-	err := ForEachN(ctx, workers, n, func(ctx context.Context, i int) error {
+	err := ForEachChunked(ctx, workers, n, chunk, func(ctx context.Context, i int) error {
 		r, err := fn(ctx, i)
 		if err != nil {
 			return err

@@ -37,6 +37,54 @@ func (g Gaussian) ProbWithin(delta float64) float64 {
 	return math.Erf(delta / (g.Sigma * math.Sqrt2))
 }
 
+// ProbWithinBatch evaluates ProbWithin over a batch of deltas in one call,
+// writing into dst (which is grown if needed) and returning it. Entry k is
+// bit-identical to g.ProbWithin(deltas[k]); batching exists so tight sweep
+// loops evaluate the erf tail without a function call and bounds checks per
+// element, and so callers can reuse one output buffer across evaluations.
+func (g Gaussian) ProbWithinBatch(deltas, dst []float64) []float64 {
+	if cap(dst) < len(deltas) {
+		dst = make([]float64, len(deltas))
+	}
+	dst = dst[:len(deltas)]
+	for k, delta := range deltas {
+		switch {
+		case delta < 0:
+			dst[k] = 0
+		case g.Sigma == 0:
+			dst[k] = 1
+		default:
+			dst[k] = math.Erf(delta / (g.Sigma * math.Sqrt2))
+		}
+	}
+	return dst
+}
+
+// ProbWithinScaled evaluates P(|N(Mu, (Sigma·scale)²) - Mu| <= delta) for a
+// batch of sigma scale factors, writing into dst (grown if needed) and
+// returning it. Entry k is bit-identical to
+// Gaussian{Mu: g.Mu, Sigma: g.Sigma * scales[k]}.ProbWithin(delta) — the
+// repeated-dose tail evaluation of the yield model, where the k-th region
+// accumulates k independent doses and its deviation scales by √k.
+func (g Gaussian) ProbWithinScaled(scales []float64, delta float64, dst []float64) []float64 {
+	if cap(dst) < len(scales) {
+		dst = make([]float64, len(scales))
+	}
+	dst = dst[:len(scales)]
+	for k, scale := range scales {
+		sigma := g.Sigma * scale
+		switch {
+		case delta < 0:
+			dst[k] = 0
+		case sigma == 0:
+			dst[k] = 1
+		default:
+			dst[k] = math.Erf(delta / (sigma * math.Sqrt2))
+		}
+	}
+	return dst
+}
+
 // ProbBetween returns P(lo <= X <= hi). It returns 0 when hi < lo.
 func (g Gaussian) ProbBetween(lo, hi float64) float64 {
 	if hi < lo {

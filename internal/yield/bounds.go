@@ -20,14 +20,14 @@ type Bounds struct {
 // YieldBounds computes the closed-form envelopes for a plan under the
 // analyzer's margin model, including the layout losses of the contact plan.
 func (a Analyzer) YieldBounds(plan *mspt.Plan, contact geometry.ContactPlan) Bounds {
-	nu := plan.Nu()
-	n := plan.N()
+	n, m := plan.N(), plan.M()
+	table := a.RegionProbTable(plan.MaxNu())
 	var lowerSum, upperSum float64
-	for _, row := range nu {
+	for i := 0; i < n; i++ {
 		failSum := 0.0
 		worst := 1.0
-		for _, v := range row {
-			p := a.RegionProb(v)
+		for j := 0; j < m; j++ {
+			p := table[plan.NuAt(i, j)]
 			failSum += 1 - p
 			if p < worst {
 				worst = p

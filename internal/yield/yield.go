@@ -76,6 +76,27 @@ func (a Analyzer) RegionProb(nu int) float64 {
 	return g.ProbWithin(a.Margin)
 }
 
+// RegionProbTable memoizes RegionProb over the dose-count range [0, maxNu]:
+// table[nu] == RegionProb(nu) bit-for-bit. A plan's ν matrix takes only a
+// handful of distinct integer values, so evaluating the erf tail once per
+// value instead of once per region turns the N·M transcendental calls of a
+// half-cave analysis into maxNu+1 — the dominant win of the analytic sweep
+// loops. The table is computed with the batched evaluator of package stats
+// (the √ν sigma scaling is applied inside the batch, with the exact
+// arithmetic of RegionProb).
+func (a Analyzer) RegionProbTable(maxNu int) []float64 {
+	if maxNu < 0 {
+		maxNu = 0
+	}
+	scales := make([]float64, maxNu+1)
+	for nu := 1; nu <= maxNu; nu++ {
+		scales[nu] = math.Sqrt(float64(nu))
+	}
+	table := stats.Gaussian{Mu: 0, Sigma: a.SigmaT}.ProbWithinScaled(scales, a.Margin, make([]float64, maxNu+1))
+	table[0] = 1 // undosed regions always decode
+	return table
+}
+
 // WireProb returns the probability that a nanowire with the given per-region
 // dose counts is addressable: the product of its region probabilities
 // (region noises are independent).
@@ -88,12 +109,19 @@ func (a Analyzer) WireProb(nus []int) float64 {
 }
 
 // WireProbs returns the addressability probability of every nanowire in the
-// plan's half cave, in definition order.
+// plan's half cave, in definition order. Region probabilities come from the
+// memoized RegionProbTable and the ν matrix is read in place, so the only
+// allocation is the result slice.
 func (a Analyzer) WireProbs(plan *mspt.Plan) []float64 {
-	nu := plan.Nu()
-	out := make([]float64, plan.N())
-	for i, row := range nu {
-		out[i] = a.WireProb(row)
+	n, m := plan.N(), plan.M()
+	table := a.RegionProbTable(plan.MaxNu())
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := 1.0
+		for j := 0; j < m; j++ {
+			p *= table[plan.NuAt(i, j)]
+		}
+		out[i] = p
 	}
 	return out
 }

@@ -1,9 +1,10 @@
 // Command benchcmp is the benchmark-regression gate: it compares a fresh
 // BENCH_parallel.json (see scripts/bench.sh) against the committed
-// baseline and flags benchmarks whose ns/op moved by more than the
-// threshold. By default regressions only warn — benchmark noise on shared
-// CI hosts is real — but with -strict (or CI_BENCH_STRICT=1 in the
-// environment) a regression fails the build.
+// baseline and flags benchmarks whose ns/op or allocs/op moved by more
+// than the threshold. By default regressions only warn — benchmark noise
+// on shared CI hosts is real — but with -strict (or CI_BENCH_STRICT=1 in
+// the environment) a regression fails the build. Benchmarks present in
+// only one of the two files are reported but never fail the gate.
 //
 // Usage:
 //
@@ -25,17 +26,24 @@ import (
 // benchEntry is one row of the bench.sh JSON array. The metadata object
 // sets Meta and is skipped during comparison.
 type benchEntry struct {
-	Meta    bool    `json:"meta"`
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Meta        bool    `json:"meta"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// comparison is the verdict for one benchmark present in both files.
+// comparison is the verdict for one benchmark present in both files. Wall
+// clock and allocation count are gated independently: an allocation
+// regression is a real regression even when it hides inside the ns/op
+// noise band (small allocs are cheap until the GC bill arrives).
 type comparison struct {
-	Name       string
-	Base, Cur  float64
-	Delta      float64 // (cur-base)/base
-	Regression bool
+	Name                string
+	Base, Cur           float64
+	Delta               float64 // (cur-base)/base ns/op
+	Regression          bool
+	AllocBase, AllocCur float64
+	AllocDelta          float64 // (cur-base)/base allocs/op
+	AllocRegression     bool
 }
 
 func main() {
@@ -77,14 +85,20 @@ func run(args []string) (string, int) {
 
 	comps, onlyBase, onlyCur := compare(base, cur, *threshold)
 	regressions := 0
-	fmt.Fprintf(&sb, "%-45s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	fmt.Fprintf(&sb, "%-45s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "base ns/op", "cur ns/op", "delta", "base allocs", "cur allocs", "delta")
 	for _, c := range comps {
 		mark := ""
 		if c.Regression {
 			mark = "  << REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(&sb, "%-45s %14.0f %14.0f %+7.1f%%%s\n", c.Name, c.Base, c.Cur, 100*c.Delta, mark)
+		if c.AllocRegression {
+			mark += "  << ALLOC-REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(&sb, "%-45s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%%%s\n",
+			c.Name, c.Base, c.Cur, 100*c.Delta, c.AllocBase, c.AllocCur, 100*c.AllocDelta, mark)
 	}
 	for _, name := range onlyBase {
 		fmt.Fprintf(&sb, "%-45s only in baseline (benchmark removed?)\n", name)
@@ -129,9 +143,12 @@ func loadBench(path string) (map[string]benchEntry, error) {
 	return out, nil
 }
 
-// compare pairs the two runs by benchmark name. A regression is a ns/op
-// increase beyond the threshold; improvements beyond the threshold show in
-// the delta column but never fail the gate.
+// compare pairs the two runs by benchmark name. A regression is a ns/op or
+// allocs/op increase beyond the threshold; improvements beyond the
+// threshold show in the delta columns but never fail the gate. Benchmarks
+// present in only one file warn in the report and never fail it — adding a
+// benchmark must not require regenerating the baseline atomically, and a
+// removed one is a review question, not a perf gate's.
 func compare(base, cur map[string]benchEntry, threshold float64) (comps []comparison, onlyBase, onlyCur []string) {
 	for name, b := range base {
 		c, ok := cur[name]
@@ -143,12 +160,20 @@ func compare(base, cur map[string]benchEntry, threshold float64) (comps []compar
 		if b.NsPerOp > 0 {
 			delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		}
+		allocDelta := 0.0
+		if b.AllocsPerOp > 0 {
+			allocDelta = (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+		}
 		comps = append(comps, comparison{
-			Name:       name,
-			Base:       b.NsPerOp,
-			Cur:        c.NsPerOp,
-			Delta:      delta,
-			Regression: delta > threshold,
+			Name:            name,
+			Base:            b.NsPerOp,
+			Cur:             c.NsPerOp,
+			Delta:           delta,
+			Regression:      delta > threshold,
+			AllocBase:       b.AllocsPerOp,
+			AllocCur:        c.AllocsPerOp,
+			AllocDelta:      allocDelta,
+			AllocRegression: allocDelta > threshold,
 		})
 	}
 	for name := range cur {

@@ -12,6 +12,13 @@ import (
 // writeBench writes a bench.sh-shaped JSON file mapping names to ns/op.
 func writeBench(t *testing.T, dir, name string, ns map[string]float64) string {
 	t.Helper()
+	return writeBenchAllocs(t, dir, name, ns, nil)
+}
+
+// writeBenchAllocs is writeBench with per-benchmark allocs/op (0 when a
+// name is missing from allocs).
+func writeBenchAllocs(t *testing.T, dir, name string, ns map[string]float64, allocs map[string]float64) string {
+	t.Helper()
 	entries := []string{`  {"meta": true, "benchtime": "50x", "gomaxprocs": 4, "cpu": "test"}`}
 	names := make([]string, 0, len(ns))
 	for n := range ns {
@@ -20,7 +27,7 @@ func writeBench(t *testing.T, dir, name string, ns map[string]float64) string {
 	// Deterministic file contents for stable failure messages.
 	sort.Strings(names)
 	for _, n := range names {
-		entries = append(entries, fmt.Sprintf(`  {"name": %q, "workers": null, "iterations": 50, "ns_per_op": %g, "bytes_per_op": 0, "allocs_per_op": 0}`, n, ns[n]))
+		entries = append(entries, fmt.Sprintf(`  {"name": %q, "workers": null, "iterations": 50, "ns_per_op": %g, "bytes_per_op": 0, "allocs_per_op": %g}`, n, ns[n], allocs[n]))
 	}
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, []byte("[\n"+strings.Join(entries, ",\n")+"\n]\n"), 0o644); err != nil {
@@ -98,6 +105,45 @@ func TestThresholdBoundary(t *testing.T) {
 	// A looser threshold lets +21% through.
 	if report, code = run([]string{"-baseline", base, "-current", cur, "-strict", "-threshold", "0.25"}); code != 0 {
 		t.Errorf("threshold 0.25 exit = %d, want 0\n%s", code, report)
+	}
+}
+
+// TestDetectsAllocRegression is the alloc gate's self-test: an allocs/op
+// increase beyond the threshold must be flagged even when ns/op is flat,
+// warn-only by default and fatal under -strict; alloc improvements and
+// in-noise drift pass.
+func TestDetectsAllocRegression(t *testing.T) {
+	t.Setenv("CI_BENCH_STRICT", "")
+	dir := t.TempDir()
+	base := writeBenchAllocs(t, dir, "base.json",
+		map[string]float64{"BenchmarkA": 100000, "BenchmarkB": 100000, "BenchmarkC": 100000},
+		map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 1000, "BenchmarkC": 1000})
+	cur := writeBenchAllocs(t, dir, "cur.json",
+		map[string]float64{"BenchmarkA": 100000, "BenchmarkB": 100000, "BenchmarkC": 100000},
+		map[string]float64{"BenchmarkA": 1500, "BenchmarkB": 1190, "BenchmarkC": 200})
+
+	report, code := run([]string{"-baseline", base, "-current", cur})
+	if code != 0 {
+		t.Errorf("warn mode exit = %d, want 0\n%s", code, report)
+	}
+	if strings.Count(report, "<< ALLOC-REGRESSION") != 1 {
+		t.Errorf("want exactly one alloc regression (BenchmarkA +50%%):\n%s", report)
+	}
+	if !strings.Contains(report, "WARNING: 1 regression(s)") {
+		t.Errorf("warn summary wrong:\n%s", report)
+	}
+	for _, line := range strings.Split(report, "\n") {
+		if strings.Contains(line, "BenchmarkA") && !strings.Contains(line, "<< ALLOC-REGRESSION") {
+			t.Errorf("BenchmarkA alloc regression not flagged:\n%s", report)
+		}
+	}
+
+	if _, code = run([]string{"-baseline", base, "-current", cur, "-strict"}); code != 1 {
+		t.Errorf("strict mode exit = %d, want 1", code)
+	}
+	// A looser threshold lets +50% through.
+	if report, code = run([]string{"-baseline", base, "-current", cur, "-strict", "-threshold", "0.6"}); code != 0 {
+		t.Errorf("threshold 0.6 exit = %d, want 0\n%s", code, report)
 	}
 }
 

@@ -37,6 +37,8 @@ var gated = []struct {
 	{"nwdec/internal/obs", 85.0},
 	{"nwdec/internal/engine", 70.0},
 	{"nwdec/internal/nwerr", 70.0},
+	{"nwdec/internal/stats", 95.0},
+	{"nwdec/internal/yield", 95.0},
 }
 
 // coverageLine matches one `go test -cover` result line, e.g.
