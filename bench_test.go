@@ -497,7 +497,10 @@ func engineBenchRequest() engine.Request {
 // behind the serving layer (validation, admission, instrumentation).
 func BenchmarkEngineCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		eng := engine.New(engine.Options{})
+		eng, err := engine.New(engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		resp, err := eng.Do(context.Background(), engineBenchRequest())
 		if err != nil {
 			b.Fatal(err)
@@ -513,7 +516,10 @@ func BenchmarkEngineCold(b *testing.B) {
 // content-addressed cache. The acceptance bar is >=10x faster than
 // BenchmarkEngineCold.
 func BenchmarkEngineCacheHit(b *testing.B) {
-	eng := engine.New(engine.Options{})
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	if _, err := eng.Do(context.Background(), engineBenchRequest()); err != nil {
 		b.Fatal(err)
 	}

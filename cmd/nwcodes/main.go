@@ -44,7 +44,10 @@ func main() {
 	if err != nil {
 		c.Exit(nwerr.Invalid(err))
 	}
-	eng := engine.New(engine.Options{})
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		c.Exit(err)
+	}
 	resp, err := eng.Do(ctx, engine.Request{
 		Kind:   engine.KindCodes,
 		Config: core.Config{CodeType: tp, Base: *base, CodeLength: *length},

@@ -68,7 +68,10 @@ func main() {
 		}
 	}
 
-	eng := engine.New(engine.Options{})
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		c.Exit(err)
+	}
 	req := engine.Request{Kind: engine.KindDesign, Config: cfg, Workers: c.Workers}
 	if *optimize != "" {
 		obj, err := parseObjective(*optimize)

@@ -52,7 +52,10 @@ func main() {
 	// carries the memory plus the post-fabrication RNG, so the fault
 	// injection below continues the same stream the fabrication consumed —
 	// the whole session stays a pure function of the seed.
-	eng := engine.New(engine.Options{})
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		c.Exit(err)
+	}
 	resp, err := eng.Do(ctx, engine.Request{
 		Kind:    engine.KindFabricate,
 		Config:  core.Config{CodeType: tp, CodeLength: *length},

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	nwserve [-addr HOST:PORT] [-cache-entries N] [-cache-cost C]
-//	        [-inflight N] [-workers W] [-timeout D] [-smoke]
+//	        [-inflight N] [-shed] [-node-id ID] [-peers ID=URL,...]
+//	        [-workers W] [-timeout D] [-smoke] [-peer-smoke]
 //	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
 // Endpoints (all GET, all JSON):
@@ -22,12 +23,29 @@
 //	/v1/sweep                    grid sweep (?types=&lengths=&sigmas=&margins=&wires=)
 //	/v1/codes                    word listing (?type=&base=&length=&count=)
 //
-// Responses carry X-Cache (hit/miss) and X-Request-Key headers. Errors
-// map from the internal/nwerr taxonomy: Invalid is 400, Canceled is 503,
-// Internal is 500. The server shuts down gracefully when its context is
-// cancelled: on SIGINT/SIGTERM or when -timeout elapses. -smoke starts
-// the server on a loopback port, issues one self-request, verifies the
-// response and exits — the CI liveness check.
+// Responses carry X-Cache (hit, miss, or hit-peer/miss-peer when a
+// cluster peer served the result) and X-Request-Key headers. Errors map
+// from the internal/nwerr taxonomy through nwerr.HTTPStatus: Invalid is
+// 400, Canceled is 408, Overload is 503 with a Retry-After hint,
+// Internal is 500. With -shed (the default) a saturated engine rejects
+// new work with 503 instead of queueing it, and recovers as soon as
+// in-flight work drains — no restart needed.
+//
+// Multi-node serving: -peers names the other nodes of a fleet
+// ("b=http://host2:8607,c=http://host3:8607") and -node-id this node's
+// own ring identity. Every node then routes each request key to its
+// owner on a shared consistent-hash ring (POST /peer/, an internal
+// route), so the fleet computes and caches each key once; a dead peer
+// degrades that key to local computation, never to an error. See
+// internal/cluster.
+//
+// The server shuts down gracefully when its context is cancelled: on
+// SIGINT/SIGTERM or when -timeout elapses. -smoke starts the server on a
+// loopback port, issues one self-request, verifies the response and
+// exits; -peer-smoke starts a two-node in-process fleet, fetches the
+// same experiment twice through the non-owning node and verifies
+// miss-peer then hit-peer — the CI checks for the single-node and
+// clustered paths.
 package main
 
 import (
@@ -42,10 +60,12 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"nwdec/internal/cli"
+	"nwdec/internal/cluster"
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/dataset"
@@ -61,7 +81,11 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 0, "result-cache entry cap (0 = engine default)")
 		cacheCost    = flag.Int64("cache-cost", 0, "result-cache total cost cap in cells (0 = engine default)")
 		inflight     = flag.Int("inflight", 0, "max concurrently computing requests (0 = GOMAXPROCS)")
+		shed         = flag.Bool("shed", true, "reject work with 503 when admission is saturated instead of queueing")
+		nodeID       = flag.String("node-id", "", "this node's ring identity (required with -peers)")
+		peersFlag    = flag.String("peers", "", "other fleet nodes as ID=URL,ID=URL (enables cluster routing)")
 		smoke        = flag.Bool("smoke", false, "start on a loopback port, self-request once, verify and exit")
+		peerSmoke    = flag.Bool("peer-smoke", false, "start a two-node in-process fleet, verify miss-peer then hit-peer and exit")
 	)
 	c := cli.Register("nwserve", "json")
 	flag.Parse()
@@ -71,14 +95,37 @@ func main() {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &server{
-		eng: engine.New(engine.Options{
-			MaxEntries:  *cacheEntries,
-			MaxCost:     *cacheCost,
-			MaxInFlight: *inflight,
-		}),
-		workers: c.Workers,
+	if *peerSmoke {
+		if err := runPeerSmoke(ctx, c.Workers); err != nil {
+			c.Exit(err)
+		}
+		fmt.Fprintln(os.Stderr, "nwserve: peer smoke ok (miss-peer then hit-peer via the key's owner)")
+		return
 	}
+
+	eng, err := engine.New(engine.Options{
+		MaxEntries:  *cacheEntries,
+		MaxCost:     *cacheCost,
+		MaxInFlight: *inflight,
+		Shed:        *shed,
+	})
+	if err != nil {
+		c.Exit(err)
+	}
+	var backend engine.Backend = eng
+	if *peersFlag != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			c.Exit(err)
+		}
+		pb, err := cluster.NewPeerBackend(eng, cluster.Options{Self: *nodeID, Peers: peers})
+		if err != nil {
+			c.Exit(err)
+		}
+		backend = pb
+		fmt.Fprintf(os.Stderr, "nwserve: cluster node %q, ring %v\n", *nodeID, pb.Ring().Nodes())
+	}
+	srv := &server{eng: eng, backend: backend, workers: c.Workers}
 	listenAddr := *addr
 	if *smoke {
 		listenAddr = "127.0.0.1:0"
@@ -123,6 +170,29 @@ func main() {
 	}
 }
 
+// parsePeers parses the -peers flag: comma-separated ID=URL pairs.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, nwerr.Invalidf("-peers entry %q: want ID=URL", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, nwerr.Invalidf("-peers names node %q twice", id)
+		}
+		peers[id] = url
+	}
+	if len(peers) == 0 {
+		return nil, nwerr.Invalidf("-peers %q names no nodes", s)
+	}
+	return peers, nil
+}
+
 // shutdown drains in-flight requests with a bounded grace period and
 // collects the Serve goroutine's exit.
 func shutdown(hs *http.Server, served chan error) error {
@@ -141,47 +211,158 @@ func shutdown(hs *http.Server, served chan error) error {
 // and verifies a 200 with a parseable dataset body plus the engine's
 // response headers.
 func smokeTest(ctx context.Context, addr string) error {
-	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
-	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, "http://"+addr+"/v1/experiment/fig5", nil)
+	name, cache, err := fetchExperiment(ctx, "http://"+addr, "fig5")
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	if name != "fig5" {
+		return fmt.Errorf("smoke: dataset name %q, want fig5", name)
+	}
+	if cache != "hit" && cache != "miss" {
+		return fmt.Errorf("smoke: X-Cache %q, want hit or miss", cache)
+	}
+	return nil
+}
+
+// runPeerSmoke is the clustered self-check: it starts two cross-peered
+// nodes in this process, routes the same experiment request twice
+// through the node that does NOT own its key, and verifies the first
+// fetch computes on the owner (miss-peer) and the second is served from
+// the owner's cache (hit-peer). It exercises the full peer path — ring
+// lookup, POST /peer/, wire round trip, dataset re-parse — the way the
+// -smoke flag exercises the single-node path.
+func runPeerSmoke(ctx context.Context, workers int) error {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	resp, err := http.DefaultClient.Do(req)
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if cerr := lnA.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "nwserve: %v\n", cerr)
+		}
+		return err
+	}
+	urls := map[string]string{
+		"a": "http://" + lnA.Addr().String(),
+		"b": "http://" + lnB.Addr().String(),
+	}
+	node := func(self, peer string) (*server, error) {
+		eng, err := engine.New(engine.Options{Shed: true})
+		if err != nil {
+			return nil, err
+		}
+		pb, err := cluster.NewPeerBackend(eng, cluster.Options{
+			Self:  self,
+			Peers: map[string]string{peer: urls[peer]},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &server{eng: eng, backend: pb, workers: workers}, nil
+	}
+	srvA, err := node("a", "b")
 	if err != nil {
 		return err
+	}
+	srvB, err := node("b", "a")
+	if err != nil {
+		return err
+	}
+	serve := func(ln net.Listener, s *server) (*http.Server, chan error) {
+		hs := &http.Server{
+			Handler:     s.mux(),
+			BaseContext: func(net.Listener) context.Context { return ctx },
+		}
+		served := make(chan error, 1)
+		go func() { served <- hs.Serve(ln) }()
+		return hs, served
+	}
+	hsA, servedA := serve(lnA, srvA)
+	hsB, servedB := serve(lnB, srvB)
+
+	err = func() error {
+		// Ask the node that does not own the key, so the request must
+		// cross the peer protocol. Both rings are built from the same
+		// membership, so both nodes agree on the owner.
+		req := engine.Request{Kind: engine.KindExperiment, Experiment: "fig5"}
+		owner := srvA.backend.(*cluster.PeerBackend).Ring().Owner(req.Key())
+		asker := "a"
+		if owner == "a" {
+			asker = "b"
+		}
+		fmt.Fprintf(os.Stderr, "nwserve: peer smoke: key owner %q, asking %q\n", owner, asker)
+		for _, want := range []string{"miss-peer", "hit-peer"} {
+			name, cache, err := fetchExperiment(ctx, urls[asker], "fig5")
+			if err != nil {
+				return fmt.Errorf("peer smoke: %w", err)
+			}
+			if name != "fig5" {
+				return fmt.Errorf("peer smoke: dataset name %q, want fig5", name)
+			}
+			if cache != want {
+				return fmt.Errorf("peer smoke: X-Cache %q, want %q", cache, want)
+			}
+		}
+		return nil
+	}()
+
+	if serr := shutdown(hsA, servedA); err == nil {
+		err = serr
+	}
+	if serr := shutdown(hsB, servedB); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// fetchExperiment GETs /v1/experiment/{name} from a node and returns the
+// dataset name from the body and the X-Cache header.
+func fetchExperiment(ctx context.Context, base, experiment string) (name, cache string, err error) {
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, base+"/v1/experiment/"+experiment, nil)
+	if err != nil {
+		return "", "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", "", err
 	}
 	body, err := io.ReadAll(resp.Body)
 	if cerr := resp.Body.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return err
+		return "", "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("smoke: GET /v1/experiment/fig5: status %d: %s", resp.StatusCode, body)
+		return "", "", fmt.Errorf("GET %s/v1/experiment/%s: status %d: %s", base, experiment, resp.StatusCode, body)
 	}
 	var doc struct {
 		Name string `json:"name"`
 	}
 	if err := json.Unmarshal(body, &doc); err != nil {
-		return fmt.Errorf("smoke: response is not dataset JSON: %w", err)
+		return "", "", fmt.Errorf("response is not dataset JSON: %w", err)
 	}
-	if doc.Name != "fig5" {
-		return fmt.Errorf("smoke: dataset name %q, want fig5", doc.Name)
-	}
-	return nil
+	return doc.Name, resp.Header.Get("X-Cache"), nil
 }
 
-// server holds the shared engine behind the HTTP handlers.
+// server holds the shared engine behind the HTTP handlers. Public
+// handlers submit through backend — the cluster routing layer when
+// -peers is configured, the engine itself otherwise. The /peer/ route
+// always serves from eng directly, so a request arriving from a peer
+// computes here instead of bouncing around the ring.
 type server struct {
 	eng     *engine.Engine
+	backend engine.Backend
 	workers int
 }
 
 // mux wires the routes using Go 1.22 method+path patterns.
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
+	m.Handle("POST "+cluster.PeerPath, cluster.PeerHandler(s.eng))
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if _, err := fmt.Fprintln(w, `{"status":"ok"}`); err != nil {
@@ -283,8 +464,8 @@ func (s *server) mux() *http.ServeMux {
 }
 
 // handle adapts a request parser into an HTTP handler: parse, submit to
-// the engine with the server's worker bound, map the error class to a
-// status, render the dataset as JSON.
+// the serving backend with the server's worker bound, map the error
+// class to a status, render the dataset as JSON.
 func (s *server) handle(parse func(*http.Request) (engine.Request, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		req, err := parse(r)
@@ -293,18 +474,14 @@ func (s *server) handle(parse func(*http.Request) (engine.Request, error)) http.
 			return
 		}
 		req.Workers = s.workers
-		resp, err := s.eng.Do(r.Context(), req)
+		resp, err := s.backend.Handle(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Request-Key", resp.Key)
-		if resp.CacheHit {
-			w.Header().Set("X-Cache", "hit")
-		} else {
-			w.Header().Set("X-Cache", "miss")
-		}
+		w.Header().Set("X-Cache", cacheStatus(resp))
 		if resp.Dataset == nil {
 			if _, err := fmt.Fprintln(w, `{}`); err != nil {
 				fmt.Fprintf(os.Stderr, "nwserve: %v\n", err)
@@ -317,6 +494,21 @@ func (s *server) handle(parse func(*http.Request) (engine.Request, error)) http.
 	}
 }
 
+// cacheStatus renders the response provenance for the X-Cache header:
+// hit/miss for locally served requests, hit-peer/miss-peer when the
+// key's owning node served it over the cluster protocol (the hit/miss
+// verdict is then the owner's).
+func cacheStatus(resp *engine.Response) string {
+	status := "miss"
+	if resp.CacheHit {
+		status = "hit"
+	}
+	if resp.Peer {
+		status += "-peer"
+	}
+	return status
+}
+
 // notFoundError marks a request naming a resource outside the served set
 // (an unknown experiment); writeError maps it to 404 instead of the 400
 // its invalid classification would otherwise produce.
@@ -325,18 +517,18 @@ type notFoundError struct{ err error }
 func (e *notFoundError) Error() string { return e.err.Error() }
 func (e *notFoundError) Unwrap() error { return e.err }
 
-// writeError renders the nwerr class as an HTTP status and a JSON body.
+// writeError renders the nwerr class as an HTTP status (via
+// nwerr.HTTPStatus: Invalid 400, Canceled 408, Overload 503, Internal
+// 500) and a JSON body. A 503 carries Retry-After so well-behaved
+// clients back off instead of hammering a saturated server.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch nwerr.ClassOf(err) {
-	case nwerr.ClassInvalid:
-		status = http.StatusBadRequest
-	case nwerr.ClassCanceled:
-		status = http.StatusServiceUnavailable
-	}
+	status := nwerr.HTTPStatus(err)
 	var nf *notFoundError
 	if errors.As(err, &nf) {
 		status = http.StatusNotFound
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

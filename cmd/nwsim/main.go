@@ -81,7 +81,10 @@ func main() {
 		return
 	}
 
-	eng := engine.New(engine.Options{})
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		c.Exit(err)
+	}
 	req := engine.Request{
 		Kind:    engine.KindExperiment,
 		Config:  cfg,

@@ -58,7 +58,10 @@ func main() {
 		c.Exit(err)
 	}
 
-	eng := engine.New(engine.Options{})
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		c.Exit(err)
+	}
 	resp, err := eng.Do(ctx, engine.Request{
 		Kind:    engine.KindSweep,
 		Grid:    grid,

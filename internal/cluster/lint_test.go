@@ -1,0 +1,39 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"nwdec/internal/lint"
+)
+
+// TestClusterLintClean runs the full nwlint analyzer suite over the
+// cluster package and asserts its registrations: cluster is a
+// context-entry package (peer fetches must honor cancellation, so the
+// Backend entry points take ctx first) and is deliberately NOT a
+// goroutine package — the fallback hedge is a bounded synchronous
+// timeout, and only internal/par and the server binary may spawn. The
+// errcheck and printbound analyzers run on every package, cluster
+// included, as part of lint.All below.
+func TestClusterLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the package from source")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig(loader.Module)
+	if !cfg.CtxEntry(loader.Module + "/internal/cluster") {
+		t.Error("internal/cluster is not registered as a context-entry package")
+	}
+	if cfg.GoroutineAllowed(loader.Module + "/internal/cluster") {
+		t.Error("internal/cluster must not be allowed to create goroutines")
+	}
+	pkg, err := loader.Load(loader.Module + "/internal/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.All(), cfg) {
+		t.Errorf("%s", d)
+	}
+}

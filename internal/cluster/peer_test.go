@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nwdec/internal/dataset"
+	"nwdec/internal/engine"
+	"nwdec/internal/nwerr"
+)
+
+// testNode is one in-process fleet member: an engine behind an httptest
+// server exposing only the internal peer route, plus the routing backend
+// the node's own clients would use.
+type testNode struct {
+	id      string
+	eng     *engine.Engine
+	srv     *httptest.Server
+	backend *PeerBackend
+}
+
+// newTestCluster starts n cross-peered nodes. Every node runs its own
+// engine; the rings agree because they are built from the same
+// membership.
+func newTestCluster(t testing.TB, n int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		eng, err := engine.New(engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("POST "+PeerPath, PeerHandler(eng))
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		nodes[i] = &testNode{id: string(rune('a' + i)), eng: eng, srv: srv}
+	}
+	for i, node := range nodes {
+		peers := make(map[string]string)
+		for j, other := range nodes {
+			if j != i {
+				peers[other.id] = other.srv.URL
+			}
+		}
+		backend, err := NewPeerBackend(node.eng, Options{Self: node.id, Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.backend = backend
+	}
+	return nodes
+}
+
+// computeCount reads the engine's always-on compute-layer counter.
+func computeCount(eng *engine.Engine) int64 {
+	for _, st := range eng.BackendStats() {
+		if st.Name == "compute" {
+			return st.Requests
+		}
+	}
+	return -1
+}
+
+// TestClusterComputesOncePerFleet is the cluster-wide coalescing proof:
+// N concurrent identical requests arriving at every node of a 3-node
+// fleet run exactly one computation across the whole cluster — the ring
+// funnels them to one owner, and the owner's singleflight and cache
+// absorb the fan-in. Run under -race this also exercises the peer path's
+// synchronization.
+func TestClusterComputesOncePerFleet(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	req := engine.Request{Kind: engine.KindCodes, Count: 3}
+	owner := nodes[0].backend.Ring().Owner(req.Key())
+
+	const perNode = 8
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		mu    sync.Mutex
+		resps []*engine.Response
+	)
+	for _, node := range nodes {
+		for i := 0; i < perNode; i++ {
+			wg.Add(1)
+			go func(node *testNode) {
+				defer wg.Done()
+				<-start
+				resp, err := node.backend.Handle(context.Background(), req)
+				if err != nil {
+					t.Errorf("node %s: %v", node.id, err)
+					return
+				}
+				mu.Lock()
+				resps = append(resps, resp)
+				mu.Unlock()
+			}(node)
+		}
+	}
+	close(start)
+	wg.Wait()
+
+	var total int64
+	for _, node := range nodes {
+		c := computeCount(node.eng)
+		if node.id != owner && c != 0 {
+			t.Errorf("non-owner %s computed %d times, want 0", node.id, c)
+		}
+		total += c
+	}
+	if total != 1 {
+		t.Errorf("fleet ran %d computations for one request key, want exactly 1", total)
+	}
+	if len(resps) != perNode*len(nodes) {
+		t.Fatalf("%d responses, want %d", len(resps), perNode*len(nodes))
+	}
+
+	// Every response carries the same dataset bytes, whether it was
+	// served locally on the owner or re-parsed from the peer protocol.
+	var want bytes.Buffer
+	if err := resps[0].Dataset.Render(&want, dataset.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if resp.Key != req.Key() {
+			t.Errorf("response %d: key %q, want %q", i, resp.Key, req.Key())
+		}
+		var got bytes.Buffer
+		if err := resp.Dataset.Render(&got, dataset.FormatJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("response %d serializes differently from response 0", i)
+		}
+	}
+}
+
+// TestClusterPeerProvenance: a request routed through a non-owning node
+// reports Peer=true with the owner's hit/miss verdict — miss on first
+// fetch, hit on the repeat (the owner's cache is the key's home; the
+// requester deliberately does not re-cache).
+func TestClusterPeerProvenance(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	req := engine.Request{Kind: engine.KindCodes, Count: 5}
+	owner := nodes[0].backend.Ring().Owner(req.Key())
+	var asker *testNode
+	for _, node := range nodes {
+		if node.id != owner {
+			asker = node
+		}
+	}
+	first, err := asker.backend.Handle(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Peer || first.CacheHit {
+		t.Errorf("first fetch: Peer=%v CacheHit=%v, want peer miss", first.Peer, first.CacheHit)
+	}
+	second, err := asker.backend.Handle(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Peer || !second.CacheHit {
+		t.Errorf("second fetch: Peer=%v CacheHit=%v, want peer hit", second.Peer, second.CacheHit)
+	}
+	if got := computeCount(asker.eng); got != 0 {
+		t.Errorf("asker computed %d times, want 0", got)
+	}
+}
+
+// TestClusterDeadPeerFallsBackLocal: a peer that cannot be reached
+// degrades the key to local computation — the caller still gets a
+// result, with Peer=false and the failure visible in the layer stats.
+func TestClusterDeadPeerFallsBackLocal(t *testing.T) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	backend, err := NewPeerBackend(eng, Options{Self: "live", Peers: map[string]string{"dead": deadURL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a request the dead node owns, so the fetch must be attempted.
+	var req engine.Request
+	for count := 1; ; count++ {
+		req = engine.Request{Kind: engine.KindCodes, Count: count}
+		if backend.Ring().Owner(req.Key()) == "dead" {
+			break
+		}
+	}
+	resp, err := backend.Handle(context.Background(), req)
+	if err != nil {
+		t.Fatalf("dead peer surfaced as an error: %v", err)
+	}
+	if resp.Peer {
+		t.Error("response claims peer provenance after a failed fetch")
+	}
+	if resp.Dataset == nil {
+		t.Error("local fallback returned no dataset")
+	}
+	st := backend.Stats()
+	if st.Errors != 1 {
+		t.Errorf("peer stats errors = %d, want 1", st.Errors)
+	}
+	if got := computeCount(eng); got != 1 {
+		t.Errorf("local engine computed %d times, want 1", got)
+	}
+}
+
+// TestClusterNonWireableStaysLocal: requests that cannot cross the wire
+// (fabrication's mutable result, custom threshold models) never attempt
+// a peer fetch, whoever owns their key.
+func TestClusterNonWireableStaysLocal(t *testing.T) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peer is unreachable; any attempted fetch would show up in the
+	// error stats.
+	backend, err := NewPeerBackend(eng, Options{Self: "live", Peers: map[string]string{"dead": "http://127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := backend.Handle(context.Background(), engine.Request{Kind: engine.KindFabricate, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Memory == nil || resp.Peer {
+		t.Errorf("fabrication: Memory=%v Peer=%v, want local mutable result", resp.Memory, resp.Peer)
+	}
+	if st := backend.Stats(); st.Errors != 0 {
+		t.Errorf("non-wireable request attempted %d peer fetches", st.Errors)
+	}
+}
+
+// errorBackend stubs the local engine with a fixed error, for driving
+// PeerHandler's status mapping.
+type errorBackend struct{ err error }
+
+func (b errorBackend) Handle(ctx context.Context, req engine.Request) (*engine.Response, error) {
+	return nil, b.err
+}
+func (b errorBackend) Stats() engine.BackendStats { return engine.BackendStats{Name: "stub"} }
+
+// TestPeerHandlerStatusMapping: the internal route speaks the nwerr
+// taxonomy over HTTP — Overload is 503 with a Retry-After hint (the
+// load-shedding contract), Canceled 408, Invalid 400 — and rejects
+// bodies that are not the wire form.
+func TestPeerHandlerStatusMapping(t *testing.T) {
+	wire, err := engine.Request{Kind: engine.KindCodes, Count: 1}.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		backendErr error
+		body       string
+		status     int
+		retryAfter string
+	}{
+		{"overload", nwerr.Overloadf("saturated"), string(wire), http.StatusServiceUnavailable, "1"},
+		{"canceled", nwerr.Canceled(context.Canceled), string(wire), http.StatusRequestTimeout, ""},
+		{"invalid", nwerr.Invalidf("bad"), string(wire), http.StatusBadRequest, ""},
+		{"internal", errors.New("boom"), string(wire), http.StatusInternalServerError, ""},
+		{"bad-wire", nil, "{not json", http.StatusBadRequest, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := PeerHandler(errorBackend{err: tc.backendErr})
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, PeerPath, strings.NewReader(tc.body)))
+			if rec.Code != tc.status {
+				t.Errorf("status = %d, want %d", rec.Code, tc.status)
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.retryAfter {
+				t.Errorf("Retry-After = %q, want %q", got, tc.retryAfter)
+			}
+		})
+	}
+}
+
+// TestPeerBackendOptions: misconfigurations fail construction with
+// Invalid-class errors instead of surfacing later as routing surprises.
+func TestPeerBackendOptions(t *testing.T) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]Options{
+		"empty-self":    {Peers: map[string]string{"b": "http://x"}},
+		"self-in-peers": {Self: "a", Peers: map[string]string{"a": "http://x"}},
+		"empty-url":     {Self: "a", Peers: map[string]string{"b": ""}},
+	} {
+		if _, err := NewPeerBackend(eng, opts); !errors.Is(err, nwerr.ErrInvalid) {
+			t.Errorf("%s: NewPeerBackend error = %v, want ErrInvalid", name, err)
+		}
+	}
+}
+
+// BenchmarkClusterRouting measures the steady-state cost of serving a
+// sharded keyspace through a 3-node in-process fleet: each iteration
+// routes one of 16 warm keys through one of the nodes round-robin, so
+// roughly a third of fetches are local cache hits and the rest cross the
+// peer protocol (ring lookup, HTTP round trip, dataset re-parse) to hit
+// the owner's cache.
+func BenchmarkClusterRouting(b *testing.B) {
+	nodes := newTestCluster(b, 3)
+	const keys = 16
+	reqs := make([]engine.Request, keys)
+	for i := range reqs {
+		reqs[i] = engine.Request{Kind: engine.KindCodes, Count: i + 1}
+	}
+	ctx := context.Background()
+	for _, req := range reqs {
+		if _, err := nodes[0].backend.Handle(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := nodes[i%len(nodes)]
+		resp, err := node.backend.Handle(ctx, reqs[i%keys])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit {
+			b.Fatalf("key %d missed every cache in steady state", i%keys)
+		}
+	}
+}

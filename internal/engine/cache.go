@@ -2,8 +2,68 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"sync"
+
+	"nwdec/internal/obs"
 )
+
+// cacheBackend serves cacheable requests from the bounded,
+// content-addressed LRU and stores what the layers below compute. It
+// sits inside the singleflight layer, so a computed result is cached
+// before the flight lands — a request arriving the instant a flight
+// completes either joins it or hits the cache, never recomputes.
+// Non-cacheable kinds (fabrication) pass straight through.
+type cacheBackend struct {
+	cache *resultCache
+	next  Backend
+	stats layerStats
+}
+
+func newCacheBackend(maxEntries int, maxCost int64, next Backend) *cacheBackend {
+	return &cacheBackend{
+		cache: newResultCache(maxEntries, maxCost),
+		next:  next,
+		stats: layerStats{name: "cache"},
+	}
+}
+
+// Stats reports the layer's lifetime counters.
+func (b *cacheBackend) Stats() BackendStats { return b.stats.Stats() }
+
+// len returns the number of cached responses.
+func (b *cacheBackend) len() int { return b.cache.len() }
+
+// Handle serves from the cache, or delegates and caches the computed
+// original. The cached original never leaves the layer: hits return a
+// caller-private clone, and the computed response is cloned on the way
+// out for the same reason.
+func (b *cacheBackend) Handle(ctx context.Context, req Request) (*Response, error) {
+	b.stats.requests.Add(1)
+	if !req.Kind.cacheable() {
+		return b.next.Handle(ctx, req)
+	}
+	reg := obs.From(ctx)
+	key := req.Key()
+	if resp, ok := b.cache.get(key); ok {
+		reg.Counter("engine/cache/hits").Add(1)
+		b.stats.served.Add(1)
+		return resp.clone(req, true), nil
+	}
+	reg.Counter("engine/cache/misses").Add(1)
+	resp, err := b.next.Handle(ctx, req)
+	if err != nil {
+		b.stats.errors.Add(1)
+		return nil, err
+	}
+	evicted := b.cache.add(key, resp, resp.cost())
+	if evicted > 0 {
+		reg.Counter("engine/cache/evictions").Add(int64(evicted))
+	}
+	reg.Gauge("engine/cache/entries").Set(float64(b.cache.len()))
+	reg.Gauge("engine/cache/cost").Set(float64(b.cache.costNow()))
+	return resp.clone(req, false), nil
+}
 
 // cacheEntry is one cached response with its content address and weight.
 type cacheEntry struct {

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"nwdec/internal/nwerr"
+	"nwdec/internal/obs"
+)
+
+// computeBackend is the innermost layer: it runs the request's library
+// entry point and classifies the outcome. It performs no caching,
+// deduplication or admission — the layers above own those — so a unit
+// test can drive it directly and observe exactly one computation per
+// call.
+type computeBackend struct {
+	stats layerStats
+}
+
+func newComputeBackend() *computeBackend {
+	return &computeBackend{stats: layerStats{name: "compute"}}
+}
+
+// Stats reports the layer's lifetime counters.
+func (b *computeBackend) Stats() BackendStats { return b.stats.Stats() }
+
+// Handle dispatches the request to its kind's entry point. The response
+// comes back un-cloned: the cache layer decides whether it becomes a
+// cached original or goes straight to the caller. Context cancellation
+// surfaces as a Canceled-class error; computation failures pass through
+// for ClassOf to read as Internal.
+func (b *computeBackend) Handle(ctx context.Context, req Request) (*Response, error) {
+	b.stats.requests.Add(1)
+	reg := obs.From(ctx)
+	reg.Counter("engine/computes").Add(1)
+	reg.Counter("engine/" + string(req.Kind) + "/computes").Add(1)
+	span := reg.StartSpan("engine/compute/" + string(req.Kind))
+	defer span.End()
+
+	resp, err := computeKind(ctx, req)
+	if err != nil {
+		b.stats.errors.Add(1)
+		reg.Counter("engine/compute_errors").Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, nwerr.Canceled(err)
+		}
+		return nil, err
+	}
+	b.stats.served.Add(1)
+	resp.Key = req.Key()
+	return resp, nil
+}

@@ -1,38 +1,48 @@
 // Package engine is the serving layer of the decoder pipeline: a typed
 // request/response API fronting the expensive library entry points
 // (core.NewDesign, Design.MonteCarloYieldWorkers, experiments.Runner,
-// sweep.RunWorkers, crossbar fabrication) behind three cross-cutting
-// mechanisms the entry points themselves stay free of:
+// sweep.RunWorkers, crossbar fabrication) behind a stack of composable
+// backends, each owning one cross-cutting mechanism the entry points
+// themselves stay free of:
 //
+//   - singleflight deduplication: concurrent identical requests share one
+//     computation instead of racing to do the same work;
 //   - a bounded, content-addressed result cache: the pipeline's
 //     determinism invariant makes a request's identity fields a complete
 //     address for its result, so equal requests — at any worker count —
 //     are served from memory;
-//   - singleflight deduplication: concurrent identical requests share one
-//     computation instead of racing to do the same work;
 //   - admission control: a semaphore bounds the number of requests
-//     computing at once, so a burst degrades to queueing instead of
-//     unbounded memory and scheduler pressure.
+//     computing at once, so a burst degrades to queueing (or, in shed
+//     mode, to an Overload-class rejection) instead of unbounded memory
+//     and scheduler pressure;
+//   - computation: the kind dispatch itself.
+//
+// The layers compose through the Backend interface, in request-flow
+// order singleflight → cache → admission → compute. The Engine facade
+// validates and counts requests at the top of the chain and is itself a
+// Backend, which is what lets internal/cluster route request keys across
+// a fleet of engines: a peer backend composes over a remote node's
+// facade exactly as the local layers compose over each other.
 //
 // Every command-line tool and the nwserve HTTP facade submit work through
 // Engine.Do. Errors carry the internal/nwerr taxonomy: malformed requests
-// are Invalid, context cancellation is Canceled, everything else is
-// Internal — callers branch with errors.Is instead of string matching.
+// are Invalid, context cancellation is Canceled, shed work is Overload,
+// everything else is Internal — callers branch with errors.Is instead of
+// string matching.
 //
 // The engine is instrumented with internal/obs (request/compute counters
 // per kind, cache hit/miss/eviction counters, in-flight gauge, per-kind
 // spans) through the registry carried by the request context; with no
-// registry installed the instrumentation is free.
+// registry installed the instrumentation is free. Each layer additionally
+// keeps always-on atomic BackendStats, readable per layer through
+// Engine.BackendStats.
 package engine
 
 import (
 	"context"
-	"errors"
-	"sync"
 
 	"nwdec/internal/nwerr"
 	"nwdec/internal/obs"
-	"nwdec/internal/par"
 )
 
 // Cache sizing defaults. The cost unit is one dataset cell (see
@@ -45,7 +55,8 @@ const (
 	DefaultMaxCost int64 = 1 << 20
 )
 
-// Options configures an Engine. The zero value selects the defaults.
+// Options configures an Engine. The zero value selects the defaults;
+// negative caps are rejected by New with an Invalid-class error.
 type Options struct {
 	// MaxEntries caps the result cache's entry count
 	// (0 = DefaultMaxEntries).
@@ -57,136 +68,128 @@ type Options struct {
 	// (0 = GOMAXPROCS). Cached and deduplicated requests are served
 	// without consuming a slot.
 	MaxInFlight int
+	// Shed selects the admission policy under saturation: false (the
+	// default, what the CLIs want) queues until a slot frees or the
+	// context dies; true (what a server under open-ended load wants)
+	// fails fast with an Overload-class error the HTTP facade maps to
+	// 503 + Retry-After.
+	Shed bool
 }
 
-// Engine serves typed requests with caching, deduplication and admission
-// control. Construct with New; an Engine is safe for concurrent use.
+// validate rejects option values that would silently misbehave (a
+// negative cap is neither "unlimited" nor "default" — it is a bug in the
+// caller).
+func (o Options) validate() error {
+	if o.MaxEntries < 0 {
+		return nwerr.Invalidf("engine: negative MaxEntries %d", o.MaxEntries)
+	}
+	if o.MaxCost < 0 {
+		return nwerr.Invalidf("engine: negative MaxCost %d", o.MaxCost)
+	}
+	if o.MaxInFlight < 0 {
+		return nwerr.Invalidf("engine: negative MaxInFlight %d", o.MaxInFlight)
+	}
+	return nil
+}
+
+// Engine is the facade over the backend stack: it validates requests,
+// counts them, and hands them to the head of the chain. Construct with
+// New; an Engine is safe for concurrent use and implements Backend.
 type Engine struct {
-	cache *resultCache
-	sem   *par.Semaphore
-
-	mu      sync.Mutex
-	flights map[string]*flight
+	head      Backend
+	flight    *singleflightBackend
+	cache     *cacheBackend
+	admission *admissionBackend
+	compute   *computeBackend
+	stats     layerStats
 }
 
-// New creates an engine with the given options.
-func New(opts Options) *Engine {
-	if opts.MaxEntries <= 0 {
+// New creates an engine with the given options. Invalid options (negative
+// caps) are rejected with an Invalid-class error.
+func New(opts Options) (*Engine, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxEntries == 0 {
 		opts.MaxEntries = DefaultMaxEntries
 	}
-	if opts.MaxCost <= 0 {
+	if opts.MaxCost == 0 {
 		opts.MaxCost = DefaultMaxCost
 	}
+	compute := newComputeBackend()
+	admission := newAdmissionBackend(opts.MaxInFlight, opts.Shed, compute)
+	cache := newCacheBackend(opts.MaxEntries, opts.MaxCost, admission)
+	flight := newSingleflightBackend(cache)
 	return &Engine{
-		cache:   newResultCache(opts.MaxEntries, opts.MaxCost),
-		sem:     par.NewSemaphore(opts.MaxInFlight),
-		flights: make(map[string]*flight),
-	}
+		head:      flight,
+		flight:    flight,
+		cache:     cache,
+		admission: admission,
+		compute:   compute,
+		stats:     layerStats{name: "engine"},
+	}, nil
 }
 
 // InFlight returns the number of requests currently computing.
-func (e *Engine) InFlight() int { return e.sem.InFlight() }
+func (e *Engine) InFlight() int { return e.admission.inFlight() }
 
 // CacheLen returns the number of cached responses.
 func (e *Engine) CacheLen() int { return e.cache.len() }
 
-// Do serves one request: validate, consult the cache, join or lead the
-// in-flight computation for the request's content address, and compute
-// under admission control. The returned response is the caller's own —
-// its dataset is a private clone — and its CacheHit field reports whether
-// any computation happened on the caller's behalf.
+// Stats reports the facade's lifetime counters (all requests entering
+// the engine); the per-layer breakdown is BackendStats.
+func (e *Engine) Stats() BackendStats { return e.stats.Stats() }
+
+// BackendStats reports the lifetime counters of every layer, facade
+// first, in request-flow order.
+func (e *Engine) BackendStats() []BackendStats {
+	return []BackendStats{
+		e.Stats(),
+		e.flight.Stats(),
+		e.cache.Stats(),
+		e.admission.Stats(),
+		e.compute.Stats(),
+	}
+}
+
+// Handle makes the Engine a Backend, so cluster routing layers compose
+// over it. It is Do by another name.
+func (e *Engine) Handle(ctx context.Context, req Request) (*Response, error) {
+	return e.Do(ctx, req)
+}
+
+// Do serves one request: validate, then hand it to the backend chain —
+// deduplicate against in-flight identical requests, consult the cache,
+// and compute under admission control. The returned response is the
+// caller's own — its dataset is a private clone — and its CacheHit field
+// reports whether any computation happened on the caller's behalf.
 //
 // Errors are classified per internal/nwerr: a malformed request is
 // Invalid (no work is admitted), ctx cancellation surfaces as Canceled,
-// and computation failures pass through for ClassOf to read as Internal.
-// A follower of a deduplicated flight shares the leader's result and the
-// leader's error — including a Canceled one — since no computation of its
-// own remains to continue.
+// shed work is Overload, and computation failures pass through for
+// ClassOf to read as Internal. A follower of a deduplicated flight
+// shares the leader's result and the leader's error — including a
+// Canceled one — since no computation of its own remains to continue.
 func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	e.stats.requests.Add(1)
 	if err := req.validate(); err != nil {
+		e.stats.errors.Add(1)
 		return nil, err
 	}
+	req.key = req.Key() // memoize: one fingerprint per request, not one per layer
 	reg := obs.From(ctx)
 	reg.Counter("engine/requests").Add(1)
 	reg.Counter("engine/" + string(req.Kind) + "/requests").Add(1)
 	span := reg.StartSpan("engine/request/" + string(req.Kind))
 	defer span.End()
 	if err := ctx.Err(); err != nil {
+		e.stats.errors.Add(1)
 		return nil, nwerr.Canceled(err)
 	}
-
-	if !req.Kind.cacheable() {
-		resp, err := e.compute(ctx, req, reg)
-		if err != nil {
-			return nil, err
-		}
-		resp.CacheHit = false
-		return resp, nil
-	}
-
-	key := req.Key()
-	if resp, ok := e.cache.get(key); ok {
-		reg.Counter("engine/cache/hits").Add(1)
-		return resp.clone(req, true), nil
-	}
-	reg.Counter("engine/cache/misses").Add(1)
-
-	f, leader := e.joinOrLead(key)
-	if !leader {
-		reg.Counter("engine/flight/joined").Add(1)
-		select {
-		case <-f.done:
-		case <-ctx.Done():
-			return nil, nwerr.Canceled(ctx.Err())
-		}
-		if f.err != nil {
-			return nil, f.err
-		}
-		return f.resp.clone(req, true), nil
-	}
-
-	resp, err := e.compute(ctx, req, reg)
-	if err == nil {
-		evicted := e.cache.add(key, resp, resp.cost())
-		if evicted > 0 {
-			reg.Counter("engine/cache/evictions").Add(int64(evicted))
-		}
-		reg.Gauge("engine/cache/entries").Set(float64(e.cache.len()))
-		reg.Gauge("engine/cache/cost").Set(float64(e.cache.costNow()))
-	}
-	e.land(f, key, resp, err)
+	resp, err := e.head.Handle(ctx, req)
 	if err != nil {
+		e.stats.errors.Add(1)
 		return nil, err
 	}
-	return resp.clone(req, false), nil
-}
-
-// compute admits the request through the semaphore and runs its kind's
-// entry point. The response comes back un-cloned: Do decides whether it
-// becomes a cached original or goes straight to the caller.
-func (e *Engine) compute(ctx context.Context, req Request, reg *obs.Registry) (*Response, error) {
-	if err := e.sem.Acquire(ctx); err != nil {
-		reg.Counter("engine/admission/aborted").Add(1)
-		return nil, nwerr.Canceled(err)
-	}
-	reg.Gauge("engine/inflight").Set(float64(e.sem.InFlight()))
-	defer func() {
-		e.sem.Release()
-		reg.Gauge("engine/inflight").Set(float64(e.sem.InFlight()))
-	}()
-	reg.Counter("engine/computes").Add(1)
-	reg.Counter("engine/" + string(req.Kind) + "/computes").Add(1)
-	span := reg.StartSpan("engine/compute/" + string(req.Kind))
-	defer span.End()
-
-	resp, err := computeKind(ctx, req)
-	if err != nil {
-		reg.Counter("engine/compute_errors").Add(1)
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, nwerr.Canceled(err)
-		}
-		return nil, err
-	}
-	resp.Key = req.Key()
 	return resp, nil
 }

@@ -23,6 +23,86 @@ func obsCtx() (context.Context, *obs.Registry) {
 	return obs.Into(context.Background(), reg), reg
 }
 
+// newEngine constructs an engine from options every test here considers
+// valid, failing the test on a construction error.
+func newEngine(t *testing.T, opts engine.Options) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestOptionsValidation: New must reject caps that would silently
+// misbehave — a negative cap is neither "unlimited" nor "default" — with
+// an Invalid-class error, and accept the zero value and explicit
+// positive caps.
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts engine.Options
+		ok   bool
+	}{
+		{"zero-defaults", engine.Options{}, true},
+		{"explicit", engine.Options{MaxEntries: 4, MaxCost: 100, MaxInFlight: 2}, true},
+		{"shed", engine.Options{Shed: true}, true},
+		{"negative-entries", engine.Options{MaxEntries: -1}, false},
+		{"negative-cost", engine.Options{MaxCost: -5}, false},
+		{"negative-inflight", engine.Options{MaxInFlight: -2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := engine.New(tc.opts)
+			if tc.ok {
+				if err != nil || eng == nil {
+					t.Fatalf("New(%+v) = %v, %v; want an engine", tc.opts, eng, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("New(%+v) accepted invalid options", tc.opts)
+			}
+			if !errors.Is(err, nwerr.ErrInvalid) {
+				t.Errorf("New(%+v) error %v is not ErrInvalid", tc.opts, err)
+			}
+			if eng != nil {
+				t.Errorf("New(%+v) returned an engine alongside the error", tc.opts)
+			}
+		})
+	}
+}
+
+// TestBackendStats: the per-layer counters must attribute work to the
+// layer that did it — one cold request counts at every layer, its cached
+// repeat is served by the cache layer and never reaches admission or
+// compute.
+func TestBackendStats(t *testing.T) {
+	ctx, _ := obsCtx()
+	eng := newEngine(t, engine.Options{})
+	req := engine.Request{Kind: engine.KindCodes, Count: 2}
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Do(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layers := make(map[string]engine.BackendStats)
+	for _, st := range eng.BackendStats() {
+		layers[st.Name] = st
+	}
+	for name, want := range map[string]engine.BackendStats{
+		"engine":       {Name: "engine", Requests: 2},
+		"singleflight": {Name: "singleflight", Requests: 2},
+		"cache":        {Name: "cache", Requests: 2, Served: 1},
+		"admission":    {Name: "admission", Requests: 1},
+		"compute":      {Name: "compute", Requests: 1, Served: 1},
+	} {
+		if got := layers[name]; got != want {
+			t.Errorf("layer %s stats = %+v, want %+v", name, got, want)
+		}
+	}
+}
+
 // TestConcurrentDuplicatesComputeOnce is the singleflight proof: N
 // goroutines issue the identical request against one engine, and the
 // engine's compute counter must record exactly one execution — every
@@ -30,7 +110,7 @@ func obsCtx() (context.Context, *obs.Registry) {
 // Run under -race this also exercises the flight/cache synchronization.
 func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
 	ctx, reg := obsCtx()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	req := engine.Request{Kind: engine.KindMonteCarlo, Seed: 11, Trials: 3}
 
 	const n = 16
@@ -81,7 +161,7 @@ func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
 // entries — sharing one would serve seed A's empirical yield for seed B.
 func TestDistinctSeedsDistinctEntries(t *testing.T) {
 	ctx, reg := obsCtx()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	a, err := eng.Do(ctx, engine.Request{Kind: engine.KindMonteCarlo, Seed: 1, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +195,7 @@ func TestDistinctSeedsDistinctEntries(t *testing.T) {
 // the least recently used key.
 func TestEvictionRespectsEntryCap(t *testing.T) {
 	ctx, reg := obsCtx()
-	eng := engine.New(engine.Options{MaxEntries: 2})
+	eng := newEngine(t, engine.Options{MaxEntries: 2})
 	for count := 1; count <= 3; count++ {
 		if _, err := eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: count}); err != nil {
 			t.Fatal(err)
@@ -150,7 +230,7 @@ func TestEvictionRespectsEntryCap(t *testing.T) {
 func TestEvictionRespectsCostCap(t *testing.T) {
 	ctx, _ := obsCtx()
 	// A one-word codes dataset costs 1 + 1 row × 3 columns = 4 units.
-	eng := engine.New(engine.Options{MaxCost: 3})
+	eng := newEngine(t, engine.Options{MaxCost: 3})
 	resp, err := eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +243,7 @@ func TestEvictionRespectsCostCap(t *testing.T) {
 	}
 	// With room for one such response but not two, the second insert
 	// evicts the first.
-	eng = engine.New(engine.Options{MaxCost: 5})
+	eng = newEngine(t, engine.Options{MaxCost: 5})
 	if _, err := eng.Do(ctx, engine.Request{Kind: engine.KindCodes, Count: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +260,7 @@ func TestEvictionRespectsCostCap(t *testing.T) {
 // counts — so a result computed at one count must serve every other.
 func TestWorkersExcludedFromKey(t *testing.T) {
 	ctx, _ := obsCtx()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	one, err := eng.Do(ctx, engine.Request{Kind: engine.KindExperiment, Experiment: "fig5", Workers: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +295,7 @@ func TestWorkersExcludedFromKey(t *testing.T) {
 // annotating one response never contaminates the cached original.
 func TestCachedDatasetIsPrivate(t *testing.T) {
 	ctx, _ := obsCtx()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	req := engine.Request{Kind: engine.KindCodes, Count: 4}
 	first, err := eng.Do(ctx, req)
 	if err != nil {
@@ -239,7 +319,7 @@ func TestCachedDatasetIsPrivate(t *testing.T) {
 // rejected before any computation is admitted.
 func TestInvalidRequests(t *testing.T) {
 	ctx, reg := obsCtx()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	for _, req := range []engine.Request{
 		{Kind: "nope"},
 		{Kind: engine.KindExperiment},
@@ -266,7 +346,7 @@ func TestCanceledContext(t *testing.T) {
 	ctx, reg := obsCtx()
 	ctx, cancel := context.WithCancel(ctx)
 	cancel()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	_, err := eng.Do(ctx, engine.Request{Kind: engine.KindDesign})
 	if !errors.Is(err, nwerr.ErrCanceled) {
 		t.Errorf("error %v is not ErrCanceled", err)
@@ -283,7 +363,7 @@ func TestCanceledContext(t *testing.T) {
 // cache — the next identical request retries the computation.
 func TestComputeErrorsNotCached(t *testing.T) {
 	ctx, reg := obsCtx()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	// An odd length is structurally invalid for a reflected code family,
 	// so NewDesign fails.
 	req := engine.Request{Kind: engine.KindDesign, Config: core.Config{CodeLength: 7}}
@@ -306,7 +386,7 @@ func TestComputeErrorsNotCached(t *testing.T) {
 // deterministically.
 func TestFabricateUncachedDeterministic(t *testing.T) {
 	ctx, _ := obsCtx()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	req := engine.Request{Kind: engine.KindFabricate, Seed: 7}
 	a, err := eng.Do(ctx, req)
 	if err != nil {
@@ -340,7 +420,7 @@ func TestFabricateUncachedDeterministic(t *testing.T) {
 // to a direct experiments.Runner run.
 func TestEngineMatchesRunner(t *testing.T) {
 	ctx, _ := obsCtx()
-	eng := engine.New(engine.Options{})
+	eng := newEngine(t, engine.Options{})
 	resp, err := eng.Do(ctx, engine.Request{Kind: engine.KindExperiment, Experiment: "fig7"})
 	if err != nil {
 		t.Fatal(err)

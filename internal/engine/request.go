@@ -89,6 +89,10 @@ type Request struct {
 	// so Workers is excluded from the cache key — a request computed at
 	// one worker count serves all others.
 	Workers int
+
+	// key memoizes Key(). The engine facade fills it once per Do call so
+	// the backend layers below share one fingerprint computation.
+	key string
 }
 
 // Key returns the request's content address: the kind plus a fingerprint
@@ -96,6 +100,9 @@ type Request struct {
 // Config.Fingerprint, which folds in the threshold model's calibration
 // parameters; Workers is deliberately absent (see the field comment).
 func (r Request) Key() string {
+	if r.key != "" {
+		return r.key
+	}
 	return string(r.Kind) + "/" + dataset.Fingerprint(struct {
 		Config     string
 		Experiment string
@@ -159,8 +166,15 @@ type Response struct {
 	// injection in nwmem depends on this).
 	RNG *stats.RNG
 	// CacheHit reports whether the result was served without computing:
-	// from the cache, or by joining an identical in-flight request.
+	// from the cache, or by joining an identical in-flight request. For a
+	// peer-served response it reports the owning node's verdict.
 	CacheHit bool
+	// Peer reports that the response was served by the request key's
+	// owning node over the cluster peer protocol instead of by this
+	// process (see internal/cluster). Peer responses carry the dataset
+	// only: the kind-specific payloads (Design, Rows, Yield) do not cross
+	// the wire.
+	Peer bool
 	// Key is the request's content address, for logging and HTTP headers.
 	Key string
 }

@@ -50,6 +50,7 @@ func DefaultConfig(module string) *Config {
 		},
 		GoroutinePkgs: []string{"internal/par", "cmd/nwserve"},
 		CtxEntryPkgs: []string{
+			"internal/cluster",
 			"internal/core",
 			"internal/engine",
 			"internal/experiments",

@@ -8,14 +8,21 @@
 //     answers 400.
 //   - Canceled — the caller gave up: the context was canceled or its
 //     deadline expired before the work finished. CLIs exit 1, the HTTP
-//     facade answers 503.
+//     facade answers 408 (the request's own clock ran out — nothing is
+//     wrong with the server).
+//   - Overload — the system is saturated: admission control refused the
+//     work to protect the process. The request was fine and the server is
+//     healthy; retrying after a backoff is the correct response. CLIs
+//     exit 1, the HTTP facade answers 503 with a Retry-After header.
 //   - Internal — the computation itself failed. CLIs exit 1, the HTTP
 //     facade answers 500.
 //
 // Classification is structural, never textual: classes travel as wrapped
 // errors in ordinary %w chains, ClassOf walks the chain with errors.As,
 // and context errors are recognized with errors.Is — so the command layer
-// derives exit codes without ever matching message strings.
+// derives exit codes without ever matching message strings. HTTPStatus
+// centralizes the class→status mapping so every HTTP surface (nwserve,
+// the cluster peer protocol) answers identically.
 package nwerr
 
 import (
@@ -28,7 +35,8 @@ import (
 type Class int
 
 // The error classes, ordered by blame: the caller (Invalid), the caller's
-// impatience (Canceled), the system (Internal).
+// impatience (Canceled), the system's saturation (Overload), the system
+// itself (Internal).
 const (
 	// ClassInternal is the default: the computation failed.
 	ClassInternal Class = iota
@@ -37,6 +45,9 @@ const (
 	// ClassCanceled marks work abandoned on context cancellation or
 	// deadline expiry.
 	ClassCanceled
+	// ClassOverload marks work refused by admission control because the
+	// system is saturated; retrying after a backoff is expected to help.
+	ClassOverload
 )
 
 // String returns the lower-case class name.
@@ -46,6 +57,8 @@ func (c Class) String() string {
 		return "invalid"
 	case ClassCanceled:
 		return "canceled"
+	case ClassOverload:
+		return "overload"
 	case ClassInternal:
 		return "internal"
 	default:
@@ -64,6 +77,7 @@ func (s sentinel) Error() string { return s.class.String() + " error" }
 var (
 	ErrInvalid  error = sentinel{ClassInvalid}
 	ErrCanceled error = sentinel{ClassCanceled}
+	ErrOverload error = sentinel{ClassOverload}
 	ErrInternal error = sentinel{ClassInternal}
 )
 
@@ -102,6 +116,9 @@ func Invalid(err error) error { return wrap(ClassInvalid, err) }
 // Canceled marks err as abandoned work. A nil err stays nil.
 func Canceled(err error) error { return wrap(ClassCanceled, err) }
 
+// Overload marks err as work shed under saturation. A nil err stays nil.
+func Overload(err error) error { return wrap(ClassOverload, err) }
+
 // Internal marks err as a computation failure. A nil err stays nil.
 func Internal(err error) error { return wrap(ClassInternal, err) }
 
@@ -113,6 +130,11 @@ func Invalidf(format string, args ...any) error {
 // Internalf formats a new Internal-class error; %w wrapping works.
 func Internalf(format string, args ...any) error {
 	return Internal(fmt.Errorf(format, args...))
+}
+
+// Overloadf formats a new Overload-class error; %w wrapping works.
+func Overloadf(format string, args ...any) error {
+	return Overload(fmt.Errorf(format, args...))
 }
 
 // ClassOf classifies an error: the outermost *Error in the chain wins;
@@ -136,3 +158,27 @@ func IsInvalid(err error) bool { return err != nil && ClassOf(err) == ClassInval
 
 // IsCanceled reports whether err classifies as abandoned work.
 func IsCanceled(err error) bool { return err != nil && ClassOf(err) == ClassCanceled }
+
+// IsOverload reports whether err classifies as shed work.
+func IsOverload(err error) bool { return err != nil && ClassOf(err) == ClassOverload }
+
+// HTTPStatus maps an error's class to the HTTP status every facade of the
+// pipeline answers with: Invalid is 400 (fix the request), Canceled is 408
+// (the caller's clock ran out), Overload is 503 (back off and retry — the
+// server pairs it with a Retry-After header), Internal is 500. A nil
+// error is 200.
+func HTTPStatus(err error) int {
+	if err == nil {
+		return 200
+	}
+	switch ClassOf(err) {
+	case ClassInvalid:
+		return 400
+	case ClassCanceled:
+		return 408
+	case ClassOverload:
+		return 503
+	default:
+		return 500
+	}
+}

@@ -18,12 +18,14 @@ func TestClassOf(t *testing.T) {
 	}{
 		{"invalid", nwerr.Invalid(base), nwerr.ClassInvalid},
 		{"canceled", nwerr.Canceled(base), nwerr.ClassCanceled},
+		{"overload", nwerr.Overload(base), nwerr.ClassOverload},
 		{"internal", nwerr.Internal(base), nwerr.ClassInternal},
 		{"unclassified", base, nwerr.ClassInternal},
 		{"ctx-canceled", context.Canceled, nwerr.ClassCanceled},
 		{"ctx-deadline", context.DeadlineExceeded, nwerr.ClassCanceled},
 		{"wrapped-ctx", fmt.Errorf("sweep: %w", context.DeadlineExceeded), nwerr.ClassCanceled},
 		{"invalidf", nwerr.Invalidf("bad count %d", -1), nwerr.ClassInvalid},
+		{"overloadf", nwerr.Overloadf("%d slots busy", 8), nwerr.ClassOverload},
 		{"rewrapped", fmt.Errorf("cli: %w", nwerr.Invalid(base)), nwerr.ClassInvalid},
 	}
 	for _, tc := range cases {
@@ -50,7 +52,8 @@ func TestSentinels(t *testing.T) {
 	if !errors.Is(err, nwerr.ErrInvalid) {
 		t.Error("errors.Is(err, ErrInvalid) = false through a %w chain")
 	}
-	if errors.Is(err, nwerr.ErrCanceled) || errors.Is(err, nwerr.ErrInternal) {
+	if errors.Is(err, nwerr.ErrCanceled) || errors.Is(err, nwerr.ErrInternal) ||
+		errors.Is(err, nwerr.ErrOverload) {
 		t.Error("sentinel matched the wrong class")
 	}
 	if !nwerr.IsInvalid(err) {
@@ -58,6 +61,36 @@ func TestSentinels(t *testing.T) {
 	}
 	if nwerr.IsCanceled(err) {
 		t.Error("IsCanceled = true for an invalid-class error")
+	}
+	shed := fmt.Errorf("engine: %w", nwerr.Overload(errors.New("saturated")))
+	if !errors.Is(shed, nwerr.ErrOverload) || !nwerr.IsOverload(shed) {
+		t.Error("overload sentinel not matched through a %w chain")
+	}
+}
+
+// TestHTTPStatus pins the shared class→status mapping every HTTP facade
+// (nwserve, the cluster peer protocol) answers with.
+func TestHTTPStatus(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 200},
+		{"invalid", nwerr.Invalid(base), 400},
+		{"canceled", nwerr.Canceled(base), 408},
+		{"ctx-deadline", context.DeadlineExceeded, 408},
+		{"overload", nwerr.Overload(base), 503},
+		{"internal", nwerr.Internal(base), 500},
+		{"unclassified", base, 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := nwerr.HTTPStatus(tc.err); got != tc.want {
+				t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
 	}
 }
 
@@ -80,10 +113,11 @@ func TestTransparency(t *testing.T) {
 }
 
 func TestNilStaysNil(t *testing.T) {
-	if nwerr.Invalid(nil) != nil || nwerr.Canceled(nil) != nil || nwerr.Internal(nil) != nil {
+	if nwerr.Invalid(nil) != nil || nwerr.Canceled(nil) != nil ||
+		nwerr.Overload(nil) != nil || nwerr.Internal(nil) != nil {
 		t.Error("wrapping nil must return nil")
 	}
-	if nwerr.IsInvalid(nil) || nwerr.IsCanceled(nil) {
+	if nwerr.IsInvalid(nil) || nwerr.IsCanceled(nil) || nwerr.IsOverload(nil) {
 		t.Error("nil error must not classify")
 	}
 }

@@ -17,7 +17,7 @@
 #      determinism tests
 #   6. coverage gate — go run ./scripts/covergate enforces per-package
 #      statement-coverage floors over
-#      internal/{par,code,dataset,obs,engine,nwerr}
+#      internal/{par,code,dataset,obs,engine,cluster,nwerr}
 #   7. bench regression — scripts/bench.sh measures a fresh
 #      BENCH_parallel.json into ci-artifacts/ and scripts/benchcmp.go
 #      compares it against the committed baseline (±20% ns/op). Warns by
@@ -27,7 +27,11 @@
 #   9. server smoke — nwserve -smoke starts the HTTP facade on an
 #      ephemeral port, issues one /v1/experiment request against itself
 #      and shuts down gracefully
-#  10. fuzz smoke — 10s of real fuzzing per internal/code fuzz target,
+#  10. peer smoke — nwserve -peer-smoke starts a two-node in-process
+#      fleet, fetches the same experiment twice through the node that
+#      does not own its key, and asserts X-Cache: miss-peer then
+#      hit-peer (the consistent-hash routing + owner-cache contract)
+#  11. fuzz smoke — 10s of real fuzzing per internal/code fuzz target,
 #      auto-discovered from the test files (the fuzz engine accepts one
 #      target per invocation)
 #
@@ -91,6 +95,9 @@ go run ./cmd/nwsim -exp montecarlo -trials 4 > "$artifacts/montecarlo-plain.txt"
 
 echo "== server smoke =="
 go run ./cmd/nwserve -smoke
+
+echo "== peer smoke =="
+go run ./cmd/nwserve -peer-smoke
 
 echo "== fuzz smoke =="
 targets="$(grep -hEo '^func Fuzz[A-Za-z0-9_]*' internal/code/*_test.go | awk '{print $2}' | sort)"

@@ -36,6 +36,7 @@ var gated = []struct {
 	{"nwdec/internal/dataset", 90.0},
 	{"nwdec/internal/obs", 85.0},
 	{"nwdec/internal/engine", 70.0},
+	{"nwdec/internal/cluster", 80.0},
 	{"nwdec/internal/nwerr", 70.0},
 	{"nwdec/internal/stats", 95.0},
 	{"nwdec/internal/yield", 95.0},
