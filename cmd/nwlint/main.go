@@ -1,6 +1,7 @@
 // Command nwlint runs the project's static analyzers over the module
 // and reports every violation of the determinism, cancellation,
-// concurrency-containment, error-discipline and output-discipline
+// concurrency-containment, error-discipline, output-discipline,
+// scratch-confinement, atomic-coherence, layering and wire-parity
 // invariants (see internal/lint).
 //
 // Usage:
@@ -8,12 +9,22 @@
 //	nwlint [flags] [./... | package directories]
 //
 // With no arguments (or "./...") every package of the module is
-// checked. Exit codes follow the internal/cli convention: 0 when the
-// tree is clean, 1 when diagnostics were found or the analysis failed,
-// 2 on a usage error.
+// checked. Packages are analyzed in dependency order with independent
+// packages in parallel (-workers bounds the pool; output is
+// byte-identical at every worker count). Diagnostics that carry a
+// suggested fix can be applied in place with -fix or previewed as
+// unified diffs with -diff (a dry run that never writes). -facts dumps
+// the cross-package facts the analyzers exported, for debugging rules
+// built on the fact store.
+//
+// Exit codes follow the internal/cli convention: 0 when the tree is
+// clean (with -fix: when every diagnostic was fixed), 1 when
+// diagnostics were found or the analysis failed, 2 on a usage error.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +40,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a structured JSON dataset")
 	rules := flag.String("rules", "", "comma-separated rule subset to run (default: all)")
 	list := flag.Bool("list", false, "list the available rules and exit")
+	workers := flag.Int("workers", 0, "parallel analysis workers (0 = GOMAXPROCS)")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source tree")
+	diff := flag.Bool("diff", false, "preview suggested fixes as diffs without writing (dry run)")
+	factsOut := flag.String("facts", "", "write the exported analyzer facts as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -42,9 +57,12 @@ func main() {
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		os.Exit(cli.ExitOK)
+	}
+	if *fix && *jsonOut {
+		usage(fmt.Errorf("-fix and -json are mutually exclusive"))
 	}
 
 	analyzers := lint.All()
@@ -79,7 +97,41 @@ func main() {
 		pkgs = append(pkgs, pkg)
 	}
 
-	diags := lint.Run(pkgs, analyzers, lint.DefaultConfig(loader.Module))
+	diags, facts, err := lint.RunParallelFacts(context.Background(), *workers, pkgs, analyzers, lint.DefaultConfig(loader.Module))
+	if err != nil {
+		fail(err)
+	}
+
+	if *factsOut != "" {
+		if err := writeFacts(*factsOut, facts); err != nil {
+			fail(err)
+		}
+	}
+
+	fixed := 0
+	if *fix || *diff {
+		files, err := lint.ApplyFixes(loader.Fset, diags)
+		if err != nil {
+			fail(err)
+		}
+		for _, f := range files {
+			if *diff {
+				fmt.Print(f.Diff())
+			}
+			if *fix && !*diff {
+				if err := os.WriteFile(f.Path, f.New, 0o644); err != nil {
+					fail(err)
+				}
+				rel := f.Path
+				if r, err := filepath.Rel(cwd, f.Path); err == nil && !strings.HasPrefix(r, "..") {
+					rel = r
+				}
+				fmt.Fprintf(os.Stderr, "nwlint: fixed %d issue(s) in %s\n", f.Applied, rel)
+			}
+			fixed += f.Applied
+		}
+	}
+
 	for i := range diags {
 		if rel, err := filepath.Rel(cwd, diags[i].Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].Position.Filename = rel
@@ -99,8 +151,30 @@ func main() {
 		if !*jsonOut {
 			fmt.Fprintf(os.Stderr, "nwlint: %d diagnostic(s)\n", len(diags))
 		}
+		// A -fix run that repaired everything leaves a clean tree: exit 0
+		// so scripted fix loops terminate.
+		if *fix && !*diff && fixed >= len(diags) {
+			os.Exit(cli.ExitOK)
+		}
 		os.Exit(cli.ExitError)
 	}
+}
+
+// writeFacts renders the exported facts as JSON to path ('-' = stdout).
+func writeFacts(path string, facts []lint.FactLine) error {
+	if facts == nil {
+		facts = []lint.FactLine{}
+	}
+	raw, err := json.MarshalIndent(facts, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
 }
 
 // targetPaths expands the command arguments into module import paths:

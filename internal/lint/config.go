@@ -24,6 +24,37 @@ type Config struct {
 	// stdout directly (the CLI surface, the report generator and the
 	// renderers). Packages named main are always allowed.
 	PrintAllowedPkgs []string
+	// Layering is the allowed package DAG, one row per governed package
+	// (rule "layering"). See LayerRule.
+	Layering []LayerRule
+	// WireParity lists the identity/wire struct pairs whose fields must
+	// stay in round-trip parity (rule "wireparity").
+	WireParity []WireSpec
+}
+
+// LayerRule is one row of the layering table. Pkg names the governed
+// package (module-relative; a trailing "/" matches the subtree). Deny
+// lists packages Pkg must never import; Importers, when non-nil,
+// restricts who may import Pkg to the listed packages (same matching).
+// Why is the one-line architectural reason, quoted in diagnostics.
+type LayerRule struct {
+	Pkg       string
+	Deny      []string
+	Importers []string
+	Why       string
+}
+
+// WireSpec declares one wire-parity contract: in package Pkg, every
+// exported field of Struct except those in Exclude must appear in Wire
+// and be set explicitly in the Marshal and Unmarshal conversions, and
+// the excluded fields must not appear in Wire at all.
+type WireSpec struct {
+	Pkg       string
+	Struct    string
+	Wire      string
+	Marshal   string
+	Unmarshal string
+	Exclude   []string
 }
 
 // DefaultConfig returns the project configuration for the given module
@@ -61,6 +92,32 @@ func DefaultConfig(module string) *Config {
 			"internal/report",
 			"internal/textplot",
 			"internal/viz",
+		},
+		Layering: []LayerRule{
+			// The Backend composition hinges on the cluster routing over
+			// the engine facade, never the reverse (DESIGN §12).
+			{Pkg: "internal/engine", Deny: []string{"internal/cluster"},
+				Why: "the cluster composes over the engine's Backend facade; a reverse edge would make the layering circular"},
+			// Observability instruments the pipeline from below; it must
+			// never depend on what it measures (DESIGN §9).
+			{Pkg: "internal/obs", Deny: []string{"internal/engine", "internal/experiments", "internal/par", "internal/cluster"},
+				Why: "obs sits below everything it instruments; an upward edge would let metrics feed back into results"},
+			// The pool depends on obs only; pulling pipeline packages into
+			// par would invert the execution layering.
+			{Pkg: "internal/par", Deny: []string{"internal/engine", "internal/experiments", "internal/cluster", "internal/sweep"},
+				Why: "par is the bottom execution layer; workloads call into it, never the reverse"},
+			// Renderers are reachable only from the edges: commands,
+			// examples, the CLI surface and the result layers that own
+			// text output.
+			{Pkg: "internal/textplot", Importers: []string{"cmd/", "examples/", "scripts/", "internal/cli", "internal/dataset", "internal/experiments", "internal/report", "internal/viz"},
+				Why: "library packages return data; text rendering belongs to the edges and the dataset/report layers"},
+			{Pkg: "internal/viz", Importers: []string{"cmd/", "examples/", "scripts/", "internal/report"},
+				Why: "library packages return data; visualization belongs to the command layer"},
+		},
+		WireParity: []WireSpec{
+			{Pkg: "internal/engine", Struct: "Request", Wire: "wireRequest",
+				Marshal: "MarshalWire", Unmarshal: "UnmarshalWire",
+				Exclude: []string{"Workers"}},
 		},
 	}
 }

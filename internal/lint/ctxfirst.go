@@ -93,9 +93,19 @@ func longRunningEntry(p *Pass, ft *ast.FuncType, name string) bool {
 	return false
 }
 
-// isCtxType reports whether t is context.Context.
+// isCtxType reports whether t is context.Context, detected through the
+// type checker rather than the spelling at the call site: a renamed
+// import (ctx "context"), a type alias (type Ctx = context.Context) or a
+// vendored copy all resolve to the same named type, so none of them can
+// dodge the rule. Vendored copies keep the "context" path tail with
+// their vendor prefix stripped by the type checker; the defining-package
+// check below therefore keys on the resolved package path, never on
+// source text.
 func isCtxType(t types.Type) bool {
-	named, ok := t.(*types.Named)
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
 	if !ok {
 		return false
 	}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FileFix is the computed rewrite of one file: the original content, the
+// content with every applicable suggested fix applied, and how many
+// fixes landed. Old and New differ for every returned FileFix.
+type FileFix struct {
+	// Path is the file name as recorded in the file set.
+	Path string
+	// Old is the file content the fixes were computed against.
+	Old []byte
+	// New is the content with the fixes applied.
+	New []byte
+	// Applied counts the suggested fixes that were applied.
+	Applied int
+}
+
+// ApplyFixes computes the per-file rewrites for every diagnostic that
+// carries a suggested fix. Nothing is written: callers decide whether to
+// persist (nwlint -fix) or preview (nwlint -diff). Edits are applied in
+// ascending offset order; a fix whose edits overlap an already-applied
+// fix is skipped rather than corrupting the file, and files are returned
+// sorted by path so output order is deterministic.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) ([]FileFix, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	type fix struct {
+		edits []edit
+	}
+	byFile := make(map[string][]fix)
+	for _, d := range diags {
+		for _, sf := range d.Fixes {
+			if len(sf.Edits) == 0 {
+				continue
+			}
+			file := ""
+			f := fix{}
+			ok := true
+			for _, e := range sf.Edits {
+				pos := fset.Position(e.Pos)
+				end := fset.Position(e.End)
+				if pos.Filename == "" || pos.Filename != end.Filename || end.Offset < pos.Offset {
+					ok = false
+					break
+				}
+				if file == "" {
+					file = pos.Filename
+				} else if file != pos.Filename {
+					ok = false // multi-file fixes are not supported
+					break
+				}
+				f.edits = append(f.edits, edit{start: pos.Offset, end: end.Offset, text: e.NewText})
+			}
+			if ok && file != "" {
+				byFile[file] = append(byFile[file], f)
+			}
+			break // at most one fix per diagnostic is applied
+		}
+	}
+
+	paths := make([]string, 0, len(byFile))
+	for path := range byFile {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	var out []FileFix
+	for _, path := range paths {
+		old, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s for fixes: %w", path, err)
+		}
+		fixes := byFile[path]
+		// Apply fixes in ascending order of their first edit; skip any
+		// fix that overlaps ground already rewritten or lies out of range.
+		sort.SliceStable(fixes, func(i, j int) bool { return fixes[i].edits[0].start < fixes[j].edits[0].start })
+		applied := 0
+		var edits []edit
+		last := -1
+		for _, f := range fixes {
+			conflict := false
+			for _, e := range f.edits {
+				if e.start <= last || e.end > len(old) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			es := append([]edit(nil), f.edits...)
+			sort.Slice(es, func(i, j int) bool { return es[i].start < es[j].start })
+			for i := 1; i < len(es); i++ {
+				if es[i].start < es[i-1].end {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			edits = append(edits, es...)
+			last = es[len(es)-1].end
+			applied++
+		}
+		if applied == 0 {
+			continue
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var b strings.Builder
+		prev := 0
+		for _, e := range edits {
+			b.Write(old[prev:e.start])
+			b.WriteString(e.text)
+			prev = e.end
+		}
+		b.Write(old[prev:])
+		out = append(out, FileFix{Path: path, Old: old, New: []byte(b.String()), Applied: applied})
+	}
+	return out, nil
+}
+
+// Diff renders a minimal unified diff between the fix's old and new
+// content, labeled with its path — the preview format of nwlint -diff.
+func (f FileFix) Diff() string {
+	oldLines := splitLines(string(f.Old))
+	newLines := splitLines(string(f.New))
+	ops := diffOps(oldLines, newLines)
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s\n+++ %s (fixed)\n", f.Path, f.Path)
+	i := 0
+	for i < len(ops) {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		// One hunk: the run of non-equal ops starting here.
+		start := i
+		for i < len(ops) && ops[i].kind != opEqual {
+			i++
+		}
+		fmt.Fprintf(&b, "@@ -%d +%d @@\n", ops[start].oldLine, ops[start].newLine)
+		for _, op := range ops[start:i] {
+			switch op.kind {
+			case opDelete:
+				b.WriteString("-" + op.text + "\n")
+			case opInsert:
+				b.WriteString("+" + op.text + "\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+type opKind int
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opInsert
+)
+
+type diffOp struct {
+	kind             opKind
+	text             string
+	oldLine, newLine int // 1-based position of the op in each file
+}
+
+// diffOps computes a line-level edit script via the classic LCS dynamic
+// program — the fixed files are small, so the quadratic table is cheap.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{kind: opEqual, text: a[i], oldLine: i + 1, newLine: j + 1})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{kind: opDelete, text: a[i], oldLine: i + 1, newLine: j + 1})
+			i++
+		default:
+			ops = append(ops, diffOp{kind: opInsert, text: b[j], oldLine: i + 1, newLine: j + 1})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{kind: opDelete, text: a[i], oldLine: i + 1, newLine: j + 1})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{kind: opInsert, text: b[j], oldLine: i + 1, newLine: j + 1})
+	}
+	return ops
+}
+
+// splitLines splits content into lines without their terminators; a
+// trailing newline does not create a phantom empty line.
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

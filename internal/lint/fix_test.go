@@ -1,0 +1,128 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nwdec/internal/lint"
+)
+
+// TestApplyFixesGolden is the end-to-end auto-fix proof: the fixes
+// fixture carries an unwrapped fmt.Errorf cause and a stale suppression
+// directive, both diagnostics carry fixes, and applying them reproduces
+// the checked-in golden file byte for byte. ApplyFixes itself writes
+// nothing — this test would corrupt the fixture otherwise.
+func TestApplyFixesGolden(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "fixes"), "nwdec/internal/fixesfx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// determinism runs (so the stale directive is classified) but the
+	// fixture path is not a deterministic package, matching a directive
+	// that outlived its violation.
+	analyzers, err := lint.ByName("errcheck,determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, analyzers, lint.DefaultConfig(loader.Module))
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (unwrapped Errorf + stale directive):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			t.Fatalf("diagnostic carries no fix: %s", d)
+		}
+	}
+
+	files, err := lint.ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("got %d file fixes, want 1", len(files))
+	}
+	f := files[0]
+	if filepath.Base(f.Path) != "fixes.go" {
+		t.Errorf("fix path = %s, want fixes.go", f.Path)
+	}
+	if f.Applied != 2 {
+		t.Errorf("applied %d fixes, want 2", f.Applied)
+	}
+
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden", "fixes.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.New) != string(golden) {
+		t.Errorf("fixed content does not match golden:\n--- got ---\n%s\n--- want ---\n%s", f.New, golden)
+	}
+
+	// The source on disk must be untouched.
+	raw, err := os.ReadFile(f.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(f.Old) {
+		t.Errorf("ApplyFixes modified the source file on disk")
+	}
+}
+
+// TestFileFixDiff pins the -diff preview shape: headers, hunk markers,
+// and the changed lines with -/+ prefixes.
+func TestFileFixDiff(t *testing.T) {
+	f := lint.FileFix{
+		Path: "x.go",
+		Old:  []byte("a\nb old\nc\n"),
+		New:  []byte("a\nb new\nc\n"),
+	}
+	d := f.Diff()
+	for _, want := range []string{
+		"--- x.go\n",
+		"+++ x.go (fixed)\n",
+		"@@ -2 +2 @@\n",
+		"-b old\n",
+		"+b new\n",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, "-a\n") || strings.Contains(d, "+c\n") {
+		t.Errorf("diff contains unchanged lines:\n%s", d)
+	}
+}
+
+// TestApplyFixesConflict proves overlapping fixes degrade safely: the
+// first fix lands, the overlapping one is skipped, and the result stays
+// consistent.
+func TestApplyFixesConflict(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "fixes"), "nwdec/internal/fixconflict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := lint.ByName("errcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, analyzers, lint.DefaultConfig(loader.Module))
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1:\n%v", len(diags), diags)
+	}
+	// Duplicate the diagnostic: the second application of the same fix
+	// overlaps the first and must be skipped.
+	diags = append(diags, diags[0])
+	files, err := lint.ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Applied != 1 {
+		t.Fatalf("files = %+v, want one file with one applied fix", files)
+	}
+	if !strings.Contains(string(files[0].New), "%w") {
+		t.Errorf("fix was not applied:\n%s", files[0].New)
+	}
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// Layering pins the package DAG (DESIGN §12, §13): the Backend
+// composition only works because the engine never knows the cluster
+// exists (the cluster routes over the engine facade, not the reverse),
+// observability sits strictly below the pipeline it instruments, and the
+// text renderers are reachable only from the edges, so library results
+// stay data. The allowed DAG is declared in one table
+// (Config.Layering); every module-internal import of every package is
+// checked against it, which makes an architecture regression a CI
+// failure instead of a review catch.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "module imports must respect the declared package DAG (engine ↛ cluster, obs below the pipeline, renderers only at the edges)",
+	Run:  runLayering,
+}
+
+func runLayering(p *Pass) {
+	self := p.Cfg.rel(p.Path)
+	if self == "" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			rel := p.Cfg.rel(path)
+			if rel == "" {
+				continue // outside the module
+			}
+			checkImport(p, imp, self, rel)
+		}
+	}
+}
+
+// checkImport applies the layering table to one module-internal import
+// edge: self imports rel.
+func checkImport(p *Pass, imp *ast.ImportSpec, self, rel string) {
+	for _, rule := range p.Cfg.Layering {
+		if underLayer(self, rule.Pkg) {
+			for _, deny := range rule.Deny {
+				if underLayer(rel, deny) {
+					p.Reportf(imp.Pos(), "%s must not import %s: %s", self, rel, rule.Why)
+				}
+			}
+		}
+		if underLayer(rel, rule.Pkg) && rule.Importers != nil {
+			allowed := false
+			for _, pre := range rule.Importers {
+				if underLayer(self, pre) {
+					allowed = true
+					break
+				}
+			}
+			if !allowed {
+				p.Reportf(imp.Pos(), "%s may not import %s (allowed importers: %v): %s", self, rel, rule.Importers, rule.Why)
+			}
+		}
+	}
+}
+
+// underLayer reports whether the module-relative path rel is the layer
+// pkg or below it. A pkg ending in "/" matches the whole subtree by
+// prefix ("cmd/" covers every command).
+func underLayer(rel, pkg string) bool {
+	if len(pkg) > 0 && pkg[len(pkg)-1] == '/' {
+		return len(rel) >= len(pkg) && rel[:len(pkg)] == pkg
+	}
+	return rel == pkg || (len(rel) > len(pkg) && rel[:len(pkg)] == pkg && rel[len(pkg)] == '/')
+}

@@ -1,7 +1,17 @@
-// Package lint is the project's static-analysis engine: a small,
-// stdlib-only analyzer framework (go/ast + go/types) plus the five
-// project-invariant analyzers that turn the repository's correctness
-// conventions into machine-checked rules.
+// Package lint is the project's static-analysis engine: a modular,
+// type-aware analyzer framework in the shape of go/analysis (stdlib
+// only, built on go/ast + go/types) plus the nine project-invariant
+// analyzers that turn the repository's correctness conventions into
+// machine-checked rules.
+//
+// The framework runs each Analyzer over a fully type-checked package.
+// An analyzer may export facts — typed data attached to objects or
+// packages — that passes over downstream packages import, so rules can
+// reason across package boundaries (see Fact). Packages are analyzed in
+// dependency order, independent packages in parallel on the internal/par
+// pool, and the diagnostic stream is byte-identical at every worker
+// count. Diagnostics may carry SuggestedFixes that the cmd/nwlint driver
+// applies with -fix (or previews with -diff).
 //
 // The invariants the analyzers protect are the ones the paper
 // reproduction depends on:
@@ -17,7 +27,17 @@
 //   - error discipline — no silently discarded error results and no
 //     unwrapped fmt.Errorf causes (rule "errcheck");
 //   - output discipline — stdout is owned by the cmd layer and the
-//     renderers; library packages return data (rule "printbound").
+//     renderers; library packages return data (rule "printbound");
+//   - scratch confinement — chunk-local scratch buffers allocated inside
+//     a par block closure never escape the chunk (rule "scratchconfine");
+//   - atomic coherence — a struct field accessed through sync/atomic
+//     anywhere is accessed atomically everywhere (rule "atomicfield");
+//   - layering — the package DAG is pinned: the engine never imports the
+//     cluster, obs stays below the pipeline, and the text renderers are
+//     reachable only from the edges (rule "layering");
+//   - wire parity — every identity field of engine.Request round-trips
+//     through the peer-protocol wire form, and Workers never does (rule
+//     "wireparity").
 //
 // A diagnostic can be suppressed at a specific site with a directive
 // comment on the same line or the line above:
@@ -25,9 +45,11 @@
 //	//nwlint:ignore <rule> <reason>
 //
 // The reason is mandatory: an unexplained suppression is itself
-// reported. The cmd/nwlint driver applies the analyzers to module
-// packages; the self-tests apply them to fixture packages under
-// testdata/src with expected-diagnostic annotations.
+// reported. A directive that no longer suppresses anything is reported
+// as stale (with a fix that deletes it), so suppressions rot away
+// instead of accumulating. The cmd/nwlint driver applies the analyzers
+// to module packages; the self-tests apply them to fixture packages
+// under testdata/src with expected-diagnostic annotations.
 package lint
 
 import (
@@ -35,7 +57,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -48,12 +69,17 @@ type Analyzer struct {
 	// Doc is the one-line statement of the invariant the rule protects.
 	Doc string
 	// Run inspects one package and reports violations through the pass.
+	// Runs over distinct packages may execute concurrently; a run must
+	// touch nothing outside its pass.
 	Run func(*Pass)
 }
 
-// All returns the five project analyzers in stable order.
+// All returns the nine project analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, CtxFirst, NoGoroutine, ErrCheck, PrintBound}
+	return []*Analyzer{
+		Determinism, CtxFirst, NoGoroutine, ErrCheck, PrintBound,
+		ScratchConfine, AtomicField, Layering, WireParity,
+	}
 }
 
 // ByName resolves a comma-separated rule list ("determinism,errcheck").
@@ -84,6 +110,25 @@ func ByName(list string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// TextEdit is one span replacement of a suggested fix. Pos and End are
+// positions in the pass's file set; NewText replaces the source bytes of
+// [Pos, End).
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is a self-contained repair for a diagnostic: a set of
+// non-overlapping edits the cmd/nwlint -fix mode applies mechanically.
+// A fix must preserve behavior except for curing the violation.
+type SuggestedFix struct {
+	// Message describes the repair ("wrap the error cause with %w").
+	Message string
+	// Edits are the span replacements, in any order.
+	Edits []TextEdit
+}
+
 // Diagnostic is one reported violation, positioned to the character.
 type Diagnostic struct {
 	// Position locates the violation (filename, line, column).
@@ -92,6 +137,8 @@ type Diagnostic struct {
 	Rule string
 	// Message states the violation and the repair direction.
 	Message string
+	// Fixes are optional mechanical repairs (applied by nwlint -fix).
+	Fixes []SuggestedFix
 }
 
 // String renders the conventional file:line:col form.
@@ -118,6 +165,8 @@ type Pass struct {
 
 	rule  string
 	diags *[]Diagnostic
+	store *factStore
+	facts *pkgFacts
 }
 
 // Reportf records a diagnostic at pos under the running rule.
@@ -129,96 +178,51 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies the analyzers to every package and returns the surviving
-// diagnostics sorted by position. Suppression directives
-// (//nwlint:ignore rule reason) are honored here; malformed directives
-// are reported under the pseudo-rule "ignore".
-func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		pass := &Pass{
-			Fset:  pkg.Fset,
-			Path:  pkg.Path,
-			Pkg:   pkg.Types,
-			Info:  pkg.Info,
-			Files: pkg.Files,
-			Cfg:   cfg,
-			diags: &diags,
-		}
-		for _, a := range analyzers {
-			pass.rule = a.Name
-			a.Run(pass)
-		}
-		diags = suppress(pkg, diags)
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Position.Filename != b.Position.Filename {
-			return a.Position.Filename < b.Position.Filename
-		}
-		if a.Position.Line != b.Position.Line {
-			return a.Position.Line < b.Position.Line
-		}
-		if a.Position.Column != b.Position.Column {
-			return a.Position.Column < b.Position.Column
-		}
-		return a.Rule < b.Rule
+// Report records a fully-formed diagnostic (message plus suggested
+// fixes) at pos under the running rule.
+func (p *Pass) Report(pos token.Pos, message string, fixes ...SuggestedFix) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Rule:     p.rule,
+		Message:  message,
+		Fixes:    fixes,
 	})
-	return diags
 }
 
-// directive is one parsed //nwlint:ignore comment.
-type directive struct {
-	file string
-	line int
-	rule string
+// ExportObjectFact attaches a fact to obj for downstream passes. Facts
+// may only be exported for objects of the pass's own package — the
+// package that declares an object is the authority on it; exports for
+// foreign objects are dropped.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	p.facts.exportObject(obj, f)
 }
 
-const ignorePrefix = "//nwlint:ignore"
+// ImportObjectFact copies the fact of f's concrete type previously
+// exported for obj (by this pass or an upstream package's pass) into f
+// and reports whether one was found. f must be a non-nil pointer.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.store == nil || obj == nil {
+		return false
+	}
+	return p.store.importObject(obj, f)
+}
 
-// suppress drops diagnostics covered by a well-formed ignore directive on
-// the same line or the line above, and reports malformed directives under
-// the pseudo-rule "ignore".
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	var dirs []directive
-	var malformed []Diagnostic
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-				fields := strings.Fields(rest)
-				pos := pkg.Fset.Position(c.Pos())
-				if len(fields) < 2 {
-					malformed = append(malformed, Diagnostic{
-						Position: pos,
-						Rule:     "ignore",
-						Message:  fmt.Sprintf("malformed directive %q: want //nwlint:ignore <rule> <reason>", c.Text),
-					})
-					continue
-				}
-				dirs = append(dirs, directive{file: pos.Filename, line: pos.Line, rule: fields[0]})
-			}
-		}
+// ExportPackageFact attaches a fact to the pass's package as a whole.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.facts == nil {
+		return
 	}
-	if len(dirs) > 0 {
-		kept := diags[:0]
-		for _, d := range diags {
-			suppressed := false
-			for _, dir := range dirs {
-				if d.Rule == dir.rule && d.Position.Filename == dir.file &&
-					(d.Position.Line == dir.line || d.Position.Line == dir.line+1) {
-					suppressed = true
-					break
-				}
-			}
-			if !suppressed {
-				kept = append(kept, d)
-			}
-		}
-		diags = kept
+	p.facts.exportPackage(f)
+}
+
+// ImportPackageFact copies the fact of f's concrete type previously
+// exported for pkg into f and reports whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	if p.store == nil || pkg == nil {
+		return false
 	}
-	return append(diags, malformed...)
+	return p.store.importPackage(pkg, f)
 }

@@ -102,6 +102,8 @@ func TestAnalyzers(t *testing.T) {
 		{"errcheck", "nwdec/internal/readout", "errcheck"},
 		{"printbound", "nwdec/internal/geometry", "printbound"},
 		{"printbound_main", "nwdec/cmd/fixture", "printbound"},
+		{"wireparity", "nwdec/internal/engine", "wireparity"},
+		{"ctxfirst_alias", "nwdec/internal/sweep", "ctxfirst"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -158,6 +160,36 @@ func TestSuppression(t *testing.T) {
 	}
 	if !sawMalformed || !sawSurvivor {
 		t.Errorf("malformed=%v survivor=%v, want both", sawMalformed, sawSurvivor)
+	}
+}
+
+// TestStaleDirectives pins the stale-suppression detection: a directive
+// that still suppresses a diagnostic survives untouched; one that
+// matches nothing is reported with a deletion fix — so exiting 1 on a
+// stale directive comes for free from the normal diagnostic path.
+func TestStaleDirectives(t *testing.T) {
+	loader := newTestLoader(t)
+	cfg := lint.DefaultConfig(loader.Module)
+	// internal/code is a deterministic package, so the fixture's live
+	// directive really suppresses a time.Now diagnostic.
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "stale"), "nwdec/internal/code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := lint.ByName("determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, analyzers, cfg)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the stale directive:\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "ignore" || !strings.Contains(d.Message, "stale directive: no determinism diagnostic") {
+		t.Errorf("diagnostic = %s", d)
+	}
+	if len(d.Fixes) != 1 || len(d.Fixes[0].Edits) != 1 {
+		t.Errorf("stale directive carries no deletion fix: %+v", d.Fixes)
 	}
 }
 
@@ -231,9 +263,11 @@ func TestModulePackages(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]bool{
-		"nwdec/internal/lint": false,
-		"nwdec/internal/par":  false,
-		"nwdec/cmd/nwlint":    false,
+		"nwdec/internal/lint":     false,
+		"nwdec/internal/par":      false,
+		"nwdec/cmd/nwlint":        false,
+		"nwdec/scripts":           false,
+		"nwdec/scripts/covergate": false,
 	}
 	for _, p := range paths {
 		if strings.Contains(p, "testdata") {

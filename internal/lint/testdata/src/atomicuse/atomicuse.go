@@ -1,0 +1,17 @@
+// Package atomicuse imports atomicdef and accesses its atomically
+// marked field without the atomic API: the violation is only visible
+// through the AtomicFieldFact the defining package's pass exported, so
+// this fixture pins the cross-package fact flow.
+package atomicuse
+
+import "nwdec/internal/atomicdef"
+
+// Leak reads the marked field plainly from a downstream package.
+func Leak(c *atomicdef.Counters) int64 {
+	return c.Hits // want `atomicfield: field Hits is accessed via sync/atomic elsewhere`
+}
+
+// Sum reads the unmarked field — clean across packages too.
+func Sum(c *atomicdef.Counters) int64 {
+	return c.Total
+}

@@ -1,0 +1,39 @@
+// Package aliasctx is the regression fixture for the type-checked
+// context detection of ctxfirst: a renamed import and a type alias must
+// resolve to context.Context exactly like the plain spelling — both for
+// the position rule and for satisfying the long-running-entry-point
+// requirement (the fixture is analyzed under internal/sweep, a
+// CtxEntry package).
+package aliasctx
+
+import (
+	stdctx "context"
+)
+
+// Ctx aliases context.Context; the type checker sees through it.
+type Ctx = stdctx.Context
+
+// Renamed hides the context behind a renamed import.
+func Renamed(n int, ctx stdctx.Context) error { // want `ctxfirst: context.Context must be the first parameter`
+	_ = ctx
+	return nil
+}
+
+// Aliased hides the context behind a type alias.
+func Aliased(n int, ctx Ctx) error { // want `ctxfirst: context.Context must be the first parameter`
+	_ = ctx
+	return nil
+}
+
+// RunAll is a long-running entry point with no context at all.
+func RunAll(n int) error { // want `ctxfirst: long-running entry point RunAll must accept a context.Context`
+	return nil
+}
+
+// SimWorkers accepts its context through the alias: the entry-point
+// requirement is satisfied through the type checker, not the spelling.
+func SimWorkers(ctx Ctx, workers int) error {
+	_ = ctx
+	_ = workers
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package fixes is the input of the auto-fix golden test: an Errorf
+// that loses its cause (fixable to %w) and a stale suppression
+// directive (fixable by deletion).
+package fixes
+
+import (
+	"fmt"
+)
+
+// Decode loses the cause behind %v.
+func Decode(err error) error {
+	return fmt.Errorf("decode row %d failed: %v", 3, err)
+}
+
+//nwlint:ignore determinism the wall-clock read here is long gone
+func Rows() int {
+	return 128
+}

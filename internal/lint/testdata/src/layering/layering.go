@@ -1,0 +1,10 @@
+// Package obsfixture is analyzed under the internal/obs path and seeds
+// both violation shapes of the layering table: an import the package's
+// Deny row forbids (obs must sit below the execution layer) and an
+// import of a renderer whose Importers row does not list obs.
+package obsfixture
+
+import (
+	_ "nwdec/internal/par"      // want `layering: internal/obs must not import internal/par`
+	_ "nwdec/internal/textplot" // want `layering: internal/obs may not import internal/textplot`
+)

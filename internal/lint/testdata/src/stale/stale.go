@@ -1,0 +1,17 @@
+// Package stale pins the stale-directive detection: the first directive
+// suppresses a live determinism violation and survives; the second
+// suppresses nothing and must be reported (with a deletion fix).
+package stale
+
+import "time"
+
+// Now carries a live suppression.
+func Now() int64 {
+	//nwlint:ignore determinism boot stamp for logs, never enters results
+	return time.Now().Unix()
+}
+
+//nwlint:ignore determinism the clock read below was removed long ago
+func Pure() int {
+	return 1
+}

@@ -1,0 +1,40 @@
+// Package enginefixture is analyzed under the internal/engine path and
+// seeds every wire-parity violation shape: an identity field missing
+// from the wire struct, the excluded Workers field crossing the wire, a
+// wire field with no identity counterpart, and a marshal literal that
+// silently zeroes a field.
+package enginefixture
+
+// Request is the identity struct of the WireParity table row.
+type Request struct {
+	Rows    int
+	Cols    int
+	Pitch   float64
+	Station string // want `wireparity: wire parity: identity field Request.Station is missing from wireRequest`
+	Workers int
+}
+
+type wireRequest struct { // want `wireparity: wire parity: excluded field Request.Workers crosses the wire through wireRequest`
+	Rows    int
+	Cols    int
+	Pitch   float64
+	Workers int
+	Legacy  int // want `wireparity: wire parity: wireRequest.Legacy has no identity counterpart in Request`
+}
+
+// MarshalWire forgets Pitch, which would zero it on every peer.
+func (r Request) MarshalWire() wireRequest {
+	return wireRequest{ // want `wireparity: wire parity: MarshalWire's wireRequest literal does not set Pitch`
+		Rows: r.Rows,
+		Cols: r.Cols,
+	}
+}
+
+// UnmarshalWire sets every surviving field — clean.
+func (w wireRequest) UnmarshalWire() Request {
+	return Request{
+		Rows:  w.Rows,
+		Cols:  w.Cols,
+		Pitch: w.Pitch,
+	}
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// WireParity mechanizes the cluster wire-form identity invariant
+// (DESIGN §12): every exported identity field of engine.Request must
+// round-trip through the peer-protocol wire struct and its
+// MarshalWire/UnmarshalWire conversions, and the excluded execution
+// details (Workers) must never cross the wire — a Request field added
+// without updating wire.go would silently fork the content address
+// between nodes, which is exactly the corruption a decoder fleet cannot
+// detect from inside. The checked struct pairs are declared in
+// Config.WireParity, so the rule extends to future protocols by adding a
+// table row.
+var WireParity = &Analyzer{
+	Name: "wireparity",
+	Doc:  "identity fields round-trip through the wire form; excluded fields never do",
+	Run:  runWireParity,
+}
+
+func runWireParity(p *Pass) {
+	for _, spec := range p.Cfg.WireParity {
+		if p.Cfg.rel(p.Path) != spec.Pkg {
+			continue
+		}
+		checkWireSpec(p, spec)
+	}
+}
+
+func checkWireSpec(p *Pass, spec WireSpec) {
+	scope := p.Pkg.Scope()
+	reqStruct, reqPos := structOf(p, scope, spec.Struct)
+	wireStruct, wirePos := structOf(p, scope, spec.Wire)
+	if reqStruct == nil {
+		p.Reportf(posOrFile(p, reqPos), "wire parity: struct %s not found in %s; update the WireParity table if it moved", spec.Struct, spec.Pkg)
+		return
+	}
+	if wireStruct == nil {
+		p.Reportf(posOrFile(p, wirePos), "wire parity: wire struct %s not found in %s; update the WireParity table if it moved", spec.Wire, spec.Pkg)
+		return
+	}
+
+	excluded := make(map[string]bool, len(spec.Exclude))
+	for _, name := range spec.Exclude {
+		excluded[name] = true
+	}
+	wireFields := fieldSet(wireStruct)
+
+	// Identity fields: every exported, non-excluded Request field must
+	// exist in the wire struct under the same name.
+	identity := make(map[string]bool)
+	for i := 0; i < reqStruct.NumFields(); i++ {
+		f := reqStruct.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if excluded[f.Name()] {
+			if wireFields[f.Name()] {
+				p.Reportf(wirePos, "wire parity: excluded field %s.%s crosses the wire through %s; it is an execution detail and must stay off the identity", spec.Struct, f.Name(), spec.Wire)
+			}
+			continue
+		}
+		identity[f.Name()] = true
+		if !wireFields[f.Name()] {
+			p.Reportf(f.Pos(), "wire parity: identity field %s.%s is missing from %s; add it there and to %s/%s so peers agree on the content address", spec.Struct, f.Name(), spec.Wire, spec.Marshal, spec.Unmarshal)
+		}
+	}
+	// The wire struct must not carry fields the identity does not have.
+	for i := 0; i < wireStruct.NumFields(); i++ {
+		f := wireStruct.Field(i)
+		if !identity[f.Name()] && !excluded[f.Name()] {
+			p.Reportf(f.Pos(), "wire parity: %s.%s has no identity counterpart in %s; remove it or add the Request field", spec.Wire, f.Name(), spec.Struct)
+		}
+	}
+
+	// The conversions must mention every surviving field explicitly:
+	// MarshalWire builds the wire literal, UnmarshalWire rebuilds the
+	// identity literal.
+	checkConversion(p, spec.Marshal, spec.Wire, intersect(wireFields, identity))
+	checkConversion(p, spec.Unmarshal, spec.Struct, intersect(identity, wireFields))
+}
+
+// checkConversion finds the function named fnName and verifies that the
+// composite literal of type litType inside it sets every field in want.
+func checkConversion(p *Pass, fnName, litType string, want map[string]bool) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fnName || fd.Body == nil {
+				continue
+			}
+			var lit *ast.CompositeLit
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if named, ok := types.Unalias(p.Info.TypeOf(cl)).(*types.Named); ok && named.Obj().Name() == litType {
+					lit = cl
+					return false
+				}
+				return true
+			})
+			if lit == nil {
+				p.Reportf(fd.Pos(), "wire parity: %s does not build a %s literal; the conversion must set every identity field explicitly", fnName, litType)
+				return
+			}
+			set := make(map[string]bool)
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						set[id.Name] = true
+					}
+				}
+			}
+			for _, name := range sortedKeys(want) {
+				if !set[name] {
+					p.Reportf(lit.Pos(), "wire parity: %s's %s literal does not set %s; the field would silently zero on the wire", fnName, litType, name)
+				}
+			}
+			return
+		}
+	}
+	p.Reportf(posOrFile(p, 0), "wire parity: conversion %s not found; update the WireParity table if it was renamed", fnName)
+}
+
+// structOf resolves a package-scope struct type by name; the returned
+// pos anchors diagnostics about the type itself.
+func structOf(p *Pass, scope *types.Scope, name string) (*types.Struct, token.Pos) {
+	obj := scope.Lookup(name)
+	if obj == nil {
+		return nil, 0
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, obj.Pos()
+	}
+	return st, obj.Pos()
+}
+
+func fieldSet(st *types.Struct) map[string]bool {
+	out := make(map[string]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		out[st.Field(i).Name()] = true
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// posOrFile falls back to the first file's package clause when a
+// diagnostic has no better anchor.
+func posOrFile(p *Pass, pos token.Pos) token.Pos {
+	if pos != 0 {
+		return pos
+	}
+	if len(p.Files) > 0 {
+		return p.Files[0].Package
+	}
+	return 0
+}

@@ -9,15 +9,19 @@
 #   2. go build ./...  — everything compiles
 #   3. go vet ./...    — static checks
 #   4. go run ./cmd/nwlint ./...  — the project-invariant analyzer; the
-#      tree must be free of determinism, ctxfirst, nogoroutine, errcheck
-#      and printbound diagnostics
+#      tree must be free of diagnostics under all nine rules
+#      (determinism, ctxfirst, nogoroutine, errcheck, printbound,
+#      scratchconfine, atomicfield, layering, wireparity). The JSON
+#      report lands in ci-artifacts/nwlint.json, the lint wall time is
+#      printed, and a `-diff` dry run asserts the tree is fix-clean
+#      (no suggested fix left unapplied)
 #   5. go test -race -count=1 ./...  — full suite under the race detector,
 #      cache disabled; this is what keeps internal/par and the shared
 #      generator cache race-clean and exercises the serial-vs-parallel
 #      determinism tests
 #   6. coverage gate — go run ./scripts/covergate enforces per-package
 #      statement-coverage floors over
-#      internal/{par,code,dataset,obs,engine,cluster,nwerr}
+#      internal/{par,code,dataset,obs,engine,cluster,nwerr,lint,stats,yield}
 #   7. bench regression — scripts/bench.sh measures a fresh
 #      BENCH_parallel.json into ci-artifacts/ and scripts/benchcmp.go
 #      compares it against the committed baseline (±20% ns/op). Warns by
@@ -57,12 +61,6 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
-echo "== nwlint =="
-go run ./cmd/nwlint ./...
-
-echo "== go test -race =="
-go test -race -count=1 ./...
-
 # gate runs a command whose report goes to an artifact file, showing the
 # report either way and preserving the command's exit status (a plain
 # `cmd | tee` would let tee's status mask a failing gate).
@@ -77,6 +75,24 @@ gate() {
 		return "$status"
 	fi
 }
+
+echo "== nwlint =="
+lint_start="$(date +%s)"
+gate "$artifacts/nwlint.json" go run ./cmd/nwlint -json ./...
+# Fix-clean dry run: the tree must not carry an unapplied suggested fix.
+# The -json gate above already fails on any diagnostic; here we tolerate
+# the exit status and assert the diff preview is empty.
+diff_out="$(go run ./cmd/nwlint -diff ./... || true)"
+if [ -n "$diff_out" ]; then
+	echo "nwlint: tree is not fix-clean; run 'go run ./cmd/nwlint -fix ./...':" >&2
+	echo "$diff_out" >&2
+	exit 1
+fi
+lint_end="$(date +%s)"
+echo "nwlint: wall time $((lint_end - lint_start))s"
+
+echo "== go test -race =="
+go test -race -count=1 ./...
 
 echo "== coverage gate =="
 gate "$artifacts/coverage.txt" go run ./scripts/covergate

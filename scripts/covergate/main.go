@@ -38,6 +38,7 @@ var gated = []struct {
 	{"nwdec/internal/engine", 70.0},
 	{"nwdec/internal/cluster", 80.0},
 	{"nwdec/internal/nwerr", 70.0},
+	{"nwdec/internal/lint", 80.0},
 	{"nwdec/internal/stats", 95.0},
 	{"nwdec/internal/yield", 95.0},
 }
