@@ -21,6 +21,7 @@ import (
 	"nwdec/internal/engine"
 	"nwdec/internal/experiments"
 	"nwdec/internal/geometry"
+	"nwdec/internal/jobs"
 	"nwdec/internal/mspt"
 	"nwdec/internal/par"
 	"nwdec/internal/physics"
@@ -228,6 +229,86 @@ func BenchmarkCodeGeneration(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkJobCheckpoint measures the two I/O legs the async job layer
+// adds around a sweep: persisting one chunk checkpoint (atomic JSON
+// write into the filesystem store) and the resume scan that serves a
+// fully checkpointed job back — store probe per chunk, decode, concat —
+// without recomputing any design point.
+func BenchmarkJobCheckpoint(b *testing.B) {
+	spec := jobs.Spec{
+		Grid: sweep.Grid{
+			Types:   []code.Type{code.TypeGray, code.TypeHot},
+			Lengths: []int{4, 6},
+			SigmaTs: []float64{0.04, 0.05, 0.06},
+		},
+		Chunk: 2,
+	}
+	points := spec.Grid.Points(core.Config{})
+	if len(points) == 0 {
+		b.Fatal("empty grid")
+	}
+
+	b.Run("persist", func(b *testing.B) {
+		store, err := jobs.NewFSStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := spec.ID()
+		if err := store.PutSpec(id, spec); err != nil {
+			b.Fatal(err)
+		}
+		rows, err := sweep.EvalPoints(context.Background(), 0, points[:spec.Chunk])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds := sweep.Dataset(rows)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := store.PutChunk(id, i, ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("resume", func(b *testing.B) {
+		store, err := jobs.NewFSStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := jobs.NewRunner(store, jobs.Options{})
+		st, err := seed.Submit(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st, err = seed.Wait(context.Background(), st.ID); err != nil || st.State != jobs.StateComplete {
+			b.Fatalf("seed job: %v state=%s", err, st.State)
+		}
+		seed.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := jobs.NewRunner(store, jobs.Options{})
+			got, err := r.Resume(context.Background(), st.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got, err = r.Wait(context.Background(), got.ID); err != nil {
+				b.Fatal(err)
+			}
+			if got.Computed != 0 || got.Resumed != st.Chunks {
+				b.Fatalf("resume recomputed: computed=%d resumed=%d", got.Computed, got.Resumed)
+			}
+			page, err := r.Results(got.ID, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if page.Dataset == nil || len(page.Dataset.Rows) == 0 {
+				b.Fatal("empty resumed dataset")
+			}
+			r.Close()
+		}
+	})
 }
 
 // BenchmarkPlanConstruction times the MSPT matrix algebra (P -> D, S, ν, Φ)

@@ -9,27 +9,38 @@
 //
 //	nwserve [-addr HOST:PORT] [-cache-entries N] [-cache-cost C]
 //	        [-inflight N] [-shed] [-node-id ID] [-peers ID=URL,...]
-//	        [-workers W] [-timeout D] [-smoke] [-peer-smoke]
+//	        [-job-store DIR] [-workers W] [-timeout D] [-smoke] [-peer-smoke]
 //	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
-// Endpoints (all GET, all JSON):
+// Endpoints (JSON):
 //
-//	/healthz                     liveness probe
-//	/v1/experiments              experiment name list
-//	/v1/experiment/{name}        one experiment dataset (?seed=&trials=)
-//	/v1/design                   one design (?type=&base=&length=&sigma=&margin=&wires=&rawbits=)
-//	/v1/optimize                 best design (?objective=area|yield|phi + design params)
-//	/v1/montecarlo               empirical yield (?trials=&seed= + design params)
-//	/v1/sweep                    grid sweep (?types=&lengths=&sigmas=&margins=&wires=)
-//	/v1/codes                    word listing (?type=&base=&length=&count=)
+//	GET  /healthz                 liveness probe
+//	GET  /v1/experiments          experiment name list
+//	GET  /v1/experiment/{name}    one experiment dataset (?seed=&trials=)
+//	GET  /v1/design               one design (?type=&base=&length=&sigma=&margin=&wires=&rawbits=)
+//	GET  /v1/optimize             best design (?objective=area|yield|phi + design params)
+//	GET  /v1/montecarlo           empirical yield (?trials=&seed= + design params)
+//	GET  /v1/sweep                grid sweep (?types=&lengths=&sigmas=&margins=&wires=)
+//	GET  /v1/codes                word listing (?type=&base=&length=&count=)
+//	POST /v1/jobs                 submit an async grid job (body: jobs.Spec JSON) → 202 + status
+//	GET  /v1/jobs/{id}            job status
+//	GET  /v1/jobs/{id}/results    checkpointed output so far (?from=&max= chunks)
 //
-// Responses carry X-Cache (hit, miss, or hit-peer/miss-peer when a
-// cluster peer served the result) and X-Request-Key headers. Errors map
-// from the internal/nwerr taxonomy through nwerr.HTTPStatus: Invalid is
-// 400, Canceled is 408, Overload is 503 with a Retry-After hint,
-// Internal is 500. With -shed (the default) a saturated engine rejects
-// new work with 503 instead of queueing it, and recovers as soon as
-// in-flight work drains — no restart needed.
+// Synchronous responses carry X-Cache (hit, miss, or hit-peer/miss-peer
+// when a cluster peer served the result) and X-Request-Key headers. Job
+// responses carry X-Job-State (and, on results, X-Job-Chunks: the chunk
+// count included in the body) so pollers can follow progress without
+// parsing bodies; /results streams the contiguous checkpointed prefix
+// incrementally and serves partial output for running jobs. With
+// -job-store the job layer checkpoints to disk and a restarted server
+// resumes submitted specs without recomputing finished chunks; without
+// it jobs are in-memory only. Errors map from the internal/nwerr
+// taxonomy through nwerr.HTTPStatus: Invalid is 400, Canceled is 408,
+// Overload is 503 with a Retry-After hint, NotFound (unknown
+// experiments, unknown job ids) is 404, Internal is 500. With -shed (the
+// default) a saturated engine rejects new work with 503 instead of
+// queueing it, and recovers as soon as in-flight work drains — no
+// restart needed.
 //
 // Multi-node serving: -peers names the other nodes of a fleet
 // ("b=http://host2:8607,c=http://host3:8607") and -node-id this node's
@@ -51,7 +62,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -71,6 +81,7 @@ import (
 	"nwdec/internal/dataset"
 	"nwdec/internal/engine"
 	"nwdec/internal/geometry"
+	"nwdec/internal/jobs"
 	"nwdec/internal/nwerr"
 	"nwdec/internal/sweep"
 )
@@ -84,6 +95,7 @@ func main() {
 		shed         = flag.Bool("shed", true, "reject work with 503 when admission is saturated instead of queueing")
 		nodeID       = flag.String("node-id", "", "this node's ring identity (required with -peers)")
 		peersFlag    = flag.String("peers", "", "other fleet nodes as ID=URL,ID=URL (enables cluster routing)")
+		jobStore     = flag.String("job-store", "", "checkpoint directory for async jobs (empty = in-memory, no kill/restart durability)")
 		smoke        = flag.Bool("smoke", false, "start on a loopback port, self-request once, verify and exit")
 		peerSmoke    = flag.Bool("peer-smoke", false, "start a two-node in-process fleet, verify miss-peer then hit-peer and exit")
 	)
@@ -125,7 +137,17 @@ func main() {
 		backend = pb
 		fmt.Fprintf(os.Stderr, "nwserve: cluster node %q, ring %v\n", *nodeID, pb.Ring().Nodes())
 	}
-	srv := &server{eng: eng, backend: backend, workers: c.Workers}
+	var store jobs.Store
+	if *jobStore != "" {
+		if store, err = jobs.NewFSStore(*jobStore); err != nil {
+			c.Exit(err)
+		}
+	} else {
+		store = jobs.NewMemoryStore()
+	}
+	runner := jobs.NewRunner(store, jobs.Options{Workers: c.Workers})
+	defer runner.Close()
+	srv := &server{eng: eng, backend: backend, runner: runner, workers: c.Workers}
 	listenAddr := *addr
 	if *smoke {
 		listenAddr = "127.0.0.1:0"
@@ -207,9 +229,11 @@ func shutdown(hs *http.Server, served chan error) error {
 	return nil
 }
 
-// smokeTest issues one experiment request against the just-started server
-// and verifies a 200 with a parseable dataset body plus the engine's
-// response headers.
+// smokeTest issues one experiment request against the just-started
+// server and verifies a 200 with a parseable dataset body plus the
+// engine's response headers, then exercises the async job path: submit a
+// small grid job, poll its status to completion, and fetch the assembled
+// results.
 func smokeTest(ctx context.Context, addr string) error {
 	name, cache, err := fetchExperiment(ctx, "http://"+addr, "fig5")
 	if err != nil {
@@ -220,6 +244,101 @@ func smokeTest(ctx context.Context, addr string) error {
 	}
 	if cache != "hit" && cache != "miss" {
 		return fmt.Errorf("smoke: X-Cache %q, want hit or miss", cache)
+	}
+	if err := jobSmoke(ctx, "http://"+addr); err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	return nil
+}
+
+// jobSmoke drives one tiny job through POST /v1/jobs, the status poll
+// and GET /results, verifying the 202 → complete → dataset lifecycle.
+func jobSmoke(ctx context.Context, base string) error {
+	rctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	// code.Type serializes as its enum int (1 = Gray code), matching the
+	// engine wire form.
+	body := `{"grid":{"Types":[1],"Lengths":[4],"SigmaTs":[0.05]},"chunk":1}`
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /v1/jobs: status %d: %s", resp.StatusCode, data)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("job status body: %w", err)
+	}
+	for st.State == jobs.StateRunning {
+		time.Sleep(20 * time.Millisecond)
+		get, err := http.NewRequestWithContext(rctx, http.MethodGet, base+"/v1/jobs/"+st.ID, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(get)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /v1/jobs/%s: status %d: %s", st.ID, resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return fmt.Errorf("job status body: %w", err)
+		}
+	}
+	if st.State != jobs.StateComplete {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	get, err := http.NewRequestWithContext(rctx, http.MethodGet, base+"/v1/jobs/"+st.ID+"/results", nil)
+	if err != nil {
+		return err
+	}
+	resp, err = http.DefaultClient.Do(get)
+	if err != nil {
+		return err
+	}
+	data, err = io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/jobs/%s/results: status %d: %s", st.ID, resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Job-State"); got != string(jobs.StateComplete) {
+		return fmt.Errorf("results X-Job-State %q, want complete", got)
+	}
+	var doc struct {
+		Name string  `json:"name"`
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("results body: %w", err)
+	}
+	if doc.Name != "sweep" || len(doc.Rows) == 0 {
+		return fmt.Errorf("results dataset %q with %d rows, want non-empty sweep", doc.Name, len(doc.Rows))
 	}
 	return nil
 }
@@ -356,6 +475,7 @@ func fetchExperiment(ctx context.Context, base, experiment string) (name, cache 
 type server struct {
 	eng     *engine.Engine
 	backend engine.Backend
+	runner  *jobs.Runner
 	workers int
 }
 
@@ -376,11 +496,9 @@ func (s *server) mux() *http.ServeMux {
 		}
 	})
 	m.HandleFunc("GET /v1/experiment/{name}", s.handle(func(r *http.Request) (engine.Request, error) {
+		// An unknown name flows through engine validation, which
+		// classifies it NotFound → 404.
 		req := engine.Request{Kind: engine.KindExperiment, Experiment: r.PathValue("name")}
-		if !engine.ExperimentKnown(req.Experiment) {
-			return req, &notFoundError{nwerr.Invalidf(
-				"unknown experiment %q (see /v1/experiments)", req.Experiment)}
-		}
 		var err error
 		if req.Seed, err = queryUint(r, "seed", 0); err != nil {
 			return req, err
@@ -460,7 +578,83 @@ func (s *server) mux() *http.ServeMux {
 		}
 		return req, nil
 	}))
+	m.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	m.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	m.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	return m
+}
+
+// handleJobSubmit accepts a jobs.Spec body, submits (or joins — the id
+// is content-addressed, so resubmission is idempotent) and answers 202
+// with the job status. A restarted server resubmitting a spec whose
+// store already holds checkpoints resumes it automatically.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, nwerr.Invalidf("jobs: decoding spec: %v", err))
+		return
+	}
+	st, err := s.runner.Submit(r.Context(), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJobStatus(w, st, http.StatusAccepted)
+}
+
+// handleJobStatus answers the job's live (or store-derived) status.
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.runner.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJobStatus(w, st, http.StatusOK)
+}
+
+// handleJobResults serves the checkpointed output of a job: the dataset
+// assembled from up to max chunks (?max=, 0 = all) starting at chunk
+// ?from=. Running jobs serve their partial prefix — pollers page with
+// from = chunks-already-fetched to stream increments — and X-Job-State /
+// X-Job-Chunks carry progress without body parsing. An empty window is
+// 204 No Content.
+func (s *server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	from, err := queryInt(r, "from", 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	max, err := queryInt(r, "max", 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	page, err := s.runner.Results(r.PathValue("id"), from, max)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Job-State", string(page.Status.State))
+	w.Header().Set("X-Job-Chunks", strconv.Itoa(page.Count))
+	if page.Dataset == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := page.Dataset.Render(w, dataset.FormatJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "nwserve: %v\n", err)
+	}
+}
+
+// writeJobStatus renders one job status as JSON with the X-Job-State
+// header.
+func writeJobStatus(w http.ResponseWriter, st jobs.Status, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Job-State", string(st.State))
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		fmt.Fprintf(os.Stderr, "nwserve: %v\n", err)
+	}
 }
 
 // handle adapts a request parser into an HTTP handler: parse, submit to
@@ -509,24 +703,12 @@ func cacheStatus(resp *engine.Response) string {
 	return status
 }
 
-// notFoundError marks a request naming a resource outside the served set
-// (an unknown experiment); writeError maps it to 404 instead of the 400
-// its invalid classification would otherwise produce.
-type notFoundError struct{ err error }
-
-func (e *notFoundError) Error() string { return e.err.Error() }
-func (e *notFoundError) Unwrap() error { return e.err }
-
 // writeError renders the nwerr class as an HTTP status (via
-// nwerr.HTTPStatus: Invalid 400, Canceled 408, Overload 503, Internal
-// 500) and a JSON body. A 503 carries Retry-After so well-behaved
-// clients back off instead of hammering a saturated server.
+// nwerr.HTTPStatus: Invalid 400, Canceled 408, Overload 503, NotFound
+// 404, Internal 500) and a JSON body. A 503 carries Retry-After so
+// well-behaved clients back off instead of hammering a saturated server.
 func writeError(w http.ResponseWriter, err error) {
 	status := nwerr.HTTPStatus(err)
-	var nf *notFoundError
-	if errors.As(err, &nf) {
-		status = http.StatusNotFound
-	}
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}

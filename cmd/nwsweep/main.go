@@ -7,15 +7,28 @@
 //	nwsweep [-types tc,gc,bgc,hc,ahc] [-lengths 4,6,8,10]
 //	        [-sigmas 0.05] [-margins 1.0] [-wires 20] [-workers W]
 //	        [-format csv|json|md|text] [-timeout D]
+//	        [-job] [-job-store DIR] [-chunk N] [-resume ID]
 //	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR] > sweep.csv
 //
 // The grid is evaluated on W workers (0 = GOMAXPROCS) through the
 // internal/engine serving layer; the output is bit-identical at every
 // worker count. The design-point count goes to stderr so stdout stays a
 // clean data stream.
+//
+// With -job the sweep runs through the internal/jobs checkpoint layer
+// instead of the synchronous engine: the grid is partitioned into
+// chunks of -chunk points, each chunk is checkpointed as it completes,
+// and with -job-store the checkpoints are durable — a killed run
+// restarted as `nwsweep -resume ID -job-store DIR` serves the finished
+// chunks from disk and computes only the remainder, with output
+// byte-identical to the uninterrupted run. The job id and a final
+// chunks=/computed=/resumed= accounting line go to stderr. Job-mode
+// output renders the dataset form in every format (the historical
+// fixed-precision CSV writer applies only to synchronous sweeps).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +36,8 @@ import (
 	"nwdec/internal/cli"
 	"nwdec/internal/dataset"
 	"nwdec/internal/engine"
+	"nwdec/internal/jobs"
+	"nwdec/internal/nwerr"
 	"nwdec/internal/sweep"
 )
 
@@ -33,6 +48,10 @@ func main() {
 		sigmasArg  = flag.String("sigmas", "", "comma-separated per-dose sigmas in volts (default: 0.05)")
 		marginsArg = flag.String("margins", "", "comma-separated margin factors (default: 1.0)")
 		wiresArg   = flag.String("wires", "", "comma-separated half-cave populations (default: 20)")
+		jobMode    = flag.Bool("job", false, "run the sweep as a checkpointed async job")
+		jobStore   = flag.String("job-store", "", "checkpoint directory for -job (empty = in-memory, no kill/restart durability)")
+		chunk      = flag.Int("chunk", 0, "design points per job chunk (0 = jobs default)")
+		resume     = flag.String("resume", "", "resume the job with this id from -job-store (implies -job; grid flags are ignored)")
 	)
 	c := cli.Register("nwsweep", "csv")
 	flag.Parse()
@@ -58,6 +77,13 @@ func main() {
 		c.Exit(err)
 	}
 
+	if *jobMode || *resume != "" {
+		if err := runJob(ctx, c, grid, *jobStore, *chunk, *resume); err != nil {
+			c.Exit(err)
+		}
+		return
+	}
+
 	eng, err := engine.New(engine.Options{})
 	if err != nil {
 		c.Exit(err)
@@ -81,4 +107,61 @@ func main() {
 		c.Emit(resp.Dataset)
 	}
 	fmt.Fprintf(os.Stderr, "nwsweep: %d design points\n", len(resp.Rows))
+}
+
+// runJob executes the sweep through the checkpointed job layer: submit
+// (or resume) against the configured store, wait for the terminal state
+// and emit the assembled dataset. The final accounting line distinguishes
+// chunks computed this run from chunks resumed off checkpoints — the
+// observable proof that a resumed run did not recompute finished work.
+func runJob(ctx context.Context, c *cli.Common, grid sweep.Grid, storeDir string, chunk int, resume string) error {
+	var store jobs.Store
+	if storeDir != "" {
+		fs, err := jobs.NewFSStore(storeDir)
+		if err != nil {
+			return err
+		}
+		store = fs
+	} else {
+		if resume != "" {
+			return nwerr.Invalidf("nwsweep: -resume needs -job-store (an in-memory store has no checkpoints to resume)")
+		}
+		store = jobs.NewMemoryStore()
+	}
+	runner := jobs.NewRunner(store, jobs.Options{Workers: c.Workers})
+	defer runner.Close()
+
+	var (
+		st  jobs.Status
+		err error
+	)
+	if resume != "" {
+		st, err = runner.Resume(ctx, resume)
+	} else {
+		st, err = runner.Submit(ctx, jobs.Spec{Grid: grid, Chunk: chunk})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nwsweep: job %s submitted: %d points in %d chunks\n", st.ID, st.Points, st.Chunks)
+
+	st, err = runner.Wait(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if st.State != jobs.StateComplete {
+		err := fmt.Errorf("nwsweep: job %s ended %s: %s", st.ID, st.State, st.Error)
+		if st.State == jobs.StateCanceled {
+			return nwerr.Canceled(err)
+		}
+		return err
+	}
+	page, err := runner.Results(st.ID, 0, 0)
+	if err != nil {
+		return err
+	}
+	c.Emit(page.Dataset)
+	fmt.Fprintf(os.Stderr, "nwsweep: job %s complete: chunks=%d computed=%d resumed=%d\n",
+		st.ID, st.Chunks, st.Computed, st.Resumed)
+	return nil
 }

@@ -160,6 +160,34 @@ func (d *Dataset) Clone() *Dataset {
 // falls back to a generic table when none is set.
 func (d *Dataset) SetText(fn func() string) { d.textFn = fn }
 
+// Concat assembles one dataset from an ordered sequence of parts sharing
+// a schema: the result carries the first part's name, title, metadata and
+// notes, and the rows of every part in input order. It is the assembly
+// primitive of the chunked job layer — per-chunk checkpoint datasets
+// concatenate back into the dataset an uninterrupted run would have
+// produced, bit-identically, because rows are appended without
+// re-rendering. Parts whose name or schema disagree with the first are
+// rejected; at least one part is required (an empty result needs a schema
+// to exist).
+func Concat(parts ...*Dataset) (*Dataset, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dataset: concat of zero parts has no schema")
+	}
+	out := parts[0].Clone()
+	for i, p := range parts[1:] {
+		if p.Name != out.Name {
+			return nil, fmt.Errorf("dataset: concat part %d is %q, want %q", i+1, p.Name, out.Name)
+		}
+		if !slices.Equal(p.Columns, out.Columns) {
+			return nil, fmt.Errorf("dataset: concat part %d (%s) has a different schema", i+1, p.Name)
+		}
+		for _, row := range p.Rows {
+			out.Rows = append(out.Rows, slices.Clone(row))
+		}
+	}
+	return out, nil
+}
+
 func kindMatches(k Kind, v any) bool {
 	switch k {
 	case String:

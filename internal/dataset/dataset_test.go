@@ -226,3 +226,61 @@ func TestWriteJSONArray(t *testing.T) {
 		t.Fatalf("array has %d elements", len(docs))
 	}
 }
+
+// TestConcat pins the chunk-assembly primitive of the jobs layer: rows
+// from schema-identical parts concatenate in input order without
+// re-rendering, the first part supplies name/title/meta/notes, and the
+// result is independent of its inputs.
+func TestConcat(t *testing.T) {
+	a := New("sweep", "part a", Col("code", String), Col("area", Float))
+	a.AddRow("BGC", 192.0)
+	a.Note("from chunk 0")
+	b := New("sweep", "part b", Col("code", String), Col("area", Float))
+	b.AddRow("TC", 259.5)
+	b.AddRow("GC", 200.25)
+
+	out, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "sweep" || out.Title != "part a" {
+		t.Errorf("identity not taken from the first part: %q %q", out.Name, out.Title)
+	}
+	if len(out.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(out.Rows))
+	}
+	if out.Rows[0][0] != "BGC" || out.Rows[1][0] != "TC" || out.Rows[2][0] != "GC" {
+		t.Errorf("rows out of input order: %v", out.Rows)
+	}
+	if len(out.Notes) != 1 {
+		t.Errorf("notes not taken from the first part: %v", out.Notes)
+	}
+	// Mutating the result must not reach back into the parts.
+	out.Rows[2][0] = "mutated"
+	if b.Rows[1][0] != "GC" {
+		t.Error("concat aliases a part's row storage")
+	}
+
+	single, err := Concat(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Rows) != 1 || single.Rows[0][0] != "BGC" {
+		t.Errorf("single-part concat lost rows: %v", single.Rows)
+	}
+}
+
+func TestConcatRejections(t *testing.T) {
+	a := New("sweep", "", Col("code", String))
+	if _, err := Concat(); err == nil {
+		t.Error("zero-part concat must fail: no schema to carry")
+	}
+	renamed := New("other", "", Col("code", String))
+	if _, err := Concat(a, renamed); err == nil {
+		t.Error("name mismatch must fail")
+	}
+	reshaped := New("sweep", "", Col("code", String), Col("extra", Int))
+	if _, err := Concat(a, reshaped); err == nil {
+		t.Error("schema mismatch must fail")
+	}
+}

@@ -126,14 +126,18 @@ func (r Request) Key() string {
 	})
 }
 
-// validate rejects malformed requests with Invalid-class errors before
-// any work is admitted.
+// validate rejects malformed requests with Invalid-class errors — and
+// well-formed requests naming nonexistent experiments with NotFound-class
+// ones — before any work is admitted.
 func (r Request) validate() error {
 	if !r.Kind.known() {
 		return nwerr.Invalidf("engine: unknown request kind %q", string(r.Kind))
 	}
 	if r.Kind == KindExperiment && r.Experiment == "" {
 		return nwerr.Invalidf("engine: experiment request needs a name")
+	}
+	if r.Kind == KindExperiment && !ExperimentKnown(r.Experiment) {
+		return nwerr.NotFoundf("engine: unknown experiment %q", r.Experiment)
 	}
 	if r.Kind == KindMonteCarlo && r.Trials <= 0 {
 		return nwerr.Invalidf("engine: montecarlo request needs a positive trial count, got %d", r.Trials)

@@ -1,0 +1,211 @@
+package jobs
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"nwdec/internal/dataset"
+	"nwdec/internal/nwerr"
+)
+
+// gateStore blocks PutChunk after a fixed number of checkpoints until
+// released, pinning a job mid-chunk so cancellation can land at a
+// deterministic point.
+type gateStore struct {
+	Store
+	allowed int
+	puts    int
+	reached chan struct{}
+	release chan struct{}
+}
+
+func (g *gateStore) PutChunk(id string, idx int, ds *dataset.Dataset) error {
+	if g.puts >= g.allowed {
+		select {
+		case <-g.reached:
+		default:
+			close(g.reached)
+		}
+		<-g.release
+	}
+	g.puts++
+	return g.Store.PutChunk(id, idx, ds)
+}
+
+// TestCancelMidChunkLeavesResumableStore pins the cancellation contract
+// of the runner: cancel lands while a chunk is in flight, the job
+// reaches StateCanceled, no worker goroutines leak, and the store holds
+// exactly the completed prefix — from which a fresh runner finishes the
+// job with those chunks resumed, not recomputed.
+func TestCancelMidChunkLeavesResumableStore(t *testing.T) {
+	before := runtime.NumGoroutine()
+	spec := testSpec()
+	fs, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const survived = 2
+	gate := &gateStore{
+		Store:   fs,
+		allowed: survived,
+		reached: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	r := NewRunner(gate, Options{})
+	st, err := r.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+
+	// Wait until the job is mid-chunk (blocked in PutChunk of chunk 2),
+	// then cancel and release the gate: the persist completes, and the
+	// chunk loop must observe cancellation before starting chunk 3.
+	select {
+	case <-gate.reached:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never reached the gated chunk")
+	}
+	if err := r.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	close(gate.release)
+
+	st, err = r.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if st.Error == "" {
+		t.Error("canceled job carries no error message")
+	}
+	r.Close()
+
+	// No leaked workers after Close.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+
+	// The gated chunk's persist completed before cancellation was
+	// observed, so the store holds survived+1 chunks — still a
+	// contiguous, resumable prefix.
+	idxs, err := fs.Chunks(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) == 0 || len(idxs) >= st.Chunks {
+		t.Fatalf("store holds %d of %d chunks after cancel", len(idxs), st.Chunks)
+	}
+	stored := len(idxs)
+
+	r2 := NewRunner(fs, Options{})
+	defer r2.Close()
+	st, err = r2.Resume(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = r2.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateComplete {
+		t.Fatalf("resumed state = %s (%s), want complete", st.State, st.Error)
+	}
+	if st.Resumed != stored {
+		t.Errorf("resumed %d chunks, want %d served from checkpoints", st.Resumed, stored)
+	}
+}
+
+// TestCloseCancelsJobs pins Runner.Close: it stops in-flight jobs, a
+// closed runner refuses new submissions with a Canceled-class error, and
+// Wait on the stopped job returns its terminal status.
+func TestCloseCancelsJobs(t *testing.T) {
+	spec := testSpec()
+	gate := &gateStore{
+		Store:   NewMemoryStore(),
+		allowed: 1,
+		reached: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	r := NewRunner(gate, Options{})
+	st, err := r.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gate.reached:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never reached the gated chunk")
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Close()
+		close(done)
+	}()
+	// Close cancels the runner context before blocking on the job's
+	// goroutine; hold the gate shut until the cancellation is observable
+	// (a closed runner refuses submissions) so the chunk loop cannot race
+	// to completion after release.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := r.Submit(context.Background(), spec); nwerr.IsCanceled(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("runner context never canceled after Close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after release")
+	}
+	got, err := r.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCanceled {
+		t.Errorf("state after Close = %s, want canceled", got.State)
+	}
+	if _, err := r.Submit(context.Background(), spec); !nwerr.IsCanceled(err) {
+		t.Errorf("Submit on closed runner = %v, want Canceled-class", err)
+	}
+}
+
+// TestWaitHonorsContext pins Wait's own cancellation: a caller deadline
+// abandons the wait with a Canceled-class error while the job itself
+// keeps running.
+func TestWaitHonorsContext(t *testing.T) {
+	gate := &gateStore{
+		Store:   NewMemoryStore(),
+		allowed: 0,
+		reached: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	r := NewRunner(gate, Options{})
+	st, err := r.Submit(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	wcancel()
+	if _, err := r.Wait(wctx, st.ID); !nwerr.IsCanceled(err) {
+		t.Errorf("Wait(canceled ctx) = %v, want Canceled-class", err)
+	}
+	close(gate.release)
+	if _, err := r.Wait(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}

@@ -1,0 +1,42 @@
+package jobs_test
+
+import (
+	"testing"
+
+	"nwdec/internal/lint"
+)
+
+// TestJobsLintClean runs the full nwlint analyzer suite over the jobs
+// package and asserts its registrations: jobs is a goroutine package
+// (each submitted job runs on its own goroutine under the runner's
+// WaitGroup), a context-entry package (Submit/Resume/Wait honor
+// cancellation), and a deterministic package — the runner reads time
+// only through the injected obs clock, so checkpoint contents and
+// assembled results stay bit-reproducible.
+func TestJobsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the package from source")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig(loader.Module)
+	path := loader.Module + "/internal/jobs"
+	if !cfg.GoroutineAllowed(path) {
+		t.Error("internal/jobs is not registered as a goroutine package")
+	}
+	if !cfg.CtxEntry(path) {
+		t.Error("internal/jobs is not registered as a context-entry package")
+	}
+	if !cfg.Deterministic(path) {
+		t.Error("internal/jobs is not registered as a deterministic package")
+	}
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.All(), cfg) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,129 @@
+package jobs
+
+import (
+	"sort"
+	"sync"
+
+	"nwdec/internal/dataset"
+	"nwdec/internal/nwerr"
+)
+
+// Store is the checkpoint persistence interface of the job layer,
+// mirroring the Backend pattern of the engine: the Runner executes
+// against any Store, and resume works across processes exactly when the
+// store outlives them (FSStore does, MemoryStore does not — it exists
+// for tests and for callers that only want asynchrony, not durability).
+//
+// All methods are safe for concurrent use. Absent ids and chunks are
+// NotFound-class errors; a checkpoint miss is ordinary control flow in
+// the Runner, which branches on nwerr.IsNotFound.
+type Store interface {
+	// PutSpec persists the spec under its id. Re-putting an existing id
+	// is a no-op: specs are immutable and content-addressed, so the
+	// first write is as good as any.
+	PutSpec(id string, spec Spec) error
+	// GetSpec loads a persisted spec.
+	GetSpec(id string) (Spec, error)
+	// PutChunk checkpoints one completed chunk dataset under (id, idx),
+	// where idx indexes the deterministic partition of the job's points.
+	PutChunk(id string, idx int, ds *dataset.Dataset) error
+	// GetChunk loads one checkpointed chunk dataset. The returned
+	// dataset is the caller's own copy.
+	GetChunk(id string, idx int) (*dataset.Dataset, error)
+	// Chunks returns the checkpointed chunk indices of a job in
+	// ascending order (empty, not an error, for a job with a spec and no
+	// chunks yet).
+	Chunks(id string) ([]int, error)
+	// Jobs lists the persisted job ids in sorted order.
+	Jobs() ([]string, error)
+}
+
+// MemoryStore is the in-process Store: checkpoints live exactly as long
+// as the process, so it provides asynchrony and incremental results but
+// not kill/restart durability.
+type MemoryStore struct {
+	mu     sync.Mutex
+	specs  map[string]Spec
+	chunks map[string]map[int]*dataset.Dataset
+}
+
+// NewMemoryStore creates an empty in-memory store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{
+		specs:  make(map[string]Spec),
+		chunks: make(map[string]map[int]*dataset.Dataset),
+	}
+}
+
+// PutSpec persists the spec; re-putting an existing id is a no-op.
+func (m *MemoryStore) PutSpec(id string, spec Spec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.specs[id]; !ok {
+		m.specs[id] = spec
+	}
+	return nil
+}
+
+// GetSpec loads a persisted spec.
+func (m *MemoryStore) GetSpec(id string) (Spec, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	spec, ok := m.specs[id]
+	if !ok {
+		return Spec{}, nwerr.NotFoundf("jobs: unknown job %q", id)
+	}
+	return spec, nil
+}
+
+// PutChunk checkpoints one chunk. The dataset is cloned on the way in so
+// later caller mutations never reach the store.
+func (m *MemoryStore) PutChunk(id string, idx int, ds *dataset.Dataset) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.chunks[id]
+	if !ok {
+		c = make(map[int]*dataset.Dataset)
+		m.chunks[id] = c
+	}
+	c[idx] = ds.Clone()
+	return nil
+}
+
+// GetChunk loads one checkpointed chunk as a private clone.
+func (m *MemoryStore) GetChunk(id string, idx int) (*dataset.Dataset, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ds, ok := m.chunks[id][idx]
+	if !ok {
+		return nil, nwerr.NotFoundf("jobs: job %q has no chunk %d", id, idx)
+	}
+	return ds.Clone(), nil
+}
+
+// Chunks returns the checkpointed chunk indices in ascending order.
+func (m *MemoryStore) Chunks(id string) ([]int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.specs[id]; !ok {
+		return nil, nwerr.NotFoundf("jobs: unknown job %q", id)
+	}
+	idxs := make([]int, 0, len(m.chunks[id]))
+	for idx := range m.chunks[id] {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// Jobs lists the persisted job ids in sorted order.
+func (m *MemoryStore) Jobs() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.specs))
+	for id := range m.specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -70,6 +70,7 @@ func DefaultConfig(module string) *Config {
 			"internal/engine",
 			"internal/experiments",
 			"internal/geometry",
+			"internal/jobs",
 			"internal/mspt",
 			"internal/nwerr",
 			"internal/obs",
@@ -79,12 +80,13 @@ func DefaultConfig(module string) *Config {
 			"internal/sweep",
 			"internal/yield",
 		},
-		GoroutinePkgs: []string{"internal/par", "cmd/nwserve"},
+		GoroutinePkgs: []string{"internal/jobs", "internal/par", "cmd/nwserve"},
 		CtxEntryPkgs: []string{
 			"internal/cluster",
 			"internal/core",
 			"internal/engine",
 			"internal/experiments",
+			"internal/jobs",
 			"internal/sweep",
 		},
 		PrintAllowedPkgs: []string{
@@ -96,15 +98,19 @@ func DefaultConfig(module string) *Config {
 		Layering: []LayerRule{
 			// The Backend composition hinges on the cluster routing over
 			// the engine facade, never the reverse (DESIGN §12).
-			{Pkg: "internal/engine", Deny: []string{"internal/cluster"},
+			{Pkg: "internal/engine", Deny: []string{"internal/cluster", "internal/jobs"},
 				Why: "the cluster composes over the engine's Backend facade; a reverse edge would make the layering circular"},
+			// The job layer composes over the engine's identity scheme and
+			// the sweep primitives; nothing below it may reach back up.
+			{Pkg: "internal/sweep", Deny: []string{"internal/jobs"},
+				Why: "jobs partitions and checkpoints sweeps from above; a reverse edge would make the layering circular"},
 			// Observability instruments the pipeline from below; it must
 			// never depend on what it measures (DESIGN §9).
-			{Pkg: "internal/obs", Deny: []string{"internal/engine", "internal/experiments", "internal/par", "internal/cluster"},
+			{Pkg: "internal/obs", Deny: []string{"internal/engine", "internal/experiments", "internal/jobs", "internal/par", "internal/cluster"},
 				Why: "obs sits below everything it instruments; an upward edge would let metrics feed back into results"},
 			// The pool depends on obs only; pulling pipeline packages into
 			// par would invert the execution layering.
-			{Pkg: "internal/par", Deny: []string{"internal/engine", "internal/experiments", "internal/cluster", "internal/sweep"},
+			{Pkg: "internal/par", Deny: []string{"internal/engine", "internal/experiments", "internal/cluster", "internal/jobs", "internal/sweep"},
 				Why: "par is the bottom execution layer; workloads call into it, never the reverse"},
 			// Renderers are reachable only from the edges: commands,
 			// examples, the CLI surface and the result layers that own

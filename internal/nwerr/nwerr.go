@@ -14,6 +14,10 @@
 //     work to protect the process. The request was fine and the server is
 //     healthy; retrying after a backoff is the correct response. CLIs
 //     exit 1, the HTTP facade answers 503 with a Retry-After header.
+//   - NotFound — the request names a resource outside the served set: an
+//     unknown experiment, a job id no store has seen. The request was
+//     well-formed, the named thing just does not exist. CLIs exit 1, the
+//     HTTP facade answers 404.
 //   - Internal — the computation itself failed. CLIs exit 1, the HTTP
 //     facade answers 500.
 //
@@ -48,6 +52,9 @@ const (
 	// ClassOverload marks work refused by admission control because the
 	// system is saturated; retrying after a backoff is expected to help.
 	ClassOverload
+	// ClassNotFound marks a well-formed request naming a resource that
+	// does not exist (an unknown experiment, an unknown job id).
+	ClassNotFound
 )
 
 // String returns the lower-case class name.
@@ -59,6 +66,8 @@ func (c Class) String() string {
 		return "canceled"
 	case ClassOverload:
 		return "overload"
+	case ClassNotFound:
+		return "not_found"
 	case ClassInternal:
 		return "internal"
 	default:
@@ -78,6 +87,7 @@ var (
 	ErrInvalid  error = sentinel{ClassInvalid}
 	ErrCanceled error = sentinel{ClassCanceled}
 	ErrOverload error = sentinel{ClassOverload}
+	ErrNotFound error = sentinel{ClassNotFound}
 	ErrInternal error = sentinel{ClassInternal}
 )
 
@@ -119,6 +129,9 @@ func Canceled(err error) error { return wrap(ClassCanceled, err) }
 // Overload marks err as work shed under saturation. A nil err stays nil.
 func Overload(err error) error { return wrap(ClassOverload, err) }
 
+// NotFound marks err as naming a nonexistent resource. A nil err stays nil.
+func NotFound(err error) error { return wrap(ClassNotFound, err) }
+
 // Internal marks err as a computation failure. A nil err stays nil.
 func Internal(err error) error { return wrap(ClassInternal, err) }
 
@@ -135,6 +148,11 @@ func Internalf(format string, args ...any) error {
 // Overloadf formats a new Overload-class error; %w wrapping works.
 func Overloadf(format string, args ...any) error {
 	return Overload(fmt.Errorf(format, args...))
+}
+
+// NotFoundf formats a new NotFound-class error; %w wrapping works.
+func NotFoundf(format string, args ...any) error {
+	return NotFound(fmt.Errorf(format, args...))
 }
 
 // ClassOf classifies an error: the outermost *Error in the chain wins;
@@ -162,11 +180,15 @@ func IsCanceled(err error) bool { return err != nil && ClassOf(err) == ClassCanc
 // IsOverload reports whether err classifies as shed work.
 func IsOverload(err error) bool { return err != nil && ClassOf(err) == ClassOverload }
 
+// IsNotFound reports whether err classifies as naming a nonexistent
+// resource.
+func IsNotFound(err error) bool { return err != nil && ClassOf(err) == ClassNotFound }
+
 // HTTPStatus maps an error's class to the HTTP status every facade of the
 // pipeline answers with: Invalid is 400 (fix the request), Canceled is 408
 // (the caller's clock ran out), Overload is 503 (back off and retry — the
-// server pairs it with a Retry-After header), Internal is 500. A nil
-// error is 200.
+// server pairs it with a Retry-After header), NotFound is 404 (the named
+// resource does not exist), Internal is 500. A nil error is 200.
 func HTTPStatus(err error) int {
 	if err == nil {
 		return 200
@@ -178,6 +200,8 @@ func HTTPStatus(err error) int {
 		return 408
 	case ClassOverload:
 		return 503
+	case ClassNotFound:
+		return 404
 	default:
 		return 500
 	}

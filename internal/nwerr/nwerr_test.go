@@ -24,8 +24,11 @@ func TestClassOf(t *testing.T) {
 		{"ctx-canceled", context.Canceled, nwerr.ClassCanceled},
 		{"ctx-deadline", context.DeadlineExceeded, nwerr.ClassCanceled},
 		{"wrapped-ctx", fmt.Errorf("sweep: %w", context.DeadlineExceeded), nwerr.ClassCanceled},
+		{"notfound", nwerr.NotFound(base), nwerr.ClassNotFound},
 		{"invalidf", nwerr.Invalidf("bad count %d", -1), nwerr.ClassInvalid},
 		{"overloadf", nwerr.Overloadf("%d slots busy", 8), nwerr.ClassOverload},
+		{"internalf", nwerr.Internalf("stage %d failed", 3), nwerr.ClassInternal},
+		{"notfoundf", nwerr.NotFoundf("no job %q", "j-0"), nwerr.ClassNotFound},
 		{"rewrapped", fmt.Errorf("cli: %w", nwerr.Invalid(base)), nwerr.ClassInvalid},
 	}
 	for _, tc := range cases {
@@ -66,6 +69,39 @@ func TestSentinels(t *testing.T) {
 	if !errors.Is(shed, nwerr.ErrOverload) || !nwerr.IsOverload(shed) {
 		t.Error("overload sentinel not matched through a %w chain")
 	}
+	missing := fmt.Errorf("jobs: %w", nwerr.NotFoundf("unknown job %q", "j-0"))
+	if !errors.Is(missing, nwerr.ErrNotFound) || !nwerr.IsNotFound(missing) {
+		t.Error("not-found sentinel not matched through a %w chain")
+	}
+	if nwerr.IsNotFound(err) {
+		t.Error("IsNotFound = true for an invalid-class error")
+	}
+}
+
+// TestClassString pins the class names — they appear in sentinel messages
+// and operator-facing logs.
+func TestClassString(t *testing.T) {
+	cases := []struct {
+		class nwerr.Class
+		want  string
+	}{
+		{nwerr.ClassInvalid, "invalid"},
+		{nwerr.ClassCanceled, "canceled"},
+		{nwerr.ClassOverload, "overload"},
+		{nwerr.ClassNotFound, "not_found"},
+		{nwerr.ClassInternal, "internal"},
+		{nwerr.Class(99), "class(99)"},
+	}
+	for _, tc := range cases {
+		if got := tc.class.String(); got != tc.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(tc.class), got, tc.want)
+		}
+	}
+	// The sentinels themselves render their class; they never appear in
+	// chains, but errors.Is diagnostics may print them.
+	if got := nwerr.ErrNotFound.Error(); got != "not_found error" {
+		t.Errorf("ErrNotFound.Error() = %q", got)
+	}
 }
 
 // TestHTTPStatus pins the shared class→status mapping every HTTP facade
@@ -82,6 +118,7 @@ func TestHTTPStatus(t *testing.T) {
 		{"canceled", nwerr.Canceled(base), 408},
 		{"ctx-deadline", context.DeadlineExceeded, 408},
 		{"overload", nwerr.Overload(base), 503},
+		{"notfound", nwerr.NotFound(base), 404},
 		{"internal", nwerr.Internal(base), 500},
 		{"unclassified", base, 500},
 	}
@@ -114,10 +151,12 @@ func TestTransparency(t *testing.T) {
 
 func TestNilStaysNil(t *testing.T) {
 	if nwerr.Invalid(nil) != nil || nwerr.Canceled(nil) != nil ||
-		nwerr.Overload(nil) != nil || nwerr.Internal(nil) != nil {
+		nwerr.Overload(nil) != nil || nwerr.NotFound(nil) != nil ||
+		nwerr.Internal(nil) != nil {
 		t.Error("wrapping nil must return nil")
 	}
-	if nwerr.IsInvalid(nil) || nwerr.IsCanceled(nil) || nwerr.IsOverload(nil) {
+	if nwerr.IsInvalid(nil) || nwerr.IsCanceled(nil) || nwerr.IsOverload(nil) ||
+		nwerr.IsNotFound(nil) {
 		t.Error("nil error must not classify")
 	}
 }

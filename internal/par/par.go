@@ -61,6 +61,38 @@ func ChunkSize(chunk, n, workers int) int {
 	return chunk
 }
 
+// Range is one contiguous index block [Lo, Hi) of a partitioned work
+// space — the unit the chunked APIs schedule and the unit the job layer
+// checkpoints.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Ranges partitions [0, n) into contiguous blocks of the given chunk size
+// (<= 0 selects the ChunkSize heuristic at the default worker count). The
+// blocks cover [0, n) exactly once in ascending order; the last block may
+// be short. n <= 0 yields no blocks. The partition is a pure function of
+// (n, chunk), which is what lets the job layer address each block by its
+// index across process restarts.
+func Ranges(n, chunk int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	chunk = ChunkSize(chunk, n, 0)
+	out := make([]Range, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
 // ForEachChunks runs fn(ctx, lo, hi) over contiguous index blocks covering
 // [0, n) exactly once, on a bounded pool of workers. chunk <= 0 selects the
 // ChunkSize heuristic. Blocks are claimed in ascending order; the first

@@ -90,6 +90,92 @@ type Row struct {
 	BitArea        float64
 }
 
+// Point is one structurally valid grid point: the fully resolved platform
+// configuration plus the axis values that produced it (kept alongside the
+// config so rows and error messages can echo the grid coordinates without
+// re-deriving them).
+type Point struct {
+	Config        core.Config
+	Type          code.Type
+	Length        int
+	SigmaT        float64
+	MarginFactor  float64
+	HalfCaveWires int
+}
+
+// Points expands the grid over the base platform into its structurally
+// valid design points, flattened in the grid's Cartesian order (types →
+// lengths → sigmas → margins → wires). The expansion is a pure function
+// of (base, grid) — the same inputs yield the same point list in the same
+// order in every process — which is what lets the job layer partition the
+// list into chunks and address each chunk by index across restarts.
+func (g Grid) Points(base core.Config) []Point {
+	g = g.withDefaults()
+	var points []Point
+	for _, tp := range g.Types {
+		for _, m := range g.Lengths {
+			for _, sigma := range g.SigmaTs {
+				for _, mf := range g.MarginFactors {
+					for _, n := range g.HalfCaveWires {
+						cfg := base.WithDefaults()
+						cfg.CodeType = tp
+						cfg.CodeLength = m
+						cfg.SigmaT = sigma
+						cfg.MarginFactor = mf
+						cfg.Spec.HalfCaveWires = n
+						if !validLength(tp, cfg.Base, m) {
+							continue
+						}
+						points = append(points, Point{
+							Config:        cfg,
+							Type:          tp,
+							Length:        m,
+							SigmaT:        sigma,
+							MarginFactor:  mf,
+							HalfCaveWires: n,
+						})
+					}
+				}
+			}
+		}
+	}
+	return points
+}
+
+// EvalPoint resolves one grid point into its design row.
+func EvalPoint(p Point) (Row, error) {
+	d, err := core.NewDesign(p.Config)
+	if err != nil {
+		return Row{}, fmt.Errorf("sweep: %v M=%d σ=%g mf=%g N=%d: %w",
+			p.Type, p.Length, p.SigmaT, p.MarginFactor, p.HalfCaveWires, err)
+	}
+	return Row{
+		Type:           p.Type,
+		Length:         p.Length,
+		SigmaT:         p.SigmaT,
+		MarginFactor:   p.MarginFactor,
+		HalfCaveWires:  p.HalfCaveWires,
+		SpaceSize:      d.Generator.SpaceSize(),
+		ContactGroups:  d.Layout.Contact.Groups,
+		Phi:            d.Phi,
+		AvgVariability: d.AvgVariability,
+		Yield:          d.Crossbar.Yield,
+		EffectiveBits:  d.Crossbar.EffectiveBits,
+		BitArea:        d.Crossbar.BitArea,
+	}, nil
+}
+
+// EvalPoints evaluates a point slice on a bounded worker pool (workers
+// <= 0 means GOMAXPROCS) and returns the rows in input order — the
+// chunk-evaluation primitive shared by RunWorkers and the job layer.
+// Cancelling ctx abandons unfinished points and returns ctx's error.
+func EvalPoints(ctx context.Context, workers int, points []Point) ([]Row, error) {
+	return par.Map(ctx, workers, points,
+		func(_ context.Context, _ int, p Point) (Row, error) {
+			return EvalPoint(p)
+		})
+}
+
 // Run evaluates every structurally valid grid point on the base platform.
 // It runs on the default worker pool; cancelling ctx aborts the sweep.
 func Run(ctx context.Context, base core.Config, grid Grid) ([]Row, error) {
@@ -104,62 +190,13 @@ func Run(ctx context.Context, base core.Config, grid Grid) ([]Row, error) {
 // unfinished points and returns ctx's error.
 func RunWorkers(ctx context.Context, base core.Config, grid Grid, workers int) ([]Row, error) {
 	grid = grid.withDefaults()
-	type unit struct {
-		cfg    core.Config
-		tp     code.Type
-		m      int
-		sigma  float64
-		mf     float64
-		nWires int
-	}
-	var units []unit
-	for _, tp := range grid.Types {
-		for _, m := range grid.Lengths {
-			for _, sigma := range grid.SigmaTs {
-				for _, mf := range grid.MarginFactors {
-					for _, n := range grid.HalfCaveWires {
-						cfg := base.WithDefaults()
-						cfg.CodeType = tp
-						cfg.CodeLength = m
-						cfg.SigmaT = sigma
-						cfg.MarginFactor = mf
-						cfg.Spec.HalfCaveWires = n
-						if !validLength(tp, cfg.Base, m) {
-							continue
-						}
-						units = append(units, unit{cfg: cfg, tp: tp, m: m, sigma: sigma, mf: mf, nWires: n})
-					}
-				}
-			}
-		}
-	}
+	points := grid.Points(base)
 	reg := obs.From(ctx)
 	span := reg.StartSpan("sweep/run")
 	defer span.End()
 	reg.Gauge("sweep/grid_size").Set(float64(grid.Size()))
-	reg.Counter("sweep/points").Add(int64(len(units)))
-	rows, err := par.Map(ctx, workers, units,
-		func(_ context.Context, _ int, u unit) (Row, error) {
-			d, err := core.NewDesign(u.cfg)
-			if err != nil {
-				return Row{}, fmt.Errorf("sweep: %v M=%d σ=%g mf=%g N=%d: %w",
-					u.tp, u.m, u.sigma, u.mf, u.nWires, err)
-			}
-			return Row{
-				Type:           u.tp,
-				Length:         u.m,
-				SigmaT:         u.sigma,
-				MarginFactor:   u.mf,
-				HalfCaveWires:  u.nWires,
-				SpaceSize:      d.Generator.SpaceSize(),
-				ContactGroups:  d.Layout.Contact.Groups,
-				Phi:            d.Phi,
-				AvgVariability: d.AvgVariability,
-				Yield:          d.Crossbar.Yield,
-				EffectiveBits:  d.Crossbar.EffectiveBits,
-				BitArea:        d.Crossbar.BitArea,
-			}, nil
-		})
+	reg.Counter("sweep/points").Add(int64(len(points)))
+	rows, err := EvalPoints(ctx, workers, points)
 	if err != nil {
 		return nil, err
 	}

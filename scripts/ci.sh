@@ -1,65 +1,91 @@
 #!/bin/sh
 # ci.sh — the tier-1.5 verification gate (see ROADMAP.md). Run locally or
-# from .github/workflows/ci.yml, which uploads ci-artifacts/ on every run.
+# from .github/workflows/ci.yml, which runs the three stages as parallel
+# jobs and uploads each job's ci-artifacts/ on every run.
 #
-# Usage:  scripts/ci.sh
+# Usage:  scripts/ci.sh [lint|test|bench|all]
 #
-# Runs, in order:
-#   1. gofmt -l        — the tree must be canonically formatted
-#   2. go build ./...  — everything compiles
-#   3. go vet ./...    — static checks
-#   4. go run ./cmd/nwlint ./...  — the project-invariant analyzer; the
-#      tree must be free of diagnostics under all nine rules
-#      (determinism, ctxfirst, nogoroutine, errcheck, printbound,
-#      scratchconfine, atomicfield, layering, wireparity). The JSON
-#      report lands in ci-artifacts/nwlint.json, the lint wall time is
-#      printed, and a `-diff` dry run asserts the tree is fix-clean
-#      (no suggested fix left unapplied)
-#   5. go test -race -count=1 ./...  — full suite under the race detector,
-#      cache disabled; this is what keeps internal/par and the shared
-#      generator cache race-clean and exercises the serial-vs-parallel
-#      determinism tests
-#   6. coverage gate — go run ./scripts/covergate enforces per-package
-#      statement-coverage floors over
-#      internal/{par,code,dataset,obs,engine,cluster,nwerr,lint,stats,yield}
-#   7. bench regression — scripts/bench.sh measures a fresh
-#      BENCH_parallel.json into ci-artifacts/ and scripts/benchcmp.go
-#      compares it against the committed baseline (±20% ns/op). Warns by
-#      default; set CI_BENCH_STRICT=1 to fail on regression.
-#   8. metrics smoke — nwsim -metrics json must emit a parseable snapshot
-#      (saved as ci-artifacts/metrics.json) without touching stdout data
-#   9. server smoke — nwserve -smoke starts the HTTP facade on an
-#      ephemeral port, issues one /v1/experiment request against itself
-#      and shuts down gracefully
-#  10. peer smoke — nwserve -peer-smoke starts a two-node in-process
-#      fleet, fetches the same experiment twice through the node that
-#      does not own its key, and asserts X-Cache: miss-peer then
-#      hit-peer (the consistent-hash routing + owner-cache contract)
-#  11. fuzz smoke — 10s of real fuzzing per internal/code fuzz target,
-#      auto-discovered from the test files (the fuzz engine accepts one
-#      target per invocation)
+# Stages (default: all, the full local gate):
 #
-# Exits non-zero on the first failure.
+#   lint   1. gofmt -l        — the tree must be canonically formatted
+#          2. go build ./...  — everything compiles
+#          3. go vet ./...    — static checks
+#          4. go run ./cmd/nwlint ./...  — the project-invariant analyzer;
+#             the tree must be free of diagnostics under all nine rules
+#             (determinism, ctxfirst, nogoroutine, errcheck, printbound,
+#             scratchconfine, atomicfield, layering, wireparity). The JSON
+#             report lands in ci-artifacts/nwlint.json and a `-diff` dry
+#             run asserts the tree is fix-clean (no suggested fix left
+#             unapplied)
+#
+#   test   5. go test -race -count=1 ./...  — full suite under the race
+#             detector, cache disabled; this is what keeps internal/par,
+#             the shared generator cache and the jobs runner race-clean
+#             and exercises the serial-vs-parallel determinism tests
+#          6. coverage gate — go run ./scripts/covergate enforces
+#             per-package statement-coverage floors over
+#             internal/{par,code,dataset,obs,engine,jobs,cluster,nwerr,
+#             lint,stats,yield}
+#
+#   bench  7. bench regression — scripts/bench.sh measures a fresh
+#             BENCH_parallel.json into ci-artifacts/ and
+#             scripts/benchcmp.go compares it against the committed
+#             baseline (±20% ns/op). Warns by default; set
+#             CI_BENCH_STRICT=1 to fail on regression.
+#          8. metrics smoke — nwsim -metrics json must emit a parseable
+#             snapshot (saved as ci-artifacts/metrics.json) without
+#             touching stdout data
+#          9. server smoke — nwserve -smoke starts the HTTP facade on an
+#             ephemeral port, exercises one synchronous request plus the
+#             full async job lifecycle (submit, poll, results) against
+#             itself and shuts down gracefully
+#         10. peer smoke — nwserve -peer-smoke starts a two-node
+#             in-process fleet, fetches the same experiment twice through
+#             the node that does not own its key, and asserts X-Cache:
+#             miss-peer then hit-peer
+#         11. jobs kill/resume smoke — submits a multi-chunk sweep job
+#             through nwsweep -job, SIGKILLs it mid-run, resumes from the
+#             checkpoint store and asserts the final dataset is
+#             byte-identical to an uninterrupted run; a second resume of
+#             the complete job must recompute zero chunks, verified both
+#             by the computed=0 accounting line and by the obs
+#             jobs/chunks_* counters. The job store is preserved under
+#             ci-artifacts/job-smoke/ when the smoke fails.
+#         12. fuzz smoke — 10s of real fuzzing per internal/code fuzz
+#             target, auto-discovered from the test files
+#
+# Every stage ends with a per-step wall-time table (rendered by
+# scripts/citimes through internal/dataset). Exits non-zero on the first
+# failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+stage="${1:-all}"
+case "$stage" in
+lint | test | bench | all) ;;
+*)
+	echo "usage: scripts/ci.sh [lint|test|bench|all]" >&2
+	exit 2
+	;;
+esac
+
 artifacts=ci-artifacts
 mkdir -p "$artifacts"
+steptimes="$artifacts/step-times.txt"
+: >"$steptimes"
 
-echo "== gofmt =="
-unformatted="$(gofmt -l .)"
-if [ -n "$unformatted" ]; then
-	echo "gofmt: the following files need formatting:" >&2
-	echo "$unformatted" >&2
-	exit 1
-fi
-
-echo "== go build =="
-go build ./...
-
-echo "== go vet =="
-go vet ./...
+# step runs one named gate, echoing a banner and recording its wall time
+# for the closing summary table.
+step() {
+	step_name="$1"
+	shift
+	echo "== $step_name =="
+	step_t0="$(date +%s)"
+	"$@"
+	step_t1="$(date +%s)"
+	echo "$step_name $((step_t1 - step_t0))" >>"$steptimes"
+}
 
 # gate runs a command whose report goes to an artifact file, showing the
 # report either way and preserving the command's exit status (a plain
@@ -67,7 +93,7 @@ go vet ./...
 gate() {
 	outfile="$1"
 	shift
-	if "$@" > "$outfile"; then
+	if "$@" >"$outfile"; then
 		cat "$outfile"
 	else
 		status=$?
@@ -76,54 +102,213 @@ gate() {
 	fi
 }
 
-echo "== nwlint =="
-lint_start="$(date +%s)"
-gate "$artifacts/nwlint.json" go run ./cmd/nwlint -json ./...
-# Fix-clean dry run: the tree must not carry an unapplied suggested fix.
-# The -json gate above already fails on any diagnostic; here we tolerate
-# the exit status and assert the diff preview is empty.
-diff_out="$(go run ./cmd/nwlint -diff ./... || true)"
-if [ -n "$diff_out" ]; then
-	echo "nwlint: tree is not fix-clean; run 'go run ./cmd/nwlint -fix ./...':" >&2
-	echo "$diff_out" >&2
-	exit 1
+run_gofmt() {
+	unformatted="$(gofmt -l .)"
+	if [ -n "$unformatted" ]; then
+		echo "gofmt: the following files need formatting:" >&2
+		echo "$unformatted" >&2
+		return 1
+	fi
+}
+
+run_build() {
+	go build ./...
+}
+
+run_vet() {
+	go vet ./...
+}
+
+run_nwlint() {
+	gate "$artifacts/nwlint.json" go run ./cmd/nwlint -json ./...
+	# Fix-clean dry run: the tree must not carry an unapplied suggested
+	# fix. The -json gate above already fails on any diagnostic; here we
+	# tolerate the exit status and assert the diff preview is empty.
+	diff_out="$(go run ./cmd/nwlint -diff ./... || true)"
+	if [ -n "$diff_out" ]; then
+		echo "nwlint: tree is not fix-clean; run 'go run ./cmd/nwlint -fix ./...':" >&2
+		echo "$diff_out" >&2
+		return 1
+	fi
+}
+
+run_tests() {
+	go test -race -count=1 ./...
+}
+
+run_cover() {
+	gate "$artifacts/coverage.txt" go run ./scripts/covergate
+}
+
+run_bench() {
+	scripts/bench.sh 50x "$artifacts/bench-current.json" >/dev/null
+	gate "$artifacts/benchcmp.txt" go run scripts/benchcmp.go \
+		-baseline BENCH_parallel.json \
+		-current "$artifacts/bench-current.json"
+}
+
+run_metrics_smoke() {
+	go run ./cmd/nwsim -exp montecarlo -trials 4 \
+		-metrics json -metrics-out "$artifacts/metrics.json" >/dev/null
+	test -s "$artifacts/metrics.json"
+	go run ./cmd/nwsim -exp montecarlo -trials 4 >"$artifacts/montecarlo-plain.txt"
+}
+
+run_server_smoke() {
+	go run ./cmd/nwserve -smoke
+}
+
+run_peer_smoke() {
+	go run ./cmd/nwserve -peer-smoke
+}
+
+# jobs_smoke_body is the kill/resume equivalence check. It runs inside
+# ci-artifacts/job-smoke so a failure leaves the whole job store in the
+# uploaded artifacts; run_jobs_smoke clears the bulky store again on
+# success.
+jobs_smoke_body() {
+	jdir="$1"
+	bin="$jdir/nwsweep"
+	go build -o "$bin" ./cmd/nwsweep
+
+	# A grid big enough that the run takes seconds even on a fast
+	# machine, partitioned into enough chunks that SIGKILL reliably lands
+	# with some — but not all — checkpoints written.
+	set -- -chunk 256 -format json \
+		-types tc,gc,bgc,hc,ahc -lengths 4,6,8,10 \
+		-sigmas "$(seq -s, 0.030 0.001 0.080)" \
+		-wires "$(seq -s, 10 2 40)"
+
+	echo "-- reference run (uninterrupted)"
+	"$bin" -job -job-store "$jdir/ref" "$@" >"$jdir/ref.json" 2>"$jdir/ref.err"
+	cat "$jdir/ref.err"
+	id="$(sed -n 's/^nwsweep: job \(j-[0-9a-f]*\) submitted.*/\1/p' "$jdir/ref.err")"
+	total="$(sed -n 's/^nwsweep: job .* in \([0-9]*\) chunks$/\1/p' "$jdir/ref.err")"
+	if [ -z "$id" ] || [ -z "$total" ] || [ "$total" -lt 10 ]; then
+		echo "jobs smoke: reference run did not report a usable job (id=$id chunks=$total)" >&2
+		return 1
+	fi
+
+	echo "-- interrupted run (SIGKILL mid-job)"
+	"$bin" -job -job-store "$jdir/kill" "$@" >"$jdir/kill.json" 2>"$jdir/kill.err" &
+	pid=$!
+	# The job id is content-addressed, so the killed run writes to the
+	# same id the reference reported. Kill once at least two chunks are
+	# checkpointed; fail if the job finishes before the signal lands.
+	i=0
+	while [ "$i" -lt 400 ]; do
+		n="$(ls "$jdir/kill/$id"/chunk-*.json 2>/dev/null | wc -l)"
+		if [ "$n" -ge 2 ]; then
+			break
+		fi
+		if ! kill -0 "$pid" 2>/dev/null; then
+			break
+		fi
+		i=$((i + 1))
+		sleep 0.05
+	done
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "jobs smoke: job finished before it could be killed; grow the grid" >&2
+		return 1
+	fi
+	kill -9 "$pid" 2>/dev/null
+	wait "$pid" 2>/dev/null || true
+	stored="$(ls "$jdir/kill/$id"/chunk-*.json 2>/dev/null | wc -l)"
+	echo "killed job $id with $stored of $total chunks checkpointed"
+	if [ "$stored" -lt 1 ] || [ "$stored" -ge "$total" ]; then
+		echo "jobs smoke: kill landed outside the resumable window ($stored of $total chunks)" >&2
+		return 1
+	fi
+
+	echo "-- resume"
+	"$bin" -resume "$id" -job-store "$jdir/kill" -format json \
+		>"$jdir/resumed.json" 2>"$jdir/resumed.err"
+	cat "$jdir/resumed.err"
+	if ! grep -q "resumed=" "$jdir/resumed.err" || grep -q "resumed=0$" "$jdir/resumed.err"; then
+		echo "jobs smoke: resumed run served no chunks from checkpoints" >&2
+		return 1
+	fi
+	if ! cmp -s "$jdir/ref.json" "$jdir/resumed.json"; then
+		echo "jobs smoke: resumed output differs from the uninterrupted run" >&2
+		return 1
+	fi
+
+	echo "-- resume of the complete job (must recompute nothing)"
+	"$bin" -resume "$id" -job-store "$jdir/kill" -format json \
+		-metrics csv -metrics-out "$jdir/metrics.csv" \
+		>"$jdir/complete.json" 2>"$jdir/complete.err"
+	cat "$jdir/complete.err"
+	if ! grep -q "complete: chunks=$total computed=0 resumed=$total" "$jdir/complete.err"; then
+		echo "jobs smoke: resume of a complete job recomputed chunks" >&2
+		return 1
+	fi
+	# The obs counters must agree with the accounting line: every chunk
+	# resumed, none computed (the computed counter is never even created
+	# on a zero-recompute run).
+	if ! grep -q "^jobs/chunks_resumed,counter,$total$" "$jdir/metrics.csv"; then
+		echo "jobs smoke: jobs/chunks_resumed counter is not $total:" >&2
+		grep "^jobs/" "$jdir/metrics.csv" >&2 || true
+		return 1
+	fi
+	if grep "^jobs/chunks_computed," "$jdir/metrics.csv" | grep -qv ",0$"; then
+		echo "jobs smoke: jobs/chunks_computed counter is nonzero:" >&2
+		grep "^jobs/" "$jdir/metrics.csv" >&2
+		return 1
+	fi
+	if ! cmp -s "$jdir/ref.json" "$jdir/complete.json"; then
+		echo "jobs smoke: complete-job read differs from the uninterrupted run" >&2
+		return 1
+	fi
+	echo "kill/resume equivalence holds: $stored checkpointed chunks survived the kill, output byte-identical"
+}
+
+run_jobs_smoke() {
+	jdir="$artifacts/job-smoke"
+	rm -rf "$jdir"
+	mkdir -p "$jdir"
+	if ! jobs_smoke_body "$jdir"; then
+		echo "jobs smoke: FAILED; job store preserved in $jdir for the artifact upload" >&2
+		return 1
+	fi
+	# Success: drop the bulky stores and datasets, keep the logs.
+	rm -rf "$jdir/ref" "$jdir/kill" "$jdir/nwsweep"
+	rm -f "$jdir"/*.json
+}
+
+run_fuzz_smoke() {
+	targets="$(grep -hEo '^func Fuzz[A-Za-z0-9_]*' internal/code/*_test.go | awk '{print $2}' | sort)"
+	if [ -z "$targets" ]; then
+		echo "fuzz smoke: no Fuzz targets found in internal/code" >&2
+		return 1
+	fi
+	for target in $targets; do
+		echo "-- $target"
+		go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s ./internal/code
+	done
+}
+
+if [ "$stage" = "lint" ] || [ "$stage" = "all" ]; then
+	step "gofmt" run_gofmt
+	step "go build" run_build
+	step "go vet" run_vet
+	step "nwlint" run_nwlint
 fi
-lint_end="$(date +%s)"
-echo "nwlint: wall time $((lint_end - lint_start))s"
 
-echo "== go test -race =="
-go test -race -count=1 ./...
-
-echo "== coverage gate =="
-gate "$artifacts/coverage.txt" go run ./scripts/covergate
-
-echo "== bench regression =="
-scripts/bench.sh 50x "$artifacts/bench-current.json" > /dev/null
-gate "$artifacts/benchcmp.txt" go run scripts/benchcmp.go \
-	-baseline BENCH_parallel.json \
-	-current "$artifacts/bench-current.json"
-
-echo "== metrics smoke =="
-go run ./cmd/nwsim -exp montecarlo -trials 4 \
-	-metrics json -metrics-out "$artifacts/metrics.json" > /dev/null
-test -s "$artifacts/metrics.json"
-go run ./cmd/nwsim -exp montecarlo -trials 4 > "$artifacts/montecarlo-plain.txt"
-
-echo "== server smoke =="
-go run ./cmd/nwserve -smoke
-
-echo "== peer smoke =="
-go run ./cmd/nwserve -peer-smoke
-
-echo "== fuzz smoke =="
-targets="$(grep -hEo '^func Fuzz[A-Za-z0-9_]*' internal/code/*_test.go | awk '{print $2}' | sort)"
-if [ -z "$targets" ]; then
-	echo "fuzz smoke: no Fuzz targets found in internal/code" >&2
-	exit 1
+if [ "$stage" = "test" ] || [ "$stage" = "all" ]; then
+	step "go test -race" run_tests
+	step "coverage gate" run_cover
 fi
-for target in $targets; do
-	echo "-- $target"
-	go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s ./internal/code
-done
 
-echo "ci: all checks passed"
+if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then
+	step "bench regression" run_bench
+	step "metrics smoke" run_metrics_smoke
+	step "server smoke" run_server_smoke
+	step "peer smoke" run_peer_smoke
+	step "jobs kill/resume smoke" run_jobs_smoke
+	step "fuzz smoke" run_fuzz_smoke
+fi
+
+echo "== step timing =="
+go run ./scripts/citimes <"$steptimes"
+
+echo "ci: $stage checks passed"

@@ -1,0 +1,67 @@
+// Command citimes renders the per-step timing summary of a ci.sh run: it
+// reads "name seconds" lines on stdin (one per completed CI step, in run
+// order) and prints them as a dataset table with a trailing total row, so
+// the slowest gate of the pipeline is visible at a glance in every CI
+// log without spelunking through timestamps.
+//
+// Usage:
+//
+//	scripts/ci.sh records step times, then:  go run ./scripts/citimes < times.txt
+//
+// Exit codes: 0 on success, 2 on a malformed input line or usage error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nwdec/internal/dataset"
+)
+
+func main() {
+	format := flag.String("format", "text", "table rendering: "+dataset.Formats())
+	flag.Parse()
+	f, err := dataset.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "citimes:", err)
+		os.Exit(2)
+	}
+
+	ds := dataset.New("ci-times", "CI step wall times",
+		dataset.Col("step", dataset.String),
+		dataset.ColUnit("wall", "s", dataset.Float),
+	)
+	total := 0.0
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			fmt.Fprintf(os.Stderr, "citimes: malformed line %q (want: name seconds)\n", line)
+			os.Exit(2)
+		}
+		secs, perr := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "citimes: malformed line %q: %v\n", line, perr)
+			os.Exit(2)
+		}
+		ds.AddRow(strings.Join(fields[:len(fields)-1], " "), secs)
+		total += secs
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "citimes:", err)
+		os.Exit(2)
+	}
+	ds.AddRow("total", total)
+	if err := ds.Render(os.Stdout, f); err != nil {
+		fmt.Fprintln(os.Stderr, "citimes:", err)
+		os.Exit(2)
+	}
+}

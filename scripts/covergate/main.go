@@ -36,6 +36,7 @@ var gated = []struct {
 	{"nwdec/internal/dataset", 90.0},
 	{"nwdec/internal/obs", 85.0},
 	{"nwdec/internal/engine", 70.0},
+	{"nwdec/internal/jobs", 80.0},
 	{"nwdec/internal/cluster", 80.0},
 	{"nwdec/internal/nwerr", 70.0},
 	{"nwdec/internal/lint", 80.0},
