@@ -12,12 +12,15 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
+	"nwdec/internal/cluster"
 	"nwdec/internal/code"
 	"nwdec/internal/core"
 	"nwdec/internal/crossbar"
+	"nwdec/internal/dataset"
 	"nwdec/internal/engine"
 	"nwdec/internal/experiments"
 	"nwdec/internal/geometry"
@@ -309,6 +312,57 @@ func BenchmarkJobCheckpoint(b *testing.B) {
 			r.Close()
 		}
 	})
+}
+
+// BenchmarkDistributedChunks times one job chunk through the ring
+// executor against an in-process chunk peer: wire marshal, POST
+// /peer/chunk, peer-side partition re-derivation and evaluation, and
+// dataset parse — the full per-chunk cost a distributed job pays over a
+// local one. Chunk ownership round-robins across the ring, so the
+// figure mixes peer-served and local chunks the way a real job does.
+func BenchmarkDistributedChunks(b *testing.B) {
+	spec := jobs.Spec{
+		Grid: sweep.Grid{
+			Types:   []code.Type{code.TypeGray},
+			Lengths: []int{4},
+			SigmaTs: []float64{0.04, 0.05, 0.06, 0.07},
+		},
+		Chunk: 1,
+	}
+	points := spec.Grid.Points(core.Config{})
+	if len(points) == 0 {
+		b.Fatal("empty grid")
+	}
+	ranges := par.Ranges(len(points), spec.Chunk)
+	peer := httptest.NewServer(cluster.ChunkHandler("b",
+		func(ctx context.Context, req engine.ChunkRequest) (string, *dataset.Dataset, error) {
+			return jobs.ServeChunk(ctx, 0, req)
+		}))
+	defer peer.Close()
+	ring, err := jobs.NewRingExecutor(&jobs.LocalExecutor{}, jobs.RingOptions{
+		Self:  "a",
+		Peers: map[string]string{"b": peer.URL},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % len(ranges)
+		rg := ranges[idx]
+		ds, err := ring.Execute(ctx, spec, jobs.Chunk{Index: idx, Points: points[rg.Lo:rg.Hi]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds == nil || len(ds.Rows) == 0 {
+			b.Fatal("empty chunk dataset")
+		}
+	}
+	b.StopTimer()
+	if st := ring.Stats(); b.N >= len(ranges) && st.Served == 0 {
+		b.Fatal("no chunk was peer-served: the benchmark no longer measures the wire path")
+	}
 }
 
 // BenchmarkPlanConstruction times the MSPT matrix algebra (P -> D, S, ν, Φ)

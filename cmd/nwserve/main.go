@@ -9,7 +9,8 @@
 //
 //	nwserve [-addr HOST:PORT] [-cache-entries N] [-cache-cost C]
 //	        [-inflight N] [-shed] [-node-id ID] [-peers ID=URL,...]
-//	        [-job-store DIR] [-workers W] [-timeout D] [-smoke] [-peer-smoke]
+//	        [-job-store DIR] [-job-gc D] [-workers W] [-timeout D]
+//	        [-smoke] [-peer-smoke]
 //	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR]
 //
 // Endpoints (JSON):
@@ -25,6 +26,7 @@
 //	POST /v1/jobs                 submit an async grid job (body: jobs.Spec JSON) → 202 + status
 //	GET  /v1/jobs/{id}            job status
 //	GET  /v1/jobs/{id}/results    checkpointed output so far (?from=&max= chunks)
+//	DELETE /v1/jobs/{id}          remove a terminal job and its checkpoints → 204
 //
 // Synchronous responses carry X-Cache (hit, miss, or hit-peer/miss-peer
 // when a cluster peer served the result) and X-Request-Key headers. Job
@@ -49,6 +51,15 @@
 // route), so the fleet computes and caches each key once; a dead peer
 // degrades that key to local computation, never to an error. See
 // internal/cluster.
+//
+// Peered jobs distribute the same way: each chunk of a submitted job
+// routes to its chunk key's ring owner over POST /peer/chunk (responses
+// carry X-Job-Node and X-Chunk-Key), wrapped in bounded retries, with
+// local compute as the fallback for any peer failure — the submitting
+// node still owns every checkpoint, so results stay byte-identical to a
+// single-node run. -job-gc AGE collects terminal jobs whose store state
+// has not changed for AGE (it needs -job-store); DELETE /v1/jobs/{id}
+// removes one terminal job on demand. See internal/jobs and DESIGN §15.
 //
 // The server shuts down gracefully when its context is cancelled: on
 // SIGINT/SIGTERM or when -timeout elapses. -smoke starts the server on a
@@ -96,6 +107,7 @@ func main() {
 		nodeID       = flag.String("node-id", "", "this node's ring identity (required with -peers)")
 		peersFlag    = flag.String("peers", "", "other fleet nodes as ID=URL,ID=URL (enables cluster routing)")
 		jobStore     = flag.String("job-store", "", "checkpoint directory for async jobs (empty = in-memory, no kill/restart durability)")
+		jobGC        = flag.Duration("job-gc", 0, "collect terminal jobs untouched for this long (0 = never; needs -job-store)")
 		smoke        = flag.Bool("smoke", false, "start on a loopback port, self-request once, verify and exit")
 		peerSmoke    = flag.Bool("peer-smoke", false, "start a two-node in-process fleet, verify miss-peer then hit-peer and exit")
 	)
@@ -125,8 +137,9 @@ func main() {
 		c.Exit(err)
 	}
 	var backend engine.Backend = eng
+	var exec jobs.Executor
 	if *peersFlag != "" {
-		peers, err := parsePeers(*peersFlag)
+		peers, err := cli.Peers(*peersFlag)
 		if err != nil {
 			c.Exit(err)
 		}
@@ -135,6 +148,14 @@ func main() {
 			c.Exit(err)
 		}
 		backend = pb
+		// Peered jobs route chunks across the same membership: ring
+		// owner first, bounded retries around it, local compute as the
+		// everywhere-fallback.
+		ring, err := jobs.NewRingExecutor(&jobs.LocalExecutor{Workers: c.Workers}, jobs.RingOptions{Self: *nodeID, Peers: peers})
+		if err != nil {
+			c.Exit(err)
+		}
+		exec = &jobs.RetryExecutor{Next: ring}
 		fmt.Fprintf(os.Stderr, "nwserve: cluster node %q, ring %v\n", *nodeID, pb.Ring().Nodes())
 	}
 	var store jobs.Store
@@ -145,9 +166,19 @@ func main() {
 	} else {
 		store = jobs.NewMemoryStore()
 	}
-	runner := jobs.NewRunner(store, jobs.Options{Workers: c.Workers})
+	node := *nodeID
+	if node == "" {
+		node = "local"
+	}
+	runner := jobs.NewRunner(store, jobs.Options{Workers: c.Workers, Executor: exec, Node: node})
 	defer runner.Close()
-	srv := &server{eng: eng, backend: backend, runner: runner, workers: c.Workers}
+	if *jobGC > 0 {
+		if *jobStore == "" {
+			c.Exit(nwerr.Invalidf("-job-gc needs -job-store (an in-memory store records no ages)"))
+		}
+		go gcLoop(ctx, runner, *jobGC)
+	}
+	srv := &server{eng: eng, backend: backend, runner: runner, workers: c.Workers, node: node}
 	listenAddr := *addr
 	if *smoke {
 		listenAddr = "127.0.0.1:0"
@@ -192,27 +223,32 @@ func main() {
 	}
 }
 
-// parsePeers parses the -peers flag: comma-separated ID=URL pairs.
-func parsePeers(s string) (map[string]string, error) {
-	peers := make(map[string]string)
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		id, url, ok := strings.Cut(part, "=")
-		if !ok || id == "" || url == "" {
-			return nil, nwerr.Invalidf("-peers entry %q: want ID=URL", part)
-		}
-		if _, dup := peers[id]; dup {
-			return nil, nwerr.Invalidf("-peers names node %q twice", id)
-		}
-		peers[id] = url
+// gcLoop periodically collects terminal jobs older than maxAge from the
+// runner's store, until ctx is done. The sweep interval is a quarter of
+// the age bound (floored at a second) so a job is collected within ~25%
+// of its eligibility.
+func gcLoop(ctx context.Context, runner *jobs.Runner, maxAge time.Duration) {
+	interval := maxAge / 4
+	if interval < time.Second {
+		interval = time.Second
 	}
-	if len(peers) == 0 {
-		return nil, nwerr.Invalidf("-peers %q names no nodes", s)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			removed, err := runner.GC(ctx, time.Now(), maxAge, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nwserve: job gc: %v\n", err)
+				continue
+			}
+			if len(removed) > 0 {
+				fmt.Fprintf(os.Stderr, "nwserve: job gc collected %d job(s)\n", len(removed))
+			}
+		}
 	}
-	return peers, nil
 }
 
 // shutdown drains in-flight requests with a bounded grace period and
@@ -339,6 +375,34 @@ func jobSmoke(ctx context.Context, base string) error {
 	}
 	if doc.Name != "sweep" || len(doc.Rows) == 0 {
 		return fmt.Errorf("results dataset %q with %d rows, want non-empty sweep", doc.Name, len(doc.Rows))
+	}
+	// Terminal jobs are deletable: 204 once, 404 after.
+	for _, round := range []struct {
+		desc string
+		want int
+	}{
+		{"first", http.StatusNoContent},
+		{"second", http.StatusNotFound},
+	} {
+		desc, want := round.desc, round.want
+		del, err := http.NewRequestWithContext(rctx, http.MethodDelete, base+"/v1/jobs/"+st.ID, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(del)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != want {
+			return fmt.Errorf("%s DELETE /v1/jobs/%s: status %d, want %d: %s", desc, st.ID, resp.StatusCode, want, data)
+		}
 	}
 	return nil
 }
@@ -477,12 +541,20 @@ type server struct {
 	backend engine.Backend
 	runner  *jobs.Runner
 	workers int
+	node    string
 }
 
 // mux wires the routes using Go 1.22 method+path patterns.
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.Handle("POST "+cluster.PeerPath, cluster.PeerHandler(s.eng))
+	// The chunk route is more specific than PeerPath, so it wins the
+	// dispatch. Chunks from peers always compute here (ServeChunk is a
+	// local evaluation), never re-route — same no-bouncing rule as /peer/.
+	m.Handle("POST "+cluster.ChunkPath, cluster.ChunkHandler(s.node,
+		func(ctx context.Context, req engine.ChunkRequest) (string, *dataset.Dataset, error) {
+			return jobs.ServeChunk(ctx, s.workers, req)
+		}))
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if _, err := fmt.Fprintln(w, `{"status":"ok"}`); err != nil {
@@ -581,7 +653,18 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	m.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	m.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	m.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	return m
+}
+
+// handleJobDelete removes a terminal job and its checkpoints. A running
+// job answers 400 (cancel it first), an unknown id 404, success 204.
+func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.runner.Delete(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleJobSubmit accepts a jobs.Spec body, submits (or joins — the id

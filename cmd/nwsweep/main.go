@@ -8,6 +8,7 @@
 //	        [-sigmas 0.05] [-margins 1.0] [-wires 20] [-workers W]
 //	        [-format csv|json|md|text] [-timeout D]
 //	        [-job] [-job-store DIR] [-chunk N] [-resume ID]
+//	        [-peers ID=URL,...] [-node-id ID]
 //	        [-metrics text|json|csv|md] [-metrics-out FILE] [-pprof DIR] > sweep.csv
 //
 // The grid is evaluated on W workers (0 = GOMAXPROCS) through the
@@ -25,6 +26,13 @@
 // chunks=/computed=/resumed= accounting line go to stderr. Job-mode
 // output renders the dataset form in every format (the historical
 // fixed-precision CSV writer applies only to synchronous sweeps).
+//
+// With -peers ("b=http://host2:8607,...") job chunks route to their
+// owners on the fleet's consistent-hash ring (the nwserve nodes serve
+// POST /peer/chunk), with bounded retries and local compute as the
+// fallback for any peer failure. Checkpointing stays in this process,
+// so distributed output is byte-identical to a single-process run; a
+// final ring accounting line goes to stderr.
 package main
 
 import (
@@ -52,6 +60,8 @@ func main() {
 		jobStore   = flag.String("job-store", "", "checkpoint directory for -job (empty = in-memory, no kill/restart durability)")
 		chunk      = flag.Int("chunk", 0, "design points per job chunk (0 = jobs default)")
 		resume     = flag.String("resume", "", "resume the job with this id from -job-store (implies -job; grid flags are ignored)")
+		peersFlag  = flag.String("peers", "", "other fleet nodes as ID=URL,ID=URL: route job chunks to their ring owners (needs -job)")
+		nodeID     = flag.String("node-id", "local", "this process's ring identity for -peers")
 	)
 	c := cli.Register("nwsweep", "csv")
 	flag.Parse()
@@ -78,10 +88,13 @@ func main() {
 	}
 
 	if *jobMode || *resume != "" {
-		if err := runJob(ctx, c, grid, *jobStore, *chunk, *resume); err != nil {
+		if err := runJob(ctx, c, grid, *jobStore, *chunk, *resume, *peersFlag, *nodeID); err != nil {
 			c.Exit(err)
 		}
 		return
+	}
+	if *peersFlag != "" {
+		c.Exit(nwerr.Invalidf("nwsweep: -peers needs -job (chunks route over the ring only in job mode)"))
 	}
 
 	eng, err := engine.New(engine.Options{})
@@ -114,7 +127,7 @@ func main() {
 // and emit the assembled dataset. The final accounting line distinguishes
 // chunks computed this run from chunks resumed off checkpoints — the
 // observable proof that a resumed run did not recompute finished work.
-func runJob(ctx context.Context, c *cli.Common, grid sweep.Grid, storeDir string, chunk int, resume string) error {
+func runJob(ctx context.Context, c *cli.Common, grid sweep.Grid, storeDir string, chunk int, resume, peersArg, nodeID string) error {
 	var store jobs.Store
 	if storeDir != "" {
 		fs, err := jobs.NewFSStore(storeDir)
@@ -128,7 +141,24 @@ func runJob(ctx context.Context, c *cli.Common, grid sweep.Grid, storeDir string
 		}
 		store = jobs.NewMemoryStore()
 	}
-	runner := jobs.NewRunner(store, jobs.Options{Workers: c.Workers})
+	// With -peers, chunks route to their ring owners (bounded retries,
+	// local fallback on any peer failure); checkpointing stays here, so
+	// output is byte-identical to a single-process run.
+	var (
+		exec jobs.Executor
+		ring *jobs.RingExecutor
+	)
+	if peersArg != "" {
+		peers, err := cli.Peers(peersArg)
+		if err != nil {
+			return err
+		}
+		if ring, err = jobs.NewRingExecutor(&jobs.LocalExecutor{Workers: c.Workers}, jobs.RingOptions{Self: nodeID, Peers: peers}); err != nil {
+			return err
+		}
+		exec = &jobs.RetryExecutor{Next: ring}
+	}
+	runner := jobs.NewRunner(store, jobs.Options{Workers: c.Workers, Executor: exec, Node: nodeID})
 	defer runner.Close()
 
 	var (
@@ -163,5 +193,10 @@ func runJob(ctx context.Context, c *cli.Common, grid sweep.Grid, storeDir string
 	c.Emit(page.Dataset)
 	fmt.Fprintf(os.Stderr, "nwsweep: job %s complete: chunks=%d computed=%d resumed=%d\n",
 		st.ID, st.Chunks, st.Computed, st.Resumed)
+	if ring != nil {
+		rs := ring.Stats()
+		fmt.Fprintf(os.Stderr, "nwsweep: ring %s: routed=%d peer_served=%d peer_errors=%d\n",
+			nodeID, rs.Chunks, rs.Served, rs.Errors)
+	}
 	return nil
 }

@@ -298,6 +298,32 @@ func Floats(arg string) ([]float64, error) {
 	return out, nil
 }
 
+// Peers parses a -peers flag value: comma-separated ID=URL pairs naming
+// the other nodes of a fleet ("b=http://host2:8607,c=http://host3:8607").
+// Blank entries are skipped; duplicate ids and an entry without both
+// halves are Invalid-class errors, as is a value naming no nodes at all.
+func Peers(arg string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, nwerr.Invalidf("-peers entry %q: want ID=URL", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, nwerr.Invalidf("-peers names node %q twice", id)
+		}
+		peers[id] = url
+	}
+	if len(peers) == 0 {
+		return nil, nwerr.Invalidf("-peers %q names no nodes", arg)
+	}
+	return peers, nil
+}
+
 // Types parses a comma-separated code-family list; empty input is nil.
 func Types(arg string) ([]code.Type, error) {
 	if arg == "" {

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nwdec/internal/dataset"
+	"nwdec/internal/engine"
+	"nwdec/internal/nwerr"
+	"nwdec/internal/sweep"
+)
+
+// chunkBody marshals a minimal valid chunk request.
+func chunkBody(t *testing.T) []byte {
+	t.Helper()
+	req := engine.ChunkRequest{
+		Grid:  sweep.Grid{Lengths: []int{4}, SigmaTs: []float64{0.05}},
+		Chunk: 1,
+		Index: 0,
+	}
+	body, err := req.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// postChunk drives the handler with the given body.
+func postChunk(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, ChunkPath, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestChunkHandlerServes pins the happy path of the serving side: the
+// decoded request reaches the eval callback, and the response carries
+// the dataset JSON plus the key and node headers the client checks.
+func TestChunkHandlerServes(t *testing.T) {
+	ds := dataset.New("chunk", "one chunk", dataset.Column{Name: "x", Kind: dataset.Float})
+	ds.AddRow(1.0)
+	var got engine.ChunkRequest
+	h := ChunkHandler("b", func(ctx context.Context, req engine.ChunkRequest) (string, *dataset.Dataset, error) {
+		got = req
+		return "key-123", ds, nil
+	})
+	rec := postChunk(t, h, string(chunkBody(t)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", rec.Code, rec.Body)
+	}
+	if got.Index != 0 || got.Chunk != 1 || len(got.Grid.Lengths) != 1 {
+		t.Errorf("eval saw request %+v, want the posted wire form", got)
+	}
+	if k := rec.Header().Get(ChunkKeyHeader); k != "key-123" {
+		t.Errorf("%s = %q, want key-123", ChunkKeyHeader, k)
+	}
+	if n := rec.Header().Get(ChunkNodeHeader); n != "b" {
+		t.Errorf("%s = %q, want b", ChunkNodeHeader, n)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	want, err := ds.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Body.String() != string(want) {
+		t.Error("response body differs from the dataset JSON")
+	}
+}
+
+// TestChunkHandlerErrors pins the failure surface: undecodable bodies
+// are 400 without reaching eval, eval failures map through the nwerr
+// class table (including Retry-After on overload), and a nil dataset is
+// an internal error — with the node header present on every response.
+func TestChunkHandlerErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		body   string
+		eval   ChunkFunc
+		status int
+	}{
+		{"bad-json", "{not wire", nil, http.StatusBadRequest},
+		{"eval-invalid", string(chunkBody(t)), func(ctx context.Context, req engine.ChunkRequest) (string, *dataset.Dataset, error) {
+			return "", nil, nwerr.Invalidf("bad chunk")
+		}, http.StatusBadRequest},
+		{"eval-overload", string(chunkBody(t)), func(ctx context.Context, req engine.ChunkRequest) (string, *dataset.Dataset, error) {
+			return "", nil, nwerr.Overloadf("busy")
+		}, http.StatusServiceUnavailable},
+		{"eval-internal", string(chunkBody(t)), func(ctx context.Context, req engine.ChunkRequest) (string, *dataset.Dataset, error) {
+			return "", nil, nwerr.Internalf("boom")
+		}, http.StatusInternalServerError},
+		{"nil-dataset", string(chunkBody(t)), func(ctx context.Context, req engine.ChunkRequest) (string, *dataset.Dataset, error) {
+			return "k", nil, nil
+		}, http.StatusInternalServerError},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			evalCalled := false
+			eval := tc.eval
+			if eval == nil {
+				eval = func(ctx context.Context, req engine.ChunkRequest) (string, *dataset.Dataset, error) {
+					evalCalled = true
+					return "", nil, nil
+				}
+			}
+			rec := postChunk(t, ChunkHandler("b", eval), tc.body)
+			if rec.Code != tc.status {
+				t.Errorf("status = %d, want %d", rec.Code, tc.status)
+			}
+			if tc.eval == nil && evalCalled {
+				t.Error("eval ran on an undecodable body")
+			}
+			if n := rec.Header().Get(ChunkNodeHeader); n != "b" {
+				t.Errorf("%s = %q on error response, want b", ChunkNodeHeader, n)
+			}
+			if tc.status == http.StatusServiceUnavailable && rec.Header().Get("Retry-After") == "" {
+				t.Error("503 without Retry-After")
+			}
+			if strings.TrimSpace(rec.Body.String()) == "" {
+				t.Error("error response has no diagnostic body")
+			}
+		})
+	}
+}

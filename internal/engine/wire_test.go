@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+
+	"nwdec/internal/core"
+	"nwdec/internal/nwerr"
+	"nwdec/internal/physics"
+	"nwdec/internal/sweep"
+)
+
+// TestChunkWireRoundTrip pins the chunk protocol's interchange form: the
+// identity fields survive the round trip exactly (both ends re-derive
+// the same point partition from them), a config carrying an in-process
+// threshold model is rejected as non-wireable, and bytes that are not
+// the wire form at all are Invalid-class.
+func TestChunkWireRoundTrip(t *testing.T) {
+	req := ChunkRequest{
+		Config: core.Config{SigmaT: 0.05, MarginFactor: 1.25},
+		Grid: sweep.Grid{
+			Lengths: []int{4, 6},
+			SigmaTs: []float64{0.04, 0.05},
+		},
+		Chunk: 3,
+		Index: 2,
+	}
+	data, err := req.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalChunkWire(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Chunk != req.Chunk || got.Index != req.Index {
+		t.Errorf("round trip changed partition identity: got chunk=%d index=%d", got.Chunk, got.Index)
+	}
+	if len(got.Grid.Lengths) != 2 || got.Grid.Lengths[0] != 4 ||
+		len(got.Grid.SigmaTs) != 2 || got.Grid.SigmaTs[1] != 0.05 {
+		t.Errorf("round trip changed grid: %+v", got.Grid)
+	}
+	if got.Config.SigmaT != req.Config.SigmaT || got.Config.MarginFactor != req.Config.MarginFactor {
+		t.Errorf("round trip changed config: %+v", got.Config)
+	}
+
+	modeled := req
+	modeled.Config.Model = physics.DefaultPhysicalModel()
+	if _, err := modeled.MarshalWire(); !nwerr.IsInvalid(err) {
+		t.Errorf("MarshalWire with custom model = %v, want Invalid-class", err)
+	}
+	if _, err := UnmarshalChunkWire([]byte("{nope")); !nwerr.IsInvalid(err) {
+		t.Errorf("UnmarshalChunkWire(garbage) = %v, want Invalid-class", err)
+	}
+}

@@ -1,0 +1,171 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nwdec/internal/code"
+	"nwdec/internal/obs"
+	"nwdec/internal/sweep"
+)
+
+// fleetSpec is a 24-chunk job (one point per chunk) — enough keys that a
+// three-node ring deterministically lands several chunks on every node.
+func fleetSpec() Spec {
+	return Spec{
+		Grid: sweep.Grid{
+			Types:   []code.Type{code.TypeGray, code.TypeHot},
+			Lengths: []int{4, 6},
+			SigmaTs: []float64{0.04, 0.045, 0.05, 0.055, 0.06, 0.065},
+		},
+		Chunk: 1,
+	}
+}
+
+// TestFleetDistributesChunks is the acceptance test of the distributed
+// executor: a three-node in-process fleet (submitting node a plus chunk
+// servers b and c) completes a job with every node computing at least one
+// chunk, the per-node compute counters accounting for every chunk exactly
+// once, and the assembled dataset byte-identical to a single-node run.
+func TestFleetDistributesChunks(t *testing.T) {
+	spec := fleetSpec()
+	want := sweepJSON(t, spec)
+	srvB, regB := chunkServer(t, "b")
+	defer srvB.Close()
+	srvC, regC := chunkServer(t, "c")
+	defer srvC.Close()
+
+	ring, err := NewRingExecutor(&LocalExecutor{}, RingOptions{
+		Self:  "a",
+		Peers: map[string]string{"b": srvB.URL, "c": srvC.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(NewMemoryStore(), Options{
+		Executor: &RetryExecutor{Next: ring, Backoff: time.Millisecond},
+		Node:     "a",
+	})
+	defer r.Close()
+
+	regA := obs.New(nil)
+	ctx := obs.Into(context.Background(), regA)
+	st, err := r.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = r.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateComplete {
+		t.Fatalf("state = %s (%s), want complete", st.State, st.Error)
+	}
+
+	a := regA.Counter("jobs/chunks_computed").Value()
+	b := regB.Counter("jobs/chunks_computed").Value()
+	c := regC.Counter("jobs/chunks_computed").Value()
+	if a == 0 || b == 0 || c == 0 {
+		t.Errorf("chunks computed per node = a:%d b:%d c:%d, want every node > 0", a, b, c)
+	}
+	if total := a + b + c; total != int64(st.Chunks) {
+		t.Errorf("fleet computed %d chunks total, want exactly %d (each chunk computed once)", total, st.Chunks)
+	}
+	if served := regA.Counter("jobs/peer_served").Value(); served != b+c {
+		t.Errorf("jobs/peer_served = %d, want %d (sum of peer computes)", served, b+c)
+	}
+	if n := regA.Counter("jobs/peer_fallback_local").Value(); n != 0 {
+		t.Errorf("jobs/peer_fallback_local = %d, want 0 on a healthy fleet", n)
+	}
+
+	page, err := r.Results(st.ID, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := page.Dataset.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("distributed dataset differs from single-node sweep output")
+	}
+}
+
+// TestFleetDeadNodeFailsOver kills one chunk server mid-job and requires
+// the job to complete anyway: chunks owned by the dead node are
+// re-executed on the submitting node via the local fallback, and the
+// assembled dataset is still byte-identical to a single-node run.
+func TestFleetDeadNodeFailsOver(t *testing.T) {
+	spec := fleetSpec()
+	want := sweepJSON(t, spec)
+	srvB, regB := chunkServer(t, "b")
+	defer srvB.Close()
+	srvC, regC := chunkServer(t, "c")
+	defer srvC.Close()
+
+	ring, err := NewRingExecutor(&LocalExecutor{}, RingOptions{
+		Self:  "a",
+		Peers: map[string]string{"b": srvB.URL, "c": srvC.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(NewMemoryStore(), Options{
+		Executor: &RetryExecutor{Next: ring, Backoff: time.Millisecond},
+		Node:     "a",
+	})
+	defer r.Close()
+
+	regA := obs.New(nil)
+	ctx := obs.Into(context.Background(), regA)
+	st, err := r.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill node c as soon as it has served one chunk: in-flight requests
+	// are severed, and every later chunk it owns must fail over.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		for regC.Counter("jobs/chunks_computed").Value() == 0 {
+			select {
+			case <-r.ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+		srvC.CloseClientConnections()
+		srvC.Close()
+	}()
+
+	st, err = r.Wait(ctx, st.ID)
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateComplete {
+		t.Fatalf("state = %s (%s), want complete despite the dead node", st.State, st.Error)
+	}
+	if n := regA.Counter("jobs/peer_fallback_local").Value(); n == 0 {
+		t.Error("jobs/peer_fallback_local = 0, want > 0 (dead node's chunks re-executed locally)")
+	}
+	a := regA.Counter("jobs/chunks_computed").Value()
+	b := regB.Counter("jobs/chunks_computed").Value()
+	c := regC.Counter("jobs/chunks_computed").Value()
+	if a+b+c < int64(st.Chunks) {
+		t.Errorf("fleet computed %d chunks across nodes, want at least %d", a+b+c, st.Chunks)
+	}
+
+	page, err := r.Results(st.ID, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := page.Dataset.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("failed-over dataset differs from single-node sweep output")
+	}
+}

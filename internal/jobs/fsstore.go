@@ -10,17 +10,21 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"nwdec/internal/dataset"
 	"nwdec/internal/nwerr"
 )
 
-// FSStore is the durable Store: one directory per job holding spec.json
-// plus one chunk-NNNNN.json checkpoint per completed chunk, each the
-// dataset's ordinary JSON interchange form. Every write lands via a
-// temporary file renamed into place, so a process killed mid-write never
-// leaves a torn checkpoint — the file either exists complete or not at
-// all, which is the property kill/resume correctness rests on.
+// FSStore is the durable Store: one directory per job holding spec.json,
+// one chunk-NNNNN.json checkpoint per completed chunk (the dataset's
+// ordinary JSON interchange form) and one lease-NNNNN.json per chunk in
+// flight. Every write lands via a temporary file renamed into place, so
+// a process killed mid-write never leaves a torn checkpoint — the file
+// either exists complete or not at all, which is the property
+// kill/resume correctness rests on. A checkpoint damaged by other means
+// (disk fault, hand editing) reads back as an ErrCorrupt-wrapped error,
+// which the Runner treats as a missing chunk and recomputes.
 type FSStore struct {
 	root string
 }
@@ -42,6 +46,8 @@ func (f *FSStore) Root() string { return f.root }
 func (f *FSStore) jobDir(id string) string { return filepath.Join(f.root, id) }
 
 func chunkFile(idx int) string { return fmt.Sprintf("chunk-%05d.json", idx) }
+
+func leaseFile(idx int) string { return fmt.Sprintf("lease-%05d.json", idx) }
 
 // writeAtomic lands data at path via a same-directory temp file and
 // rename, the atomicity idiom of POSIX filesystems.
@@ -128,7 +134,10 @@ func (f *FSStore) GetChunk(id string, idx int) (*dataset.Dataset, error) {
 	}
 	ds, err := dataset.ParseJSON(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("jobs: chunk %d of %s: %w", idx, id, err)
+		// A chunk file that exists but does not parse is a damaged
+		// checkpoint, not a programming error: wrap ErrCorrupt so the
+		// Runner treats it as missing and recomputes the chunk.
+		return nil, fmt.Errorf("jobs: chunk %d of %s: %w: %v", idx, id, ErrCorrupt, err)
 	}
 	return ds, nil
 }
@@ -158,6 +167,109 @@ func (f *FSStore) Chunks(id string) ([]int, error) {
 	}
 	sort.Ints(idxs)
 	return idxs, nil
+}
+
+// Delete removes the job's directory — spec, chunks and leases.
+func (f *FSStore) Delete(id string) error {
+	dir := f.jobDir(id)
+	if _, err := os.Stat(filepath.Join(dir, "spec.json")); os.IsNotExist(err) {
+		return nwerr.NotFoundf("jobs: unknown job %q", id)
+	} else if err != nil {
+		return fmt.Errorf("jobs: probing job %s: %w", id, err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("jobs: deleting job %s: %w", id, err)
+	}
+	return nil
+}
+
+// leaseRecord is the JSON body of a lease file.
+type leaseRecord struct {
+	Node string `json:"node"`
+}
+
+// PutLease records the node computing chunk idx, atomically.
+func (f *FSStore) PutLease(id string, idx int, node string) error {
+	data, err := json.Marshal(leaseRecord{Node: node})
+	if err != nil {
+		return fmt.Errorf("jobs: encoding lease %d of %s: %w", idx, id, err)
+	}
+	path := filepath.Join(f.jobDir(id), leaseFile(idx))
+	if err := writeAtomic(path, append(data, '\n')); err != nil {
+		return fmt.Errorf("jobs: writing lease %d of %s: %w", idx, id, err)
+	}
+	return nil
+}
+
+// DeleteLease removes the lease of chunk idx; absent leases are a no-op.
+func (f *FSStore) DeleteLease(id string, idx int) error {
+	err := os.Remove(filepath.Join(f.jobDir(id), leaseFile(idx)))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("jobs: deleting lease %d of %s: %w", idx, id, err)
+	}
+	return nil
+}
+
+// Leases scans the job directory for lease files and returns index →
+// node. Unreadable or unparsable lease files are skipped — a lease is
+// advisory state, never worth failing a job over.
+func (f *FSStore) Leases(id string) (map[int]string, error) {
+	entries, err := os.ReadDir(f.jobDir(id))
+	if os.IsNotExist(err) {
+		return nil, nwerr.NotFoundf("jobs: unknown job %q", id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scanning job %s: %w", id, err)
+	}
+	out := make(map[int]string)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "lease-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "lease-"), ".json"))
+		if err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(f.jobDir(id), name))
+		if err != nil {
+			continue
+		}
+		var rec leaseRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			continue
+		}
+		out[idx] = rec.Node
+	}
+	return out, nil
+}
+
+// ModTime returns the newest modification time among the job's files —
+// the last moment the job's persisted state changed, which is what GC
+// ages against.
+func (f *FSStore) ModTime(id string) (time.Time, error) {
+	dir := f.jobDir(id)
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return time.Time{}, nwerr.NotFoundf("jobs: unknown job %q", id)
+	}
+	if err != nil {
+		return time.Time{}, fmt.Errorf("jobs: scanning job %s: %w", id, err)
+	}
+	var newest time.Time
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if mt := info.ModTime(); mt.After(newest) {
+			newest = mt
+		}
+	}
+	if newest.IsZero() {
+		return time.Time{}, nwerr.NotFoundf("jobs: job %q has no files", id)
+	}
+	return newest, nil
 }
 
 // Jobs lists the ids of every job directory holding a spec, sorted.

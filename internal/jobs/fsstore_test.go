@@ -1,0 +1,222 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nwdec/internal/nwerr"
+	"nwdec/internal/obs"
+)
+
+// corruptChunk overwrites a checkpoint file with bytes that cannot parse
+// as a dataset — the shape a torn write or disk fault leaves behind.
+func corruptChunk(t *testing.T, root, id string, idx int, data []byte) {
+	t.Helper()
+	path := filepath.Join(root, id, fmt.Sprintf("chunk-%05d.json", idx))
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetChunkCorrupt pins the store-level classification: an
+// unparsable checkpoint file is ErrCorrupt (distinguishable from
+// NotFound), for both garbage and truncated-JSON shapes.
+func TestGetChunkCorrupt(t *testing.T) {
+	root := t.TempDir()
+	fs, err := NewFSStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runToCompletion(t, context.Background(), fs, testSpec())
+	if st.State != StateComplete {
+		t.Fatalf("seed job: state %s (%s)", st.State, st.Error)
+	}
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("not json at all")},
+		{"truncated", []byte(`{"name":"sweep","rows":[{"co`)},
+		{"empty", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			corruptChunk(t, root, st.ID, 1, tc.data)
+			_, err := fs.GetChunk(st.ID, 1)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Errorf("GetChunk over %s file = %v, want ErrCorrupt", tc.name, err)
+			}
+			if nwerr.IsNotFound(err) {
+				t.Error("corruption must not read as NotFound: callers treat the classes differently")
+			}
+		})
+	}
+	if _, err := fs.GetChunk(st.ID, 99); !nwerr.IsNotFound(err) {
+		t.Errorf("GetChunk(missing) = %v, want NotFound-class", err)
+	}
+}
+
+// TestResumeRecomputesCorruptChunk pins the runner-level recovery the
+// issue demands: a resume over a damaged checkpoint treats the chunk as
+// missing — recompute, overwrite, count it — instead of failing the job,
+// and the final dataset is byte-identical to an undamaged run.
+func TestResumeRecomputesCorruptChunk(t *testing.T) {
+	spec := testSpec()
+	want := sweepJSON(t, spec)
+	root := t.TempDir()
+	fs, err := NewFSStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runToCompletion(t, context.Background(), fs, spec)
+	if st.State != StateComplete {
+		t.Fatalf("seed job: state %s (%s)", st.State, st.Error)
+	}
+	corruptChunk(t, root, st.ID, 2, []byte("{torn"))
+
+	reg := obs.New(nil)
+	r := NewRunner(fs, Options{})
+	defer r.Close()
+	if _, err = r.Resume(obs.Into(context.Background(), reg), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err = r.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateComplete {
+		t.Fatalf("resume over corrupt chunk: state = %s (%s), want complete", st.State, st.Error)
+	}
+	if st.Computed != 1 || st.Resumed != st.Chunks-1 {
+		t.Errorf("computed=%d resumed=%d, want exactly the corrupt chunk recomputed (1/%d)",
+			st.Computed, st.Resumed, st.Chunks-1)
+	}
+	if n := reg.Counter("jobs/chunks_corrupt").Value(); n != 1 {
+		t.Errorf("jobs/chunks_corrupt = %d, want 1", n)
+	}
+
+	// The recompute overwrote the damaged file: a second read is clean.
+	if _, err := fs.GetChunk(st.ID, 2); err != nil {
+		t.Errorf("chunk after recovery: %v", err)
+	}
+	page, err := r.Results(st.ID, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := page.Dataset.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("recovered dataset differs from undamaged sweep output")
+	}
+}
+
+// TestLeases pins the lease table on both stores: put/list/delete round
+// trip, absent deletes are no-ops, and unknown jobs are NotFound.
+func TestLeases(t *testing.T) {
+	fs, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		store Store
+	}{
+		{"fs", fs},
+		{"memory", NewMemoryStore()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.store
+			if _, err := s.Leases("j-nope"); !nwerr.IsNotFound(err) {
+				t.Errorf("Leases(unknown) = %v, want NotFound-class", err)
+			}
+			spec := testSpec()
+			id := spec.ID()
+			if err := s.PutSpec(id, spec); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.PutLease(id, 0, "a"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.PutLease(id, 3, "b"); err != nil {
+				t.Fatal(err)
+			}
+			leases, err := s.Leases(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(leases) != 2 || leases[0] != "a" || leases[3] != "b" {
+				t.Errorf("leases = %v, want {0:a 3:b}", leases)
+			}
+			if err := s.DeleteLease(id, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.DeleteLease(id, 0); err != nil {
+				t.Errorf("second DeleteLease = %v, want no-op nil", err)
+			}
+			if leases, err = s.Leases(id); err != nil || len(leases) != 1 {
+				t.Errorf("leases after delete = %v (%v), want {3:b}", leases, err)
+			}
+		})
+	}
+}
+
+// TestStaleLeaseReclaimed pins the dead-node story: a lease left behind
+// without its checkpoint (the holder died mid-chunk) makes the chunk
+// re-eligible — the resuming runner counts the reclaim, recomputes the
+// chunk, and clears the lease.
+func TestStaleLeaseReclaimed(t *testing.T) {
+	spec := testSpec()
+	fs, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Die after two checkpoints, as in TestResumeBitIdentical, then
+	// plant the dead node's lease on the first unfinished chunk.
+	const survived = 2
+	broken := NewRunner(&failStore{Store: fs, allowed: survived}, Options{})
+	st, err := broken.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = broken.Wait(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	broken.Close()
+	if err := fs.PutLease(st.ID, survived, "dead-node"); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.New(nil)
+	r := NewRunner(fs, Options{Node: "a"})
+	defer r.Close()
+	if _, err = r.Resume(obs.Into(context.Background(), reg), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err = r.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateComplete {
+		t.Fatalf("state = %s (%s), want complete", st.State, st.Error)
+	}
+	if n := reg.Counter("jobs/leases_reclaimed").Value(); n != 1 {
+		t.Errorf("jobs/leases_reclaimed = %d, want 1", n)
+	}
+	leases, err := fs.Leases(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 0 {
+		t.Errorf("leases after completion = %v, want none", leases)
+	}
+}

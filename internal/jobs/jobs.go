@@ -83,6 +83,26 @@ func (s Spec) ID() string {
 	}{s.Key(), s.Chunk})
 }
 
+// ChunkKey derives the content address of one chunk of the job: a
+// fingerprint of (job id, chunk index), the same fingerprint chain the
+// job id itself extends. It is what the ring executor routes on — every
+// node derives the same key for the same chunk, so the whole fleet
+// agrees on each chunk's owner — and what the chunk protocol echoes
+// back so a client can reject a response computed for the wrong chunk.
+func (s Spec) ChunkKey(idx int) string {
+	return dataset.Fingerprint(struct {
+		Job   string
+		Index int
+	}{s.ID(), idx})
+}
+
+// chunkWire renders the identity fields of the spec plus one chunk index
+// as the engine's chunk wire form — the body of a POST /peer/chunk.
+func (s Spec) chunkWire(idx int) engine.ChunkRequest {
+	s = s.normalized()
+	return engine.ChunkRequest{Config: s.Base, Grid: s.Grid, Chunk: s.Chunk, Index: idx}
+}
+
 // validate rejects specs that cannot be persisted and resumed.
 func (s Spec) validate() error {
 	if s.Base.Model != nil {
@@ -146,3 +166,10 @@ type Status struct {
 // finished (canceling a complete job). It is Invalid-class: the request
 // cannot succeed by retrying.
 var ErrAlreadyComplete = nwerr.Invalid(errors.New("jobs: job already complete"))
+
+// ErrCorrupt marks a checkpoint that exists but does not parse — a torn
+// or hand-damaged chunk file. Stores wrap it (errors.Is-matchable) so
+// the Runner can treat a corrupt chunk as missing and recompute it
+// instead of failing the whole job; every write is atomic, so the next
+// checkpoint of the same index simply replaces the damaged file.
+var ErrCorrupt = errors.New("jobs: corrupt checkpoint")

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"nwdec/internal/dataset"
@@ -11,7 +13,6 @@ import (
 	"nwdec/internal/obs"
 	"nwdec/internal/par"
 	"nwdec/internal/sweep"
-	"sync"
 )
 
 // Options configures a Runner. The zero value is usable.
@@ -20,6 +21,14 @@ type Options struct {
 	// It is an execution detail: results are bit-identical at every
 	// worker count and Workers never enters the job identity.
 	Workers int
+	// Executor evaluates chunks (nil selects a LocalExecutor over
+	// Workers). Distribution is an executor concern: a RingExecutor here
+	// routes chunks across the fleet while the Runner's checkpointing,
+	// lifecycle and status semantics stay exactly as they are locally.
+	Executor Executor
+	// Node is this process's identity in chunk leases ("" = "local").
+	// Like Workers it is an execution detail, never part of job identity.
+	Node string
 }
 
 // Runner executes jobs against a Store. Each submitted job runs on its
@@ -34,6 +43,8 @@ type Options struct {
 type Runner struct {
 	store Store
 	opts  Options
+	exec  Executor
+	node  string
 
 	// ctx is the lifetime of the runner: Close cancels it, stopping
 	// every job goroutine.
@@ -58,10 +69,20 @@ type job struct {
 // NewRunner creates a runner over the store. Close must be called to
 // stop job goroutines; jobs interrupted by Close stay resumable.
 func NewRunner(store Store, opts Options) *Runner {
+	exec := opts.Executor
+	if exec == nil {
+		exec = &LocalExecutor{Workers: opts.Workers}
+	}
+	node := opts.Node
+	if node == "" {
+		node = "local"
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Runner{
 		store:  store,
 		opts:   opts,
+		exec:   exec,
+		node:   node,
 		ctx:    ctx,
 		cancel: cancel,
 		jobs:   make(map[string]*job),
@@ -149,40 +170,72 @@ func (r *Runner) Resume(ctx context.Context, id string) (Status, error) {
 	return r.Submit(ctx, spec)
 }
 
-// run executes one job's chunk loop on its own goroutine.
+// run executes one job's chunk loop on its own goroutine. The loop is
+// sequential by design — chunk i+1 starts only after chunk i is
+// checkpointed, preserving the contiguous-prefix invariant (DESIGN §14)
+// — but each chunk's evaluation goes through the executor, which may
+// compute it locally or route it across the fleet. Checkpointing never
+// leaves this goroutine: whichever node computed a chunk, the submitting
+// runner persists it, so resume byte-identity holds by construction.
 func (r *Runner) run(ctx context.Context, j *job, points []sweep.Point, chunks []par.Range) {
 	defer r.wg.Done()
 	reg := obs.From(ctx)
 	clock := reg.Clock()
 	chunkNS := reg.Histogram("jobs/chunk_ns")
+	id := j.status.ID
+	// A lease that survived its writer marks a chunk a dead node left in
+	// flight; the snapshot is advisory (a lease load failure only costs
+	// the reclaim counter, never the job).
+	leases, lerr := r.store.Leases(id)
+	if lerr != nil {
+		leases = nil
+	}
 	err := func() error {
 		for i, rg := range chunks {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
 			}
-			if _, err := r.store.GetChunk(j.status.ID, i); err == nil {
+			corrupt := false
+			switch _, err := r.store.GetChunk(id, i); {
+			case err == nil:
+				if err := r.store.DeleteLease(id, i); err != nil {
+					return err
+				}
 				reg.Counter("jobs/chunks_resumed").Add(1)
 				reg.Counter("jobs/chunks_done").Add(1)
 				r.advance(j, func(s *Status) { s.Resumed++; s.Done++ })
 				continue
-			} else if !nwerr.IsNotFound(err) {
+			case errors.Is(err, ErrCorrupt):
+				// A torn checkpoint is as good as missing: recompute the
+				// chunk and let the atomic re-write replace the damage.
+				reg.Counter("jobs/chunks_corrupt").Add(1)
+				corrupt = true
+			case !nwerr.IsNotFound(err):
+				return err
+			}
+			if !corrupt && leases[i] != "" {
+				reg.Counter("jobs/leases_reclaimed").Add(1)
+			}
+			if err := r.store.PutLease(id, i, r.node); err != nil {
 				return err
 			}
 			var t0 time.Duration
 			if clock != nil {
 				t0 = clock.Now()
 			}
-			rows, err := sweep.EvalPoints(ctx, r.opts.Workers, points[rg.Lo:rg.Hi])
+			ds, err := r.exec.Execute(ctx, j.spec, Chunk{Index: i, Points: points[rg.Lo:rg.Hi]})
 			if err != nil {
 				return err
 			}
-			if err := r.store.PutChunk(j.status.ID, i, sweep.Dataset(rows)); err != nil {
+			if err := r.store.PutChunk(id, i, ds); err != nil {
+				return err
+			}
+			if err := r.store.DeleteLease(id, i); err != nil {
 				return err
 			}
 			if clock != nil {
 				chunkNS.Observe(int64(clock.Now() - t0))
 			}
-			reg.Counter("jobs/chunks_computed").Add(1)
 			reg.Counter("jobs/chunks_done").Add(1)
 			r.advance(j, func(s *Status) { s.Computed++; s.Done++ })
 		}
@@ -366,4 +419,85 @@ func (r *Runner) Results(id string, from, max int) (Page, error) {
 		return Page{}, err
 	}
 	return Page{Status: st, From: from, Count: hi - from, Dataset: ds}, nil
+}
+
+// Delete removes a terminal job — spec, checkpoints and leases — from
+// the runner and its store. A job still running in this runner is
+// refused with an Invalid-class error (cancel it first); an id neither
+// the runner nor the store knows is NotFound-class from the store.
+func (r *Runner) Delete(id string) error {
+	r.mu.Lock()
+	if j, ok := r.jobs[id]; ok {
+		if !j.status.State.Terminal() {
+			r.mu.Unlock()
+			return nwerr.Invalidf("jobs: job %s is still running; cancel it before deleting", id)
+		}
+		delete(r.jobs, id)
+	}
+	r.mu.Unlock()
+	return r.store.Delete(id)
+}
+
+// GC collects old terminal jobs from the store: every job not running in
+// this runner whose state has not changed for longer than maxAge is
+// deleted, except the keep most recently touched (keep <= 0 keeps none
+// beyond the age test). It returns the deleted ids. Age comes from the
+// store's AgeStore extension and "now" from the caller — the job layer
+// never reads the clock itself — so a store without ages (MemoryStore)
+// is an Invalid-class error rather than a silent no-op. A job that
+// starts running between the scan and its deletion is skipped, never
+// collected: Delete re-checks under the runner lock.
+func (r *Runner) GC(ctx context.Context, now time.Time, maxAge time.Duration, keep int) ([]string, error) {
+	ages, ok := r.store.(AgeStore)
+	if !ok {
+		return nil, nwerr.Invalidf("jobs: %T records no ages; GC needs an AgeStore (use the filesystem store)", r.store)
+	}
+	ids, err := r.store.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	type candidate struct {
+		id string
+		mt time.Time
+	}
+	cands := make([]candidate, 0, len(ids))
+	for _, id := range ids {
+		r.mu.Lock()
+		j, live := r.jobs[id]
+		running := live && !j.status.State.Terminal()
+		r.mu.Unlock()
+		if running {
+			continue
+		}
+		mt, err := ages.ModTime(id)
+		if err != nil {
+			continue // deleted (or torn) under the scan; nothing to collect
+		}
+		cands = append(cands, candidate{id, mt})
+	}
+	// Newest first, id as the deterministic tiebreak, so keep spares the
+	// most recently touched jobs.
+	sort.Slice(cands, func(a, b int) bool {
+		if !cands[a].mt.Equal(cands[b].mt) {
+			return cands[a].mt.After(cands[b].mt)
+		}
+		return cands[a].id < cands[b].id
+	})
+	var removed []string
+	for i, c := range cands {
+		if i < keep || now.Sub(c.mt) <= maxAge {
+			continue
+		}
+		if err := r.Delete(c.id); err != nil {
+			if nwerr.IsInvalid(err) || nwerr.IsNotFound(err) {
+				continue // resumed or already gone since the scan
+			}
+			return removed, err
+		}
+		removed = append(removed, c.id)
+	}
+	if n := len(removed); n > 0 {
+		obs.From(ctx).Counter("jobs/gc_collected").Add(int64(n))
+	}
+	return removed, nil
 }

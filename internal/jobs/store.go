@@ -3,6 +3,7 @@ package jobs
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"nwdec/internal/dataset"
 	"nwdec/internal/nwerr"
@@ -36,6 +37,34 @@ type Store interface {
 	Chunks(id string) ([]int, error)
 	// Jobs lists the persisted job ids in sorted order.
 	Jobs() ([]string, error)
+	// Delete removes a job — spec, chunks and leases — from the store.
+	// An unknown id is a NotFound-class error.
+	Delete(id string) error
+	// PutLease records that node is computing chunk idx of the job. A
+	// lease is advisory liveness state, not identity: the runner writes
+	// it before computing a chunk and deletes it after checkpointing, so
+	// a lease that outlives its writer marks a chunk a dead node left
+	// in flight — re-eligible for any resuming runner, never stuck.
+	PutLease(id string, idx int, node string) error
+	// DeleteLease removes the lease of chunk idx. Deleting an absent
+	// lease is a no-op, not an error.
+	DeleteLease(id string, idx int) error
+	// Leases returns the live leases of a job as index → node (empty,
+	// not an error, for a job with none). An unknown id is
+	// NotFound-class.
+	Leases(id string) (map[int]string, error)
+}
+
+// AgeStore is the optional Store extension job GC needs: the wall-clock
+// time a job's state last changed. FSStore implements it from file
+// modification times; MemoryStore deliberately does not — the job layer
+// is a deterministic package that never reads the clock itself, so age
+// only exists where the filesystem already records it, and GC's caller
+// injects "now" (cmd/nwserve passes time.Now()).
+type AgeStore interface {
+	// ModTime returns the newest modification time among the job's
+	// files. An unknown id is a NotFound-class error.
+	ModTime(id string) (time.Time, error)
 }
 
 // MemoryStore is the in-process Store: checkpoints live exactly as long
@@ -45,6 +74,7 @@ type MemoryStore struct {
 	mu     sync.Mutex
 	specs  map[string]Spec
 	chunks map[string]map[int]*dataset.Dataset
+	leases map[string]map[int]string
 }
 
 // NewMemoryStore creates an empty in-memory store.
@@ -52,6 +82,7 @@ func NewMemoryStore() *MemoryStore {
 	return &MemoryStore{
 		specs:  make(map[string]Spec),
 		chunks: make(map[string]map[int]*dataset.Dataset),
+		leases: make(map[string]map[int]string),
 	}
 }
 
@@ -126,4 +157,52 @@ func (m *MemoryStore) Jobs() ([]string, error) {
 	}
 	sort.Strings(ids)
 	return ids, nil
+}
+
+// Delete removes the job's spec, chunks and leases.
+func (m *MemoryStore) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.specs[id]; !ok {
+		return nwerr.NotFoundf("jobs: unknown job %q", id)
+	}
+	delete(m.specs, id)
+	delete(m.chunks, id)
+	delete(m.leases, id)
+	return nil
+}
+
+// PutLease records the node computing chunk idx.
+func (m *MemoryStore) PutLease(id string, idx int, node string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.leases[id]
+	if !ok {
+		l = make(map[int]string)
+		m.leases[id] = l
+	}
+	l[idx] = node
+	return nil
+}
+
+// DeleteLease removes the lease of chunk idx; absent leases are a no-op.
+func (m *MemoryStore) DeleteLease(id string, idx int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.leases[id], idx)
+	return nil
+}
+
+// Leases returns the live leases of the job as a private copy.
+func (m *MemoryStore) Leases(id string) (map[int]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.specs[id]; !ok {
+		return nil, nwerr.NotFoundf("jobs: unknown job %q", id)
+	}
+	out := make(map[int]string, len(m.leases[id]))
+	for idx, node := range m.leases[id] {
+		out[idx] = node
+	}
+	return out, nil
 }

@@ -51,7 +51,15 @@
 #             by the computed=0 accounting line and by the obs
 #             jobs/chunks_* counters. The job store is preserved under
 #             ci-artifacts/job-smoke/ when the smoke fails.
-#         12. fuzz smoke — 10s of real fuzzing per internal/code fuzz
+#         12. distributed jobs smoke — starts two nwserve chunk peers,
+#             runs the same sweep job through nwsweep -peers so chunks
+#             route over the consistent-hash ring, SIGKILLs one peer
+#             mid-job and asserts the job still completes with output
+#             byte-identical to a single-node reference run and with a
+#             nonzero peer_served count in the ring accounting line. The
+#             stores and logs are preserved under ci-artifacts/dist-smoke/
+#             when the smoke fails.
+#         13. fuzz smoke — 10s of real fuzzing per internal/code fuzz
 #             target, auto-discovered from the test files
 #
 # Every stage ends with a per-step wall-time table (rendered by
@@ -275,6 +283,124 @@ run_jobs_smoke() {
 	rm -f "$jdir"/*.json
 }
 
+# dist_smoke_body is the three-node distributed-job check: nwsweep is
+# ring node a, two nwserve processes are chunk peers b and c, and c is
+# SIGKILLed mid-job. Completion with byte-identical output is the
+# observable form of the executor's failover contract: every peer
+# failure degrades to local compute, never to a failed or wrong job.
+dist_smoke_body() {
+	ddir="$1"
+	sweepbin="$ddir/nwsweep"
+	servebin="$ddir/nwserve"
+	go build -o "$sweepbin" ./cmd/nwsweep
+	go build -o "$servebin" ./cmd/nwserve
+
+	# Enough chunks that the kill lands mid-job and every ring node owns
+	# a meaningful share.
+	set -- -chunk 64 -format json \
+		-types tc,gc,hc -lengths 4,6,8 \
+		-sigmas "$(seq -s, 0.030 0.001 0.060)" \
+		-wires "$(seq -s, 10 2 30)"
+
+	echo "-- reference run (single node)"
+	"$sweepbin" -job -job-store "$ddir/ref" "$@" >"$ddir/ref.json" 2>"$ddir/ref.err"
+	cat "$ddir/ref.err"
+	id="$(sed -n 's/^nwsweep: job \(j-[0-9a-f]*\) submitted.*/\1/p' "$ddir/ref.err")"
+	total="$(sed -n 's/^nwsweep: job .* in \([0-9]*\) chunks$/\1/p' "$ddir/ref.err")"
+	if [ -z "$id" ] || [ -z "$total" ] || [ "$total" -lt 10 ]; then
+		echo "dist smoke: reference run did not report a usable job (id=$id chunks=$total)" >&2
+		return 1
+	fi
+
+	echo "-- start chunk peers b and c"
+	"$servebin" -addr 127.0.0.1:0 -node-id b 2>"$ddir/b.err" &
+	bpid=$!
+	echo "$bpid" >"$ddir/b.pid"
+	"$servebin" -addr 127.0.0.1:0 -node-id c 2>"$ddir/c.err" &
+	cpid=$!
+	echo "$cpid" >"$ddir/c.pid"
+	burl=""
+	curl=""
+	i=0
+	while [ "$i" -lt 100 ]; do
+		burl="$(sed -n 's|^nwserve: listening on \(http://.*\)$|\1|p' "$ddir/b.err")"
+		curl="$(sed -n 's|^nwserve: listening on \(http://.*\)$|\1|p' "$ddir/c.err")"
+		if [ -n "$burl" ] && [ -n "$curl" ]; then
+			break
+		fi
+		i=$((i + 1))
+		sleep 0.05
+	done
+	if [ -z "$burl" ] || [ -z "$curl" ]; then
+		echo "dist smoke: peers never reported their listen addresses" >&2
+		return 1
+	fi
+	echo "peers: b=$burl c=$curl"
+
+	echo "-- distributed run (SIGKILL node c mid-job)"
+	"$sweepbin" -job -job-store "$ddir/dist" -node-id a -peers "b=$burl,c=$curl" "$@" \
+		>"$ddir/dist.json" 2>"$ddir/dist.err" &
+	spid=$!
+	i=0
+	while [ "$i" -lt 400 ]; do
+		n="$(ls "$ddir/dist/$id"/chunk-*.json 2>/dev/null | wc -l)"
+		if [ "$n" -ge 2 ]; then
+			break
+		fi
+		if ! kill -0 "$spid" 2>/dev/null; then
+			break
+		fi
+		i=$((i + 1))
+		sleep 0.05
+	done
+	if ! kill -0 "$spid" 2>/dev/null; then
+		echo "dist smoke: job finished before node c could be killed; grow the grid" >&2
+		return 1
+	fi
+	kill -9 "$cpid" 2>/dev/null
+	wait "$cpid" 2>/dev/null || true
+	echo "killed node c with $n of $total chunks checkpointed"
+	if ! wait "$spid"; then
+		echo "dist smoke: distributed job failed after the peer kill:" >&2
+		cat "$ddir/dist.err" >&2
+		return 1
+	fi
+	cat "$ddir/dist.err"
+
+	if ! cmp -s "$ddir/ref.json" "$ddir/dist.json"; then
+		echo "dist smoke: distributed output differs from the single-node run" >&2
+		return 1
+	fi
+	served="$(sed -n 's/^nwsweep: ring a: .*peer_served=\([0-9]*\).*/\1/p' "$ddir/dist.err")"
+	if [ -z "$served" ] || [ "$served" -eq 0 ]; then
+		echo "dist smoke: ring accounting shows no peer-served chunks:" >&2
+		grep '^nwsweep: ring' "$ddir/dist.err" >&2 || true
+		return 1
+	fi
+	echo "distributed equivalence holds: $served chunks peer-served, node-c kill absorbed, output byte-identical"
+}
+
+run_dist_smoke() {
+	ddir="$artifacts/dist-smoke"
+	rm -rf "$ddir"
+	mkdir -p "$ddir"
+	status=0
+	dist_smoke_body "$ddir" || status=$?
+	# Always reap the peer servers, success or failure.
+	for f in "$ddir"/b.pid "$ddir"/c.pid; do
+		if [ -f "$f" ]; then
+			kill -9 "$(cat "$f")" 2>/dev/null || true
+			wait "$(cat "$f")" 2>/dev/null || true
+		fi
+	done
+	if [ "$status" -ne 0 ]; then
+		echo "dist smoke: FAILED; stores preserved in $ddir for the artifact upload" >&2
+		return "$status"
+	fi
+	rm -rf "$ddir/ref" "$ddir/dist" "$ddir/nwsweep" "$ddir/nwserve"
+	rm -f "$ddir"/*.json "$ddir"/*.pid
+}
+
 run_fuzz_smoke() {
 	targets="$(grep -hEo '^func Fuzz[A-Za-z0-9_]*' internal/code/*_test.go | awk '{print $2}' | sort)"
 	if [ -z "$targets" ]; then
@@ -305,6 +431,7 @@ if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then
 	step "server smoke" run_server_smoke
 	step "peer smoke" run_peer_smoke
 	step "jobs kill/resume smoke" run_jobs_smoke
+	step "distributed jobs smoke" run_dist_smoke
 	step "fuzz smoke" run_fuzz_smoke
 fi
 

@@ -36,8 +36,8 @@ var gated = []struct {
 	{"nwdec/internal/dataset", 90.0},
 	{"nwdec/internal/obs", 85.0},
 	{"nwdec/internal/engine", 70.0},
-	{"nwdec/internal/jobs", 80.0},
-	{"nwdec/internal/cluster", 80.0},
+	{"nwdec/internal/jobs", 82.0},
+	{"nwdec/internal/cluster", 85.0},
 	{"nwdec/internal/nwerr", 70.0},
 	{"nwdec/internal/lint", 80.0},
 	{"nwdec/internal/stats", 95.0},
